@@ -1,0 +1,31 @@
+# Convenience targets for the repro library.
+
+.PHONY: install test bench bench-results examples clean
+
+install:
+	pip install -e . || python setup.py develop
+
+test:
+	pytest tests/
+
+test-output:
+	pytest tests/ 2>&1 | tee test_output.txt
+
+bench:
+	pytest benchmarks/ --benchmark-only
+
+bench-output:
+	pytest benchmarks/ --benchmark-only 2>&1 | tee bench_output.txt
+
+examples:
+	python examples/quickstart.py
+	python examples/materialization_analysis.py
+	python examples/custom_pipeline_component.py
+	python examples/compare_deployment_approaches.py
+	python examples/drift_detection.py
+	python examples/persistence_and_resume.py
+	python examples/url_classification.py
+
+clean:
+	rm -rf build dist *.egg-info src/*.egg-info .pytest_cache
+	find . -name __pycache__ -type d -exec rm -rf {} +

@@ -1,0 +1,58 @@
+"""Experiment 2 (part 2) — Figure 6: sampling strategies vs quality.
+
+Three continuous deployments per dataset, identical except for the
+proactive-training sampler. Paper shapes:
+
+* URL (drifting, growing feature space): time-based sampling attains
+  the best (or tied-best) average error; uniform is worst.
+* Taxi (stationary): the three strategies effectively tie.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import run_once
+from repro.evaluation.report import format_series
+from repro.experiments.common import taxi_scenario, url_scenario
+from repro.experiments.exp2_sampling import (
+    SAMPLERS,
+    average_errors,
+    run_sampling_experiment,
+)
+
+_SCENARIOS = {
+    "url": url_scenario("bench"),
+    "taxi": taxi_scenario("bench"),
+}
+
+
+@pytest.mark.parametrize("dataset", ["url", "taxi"])
+def test_fig6(benchmark, report, dataset):
+    scenario = _SCENARIOS[dataset]
+    results = run_once(
+        benchmark, lambda: run_sampling_experiment(scenario)
+    )
+    averages = average_errors(results)
+
+    lines = [f"Figure 6 ({dataset}): error per sampling strategy"]
+    for name, result in results.items():
+        lines.append(
+            format_series(name, result.error_history, points=10)
+        )
+    lines.append(
+        "average error: "
+        + ", ".join(
+            f"{k}={v:.4f}" for k, v in sorted(averages.items())
+        )
+    )
+    report(f"fig6_{dataset}", "\n".join(lines))
+
+    assert set(results) == set(SAMPLERS)
+    if dataset == "url":
+        # Drifting stream: recency-aware sampling beats uniform.
+        assert averages["time"] < averages["uniform"]
+    else:
+        # Stationary stream: strategies tie (within 2% relative).
+        values = sorted(averages.values())
+        assert values[-1] - values[0] < 0.02 * values[-1] + 0.005

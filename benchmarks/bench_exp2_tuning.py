@@ -1,0 +1,87 @@
+"""Experiment 2 (part 1) — Table 3 and Figure 5: system tuning.
+
+Table 3: hyperparameter grid (Adam / RMSProp / AdaDelta x L2 strength
+1e-2 / 1e-3 / 1e-4) scored on a held-out split of the initial data,
+for both datasets.
+
+Figure 5: the best strength per adaptation technique deployed
+(continuous) on a 10% prefix of the stream. The paper's conclusion —
+the initial-training hyperparameter ranking carries over to the
+deployment phase — is reported (and is a statistical tendency, not a
+hard invariant at this scale, so it is printed rather than asserted).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import run_once
+from repro.evaluation.report import format_series
+from repro.experiments.common import taxi_scenario, url_scenario
+from repro.experiments.exp2_tuning import (
+    ADAPTATIONS,
+    REG_STRENGTHS,
+    best_per_adaptation,
+    figure5,
+    ranking_agreement,
+    table3,
+)
+
+_SCENARIOS = {
+    "url": url_scenario("bench"),
+    "taxi": taxi_scenario("bench"),
+}
+_GRIDS: dict = {}
+
+
+@pytest.mark.parametrize("dataset", ["url", "taxi"])
+def test_table3(benchmark, report, dataset):
+    scenario = _SCENARIOS[dataset]
+    grid = run_once(benchmark, lambda: table3(scenario))
+    _GRIDS[dataset] = grid
+
+    lines = [
+        f"Table 3 ({dataset}): held-out error per adaptation x L2",
+        "adaptation  " + "  ".join(f"{s:g}" for s in REG_STRENGTHS),
+    ]
+    for adaptation in ADAPTATIONS:
+        row = "  ".join(
+            f"{grid[(adaptation, s)]:.4f}" for s in REG_STRENGTHS
+        )
+        lines.append(f"{adaptation:<10}  {row}")
+    best = best_per_adaptation(grid)
+    lines.append(
+        "best strength per adaptation: "
+        + ", ".join(f"{k}={v:g}" for k, v in sorted(best.items()))
+    )
+    report(f"table3_{dataset}", "\n".join(lines))
+
+    assert len(grid) == 9
+    assert all(np.isfinite(v) for v in grid.values())
+
+
+@pytest.mark.parametrize("dataset", ["url", "taxi"])
+def test_fig5(benchmark, report, dataset):
+    scenario = _SCENARIOS[dataset]
+    grid = _GRIDS[dataset]
+    best = best_per_adaptation(grid)
+    histories = run_once(
+        benchmark, lambda: figure5(scenario, best, deploy_fraction=0.1)
+    )
+
+    lines = [
+        f"Figure 5 ({dataset}): deployment error per adaptation "
+        f"(best strength each)",
+    ]
+    for adaptation, history in histories.items():
+        lines.append(format_series(adaptation, history, points=10))
+    agree = ranking_agreement(grid, histories)
+    lines.append(
+        f"initial-training winner also wins deployment: {agree}"
+    )
+    report(f"fig5_{dataset}", "\n".join(lines))
+
+    assert set(histories) == set(ADAPTATIONS)
+    expected = max(int(scenario.num_chunks * 0.1), 1)
+    assert all(len(h) == expected for h in histories.values())

@@ -1,0 +1,118 @@
+"""Experiment 3 — Table 4 and Figure 7: optimization effects.
+
+Table 4: empirical vs analytical materialization utilization rate μ
+for every sampling strategy at materialization rates 0.2 and 0.6. The
+μ simulation is pure bookkeeping, so it runs at the paper's full
+12,000-chunk scale (thinned to one sampling operation every 4 chunks
+to keep the bench under a minute; μ is an average, so thinning does
+not bias it).
+
+Figure 7: total deployment cost per sampling strategy at
+materialization rates {0.0, 0.2, 0.6, 1.0}, plus the NoOptimization
+configuration. Paper shapes: cost decreases monotonically with the
+materialization rate; at 0.2 the recency-aware samplers are cheaper
+than uniform (higher μ); NoOptimization is the most expensive.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import run_once
+from repro.experiments.common import taxi_scenario, url_scenario
+from repro.experiments.exp3_materialization import (
+    FIG7_RATES,
+    SAMPLERS,
+    figure7,
+    figure7_no_optimization,
+    table4,
+)
+
+_SCENARIOS = {
+    "url": url_scenario("bench"),
+    "taxi": taxi_scenario("bench"),
+}
+
+
+def test_table4(benchmark, report):
+    cells = run_once(
+        benchmark,
+        lambda: table4(
+            num_chunks=12_000,
+            sample_size=100,
+            window_size=6_000,
+            sample_every=4,
+            seed=0,
+        ),
+    )
+
+    lines = [
+        "Table 4: empirical (theoretical) μ per sampler and m/n",
+        f"{'sampler':<10} {'m/n=0.2':>16} {'m/n=0.6':>16}",
+    ]
+    by_key = {(c.sampler, c.rate): c for c in cells}
+    for sampler in ("uniform", "window", "time"):
+        row = [f"{sampler:<10}"]
+        for rate in (0.2, 0.6):
+            cell = by_key[(sampler, rate)]
+            if cell.theoretical is None:
+                row.append(f"{cell.empirical:>10.2f} (  -  )")
+            else:
+                row.append(
+                    f"{cell.empirical:>10.2f} ({cell.theoretical:.2f})"
+                )
+        lines.append(" ".join(row))
+    report("table4", "\n".join(lines))
+
+    # Closed forms match the simulation (the Table 4 agreement).
+    for cell in cells:
+        if cell.theoretical is not None:
+            assert abs(cell.empirical - cell.theoretical) < 0.03
+    # Recency-aware strategies beat uniform at every budget.
+    for rate in (0.2, 0.6):
+        assert (
+            by_key[("time", rate)].empirical
+            > by_key[("uniform", rate)].empirical
+        )
+        assert (
+            by_key[("window", rate)].empirical
+            > by_key[("uniform", rate)].empirical
+        )
+
+
+@pytest.mark.parametrize("dataset", ["url", "taxi"])
+def test_fig7(benchmark, report, dataset):
+    scenario = _SCENARIOS[dataset]
+
+    def run():
+        costs = figure7(scenario)
+        no_opt = figure7_no_optimization(scenario)
+        return costs, no_opt
+
+    costs, no_opt = run_once(benchmark, run)
+
+    lines = [
+        f"Figure 7 ({dataset}): total deployment cost",
+        f"{'sampler':<10} "
+        + " ".join(f"m/n={r:<6}" for r in FIG7_RATES),
+    ]
+    for sampler in SAMPLERS:
+        row = " ".join(
+            f"{costs[(sampler, rate)]:<10.3f}" for rate in FIG7_RATES
+        )
+        lines.append(f"{sampler:<10} {row}")
+    lines.append(f"NoOptimization: {no_opt:.3f}")
+    report(f"fig7_{dataset}", "\n".join(lines))
+
+    for sampler in SAMPLERS:
+        series = [costs[(sampler, rate)] for rate in FIG7_RATES]
+        # Cost decreases monotonically with the materialization rate.
+        assert all(a >= b - 1e-9 for a, b in zip(series, series[1:]))
+    # At m/n = 0.2, higher-μ samplers are cheaper.
+    assert costs[("time", 0.2)] < costs[("uniform", 0.2)]
+    # NoOptimization (time sampler, nothing materialized, statistics
+    # recomputed per sample) must exceed the same sampler with only
+    # materialization disabled, and by far the fully optimized run.
+    fully_optimized = costs[("time", 1.0)]
+    assert no_opt > costs[("time", 0.0)]
+    assert no_opt > 1.5 * fully_optimized

@@ -1,0 +1,49 @@
+"""Experiment 4 — Figure 8: quality/cost trade-off.
+
+One scatter point per deployment approach: (total deployment cost,
+average quality). Paper punchline: continuous deployment delivers the
+periodical approach's quality at a several-fold lower cost.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import run_once
+from repro.experiments.common import taxi_scenario, url_scenario
+from repro.experiments.exp4_tradeoff import (
+    headline_claims,
+    run_tradeoff,
+)
+
+_SCENARIOS = {
+    "url": url_scenario("bench"),
+    "taxi": taxi_scenario("bench"),
+}
+
+
+@pytest.mark.parametrize("dataset", ["url", "taxi"])
+def test_fig8(benchmark, report, dataset):
+    scenario = _SCENARIOS[dataset]
+    points = run_once(benchmark, lambda: run_tradeoff(scenario))
+    claims = headline_claims(points)
+
+    lines = [
+        f"Figure 8 ({dataset}): average quality vs total cost",
+        f"{'approach':<12} {'avg error':>10} {'total cost':>12}",
+    ]
+    for point in sorted(points, key=lambda p: p.approach):
+        lines.append(
+            f"{point.approach:<12} {point.average_error:>10.4f} "
+            f"{point.total_cost:>12.3f}"
+        )
+    lines.append(
+        f"periodical/continuous cost ratio: "
+        f"{claims['cost_ratio']:.2f}x; quality delta "
+        f"(periodical - continuous): {claims['quality_delta']:+.4f}"
+    )
+    report(f"fig8_{dataset}", "\n".join(lines))
+
+    # Same quality (or better) at a several-fold lower cost.
+    assert claims["cost_ratio"] > 3.0
+    assert claims["quality_delta"] > -1e-3

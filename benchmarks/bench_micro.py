@@ -1,0 +1,117 @@
+"""Micro-benchmarks for the hot paths of the platform.
+
+These are conventional pytest-benchmark timings (many rounds) for the
+operations that dominate a deployment: pipeline transforms, feature
+hashing, SGD steps (dense and sparse), sampling, and storage
+bookkeeping.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data.chunk import FeatureChunk
+from repro.data.sampling import (
+    TimeBasedSampler,
+    UniformSampler,
+    WindowBasedSampler,
+)
+from repro.data.storage import ChunkStorage
+from repro.datasets.taxi import TaxiStreamGenerator, make_taxi_pipeline
+from repro.datasets.url import URLStreamGenerator, make_url_pipeline
+from repro.ml.models import LinearRegression, LinearSVM
+from repro.ml.optim import Adam, RMSProp
+from repro.ml.sgd import SGDTrainer
+
+
+@pytest.fixture(scope="module")
+def url_chunk():
+    return URLStreamGenerator(
+        num_chunks=2, rows_per_chunk=100, seed=0
+    ).chunk(0)
+
+
+@pytest.fixture(scope="module")
+def taxi_chunk():
+    return TaxiStreamGenerator(
+        num_chunks=2, rows_per_chunk=200, seed=0
+    ).chunk(0)
+
+
+class TestPipelineThroughput:
+    def test_url_online_pass(self, benchmark, url_chunk):
+        pipeline = make_url_pipeline(hash_features=1024)
+        benchmark(pipeline.update_transform_to_features, url_chunk)
+
+    def test_url_transform_only(self, benchmark, url_chunk):
+        pipeline = make_url_pipeline(hash_features=1024)
+        pipeline.update_transform(url_chunk)
+        benchmark(pipeline.transform_to_features, url_chunk)
+
+    def test_taxi_online_pass(self, benchmark, taxi_chunk):
+        pipeline = make_taxi_pipeline()
+        benchmark(pipeline.update_transform_to_features, taxi_chunk)
+
+    def test_taxi_transform_only(self, benchmark, taxi_chunk):
+        pipeline = make_taxi_pipeline()
+        pipeline.update_transform(taxi_chunk)
+        benchmark(pipeline.transform_to_features, taxi_chunk)
+
+
+class TestTrainingThroughput:
+    def test_sparse_sgd_step(self, benchmark, url_chunk):
+        pipeline = make_url_pipeline(hash_features=1024)
+        features = pipeline.update_transform_to_features(url_chunk)
+        trainer = SGDTrainer(LinearSVM(1024), Adam(0.05))
+        benchmark(trainer.step, features.matrix, features.labels)
+
+    def test_dense_sgd_step(self, benchmark, taxi_chunk):
+        pipeline = make_taxi_pipeline()
+        features = pipeline.update_transform_to_features(taxi_chunk)
+        trainer = SGDTrainer(
+            LinearRegression(features.num_features), RMSProp(0.05)
+        )
+        benchmark(trainer.step, features.matrix, features.labels)
+
+    def test_sparse_prediction(self, benchmark, url_chunk):
+        pipeline = make_url_pipeline(hash_features=1024)
+        features = pipeline.update_transform_to_features(url_chunk)
+        model = LinearSVM(1024)
+        benchmark(model.predict, features.matrix)
+
+
+class TestSamplingThroughput:
+    POPULATION = list(range(12_000))
+
+    @pytest.mark.parametrize(
+        "sampler",
+        [
+            UniformSampler(),
+            WindowBasedSampler(window_size=6_000),
+            TimeBasedSampler(half_life=3_000),
+        ],
+        ids=["uniform", "window", "time"],
+    )
+    def test_sample_100_of_12000(self, benchmark, sampler):
+        rng = np.random.default_rng(0)
+        benchmark(sampler.sample, self.POPULATION, 100, rng)
+
+
+class TestStorageThroughput:
+    def test_insert_with_eviction(self, benchmark):
+        def insert_run():
+            storage = ChunkStorage(max_materialized=64)
+            for t in range(256):
+                storage.put_features(
+                    FeatureChunk(
+                        timestamp=t,
+                        raw_reference=t,
+                        features=np.ones((16, 8)),
+                        labels=np.ones(16),
+                    )
+                )
+            return storage
+
+        storage = benchmark(insert_run)
+        assert storage.num_materialized == 64

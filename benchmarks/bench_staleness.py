@@ -1,0 +1,69 @@
+"""§5.5 — model staleness during training.
+
+The paper's discussion section argues that the periodical approach
+leaves the served model stale for the whole duration of every full
+retraining, while a proactive training finishes in fractions of a
+second (200 ms URL / 700 ms Taxi in their setup), so the continuous
+platform always serves an up-to-date model.
+
+This bench measures the same quantity on the virtual clock: the
+average and maximum duration of a training event per approach. The
+shape to reproduce: a single retraining takes orders of magnitude
+longer than a single proactive training.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import run_once
+from repro.experiments.common import (
+    run_continuous,
+    run_periodical,
+    taxi_scenario,
+    url_scenario,
+)
+
+_SCENARIOS = {
+    "url": url_scenario("bench"),
+    "taxi": taxi_scenario("bench"),
+}
+
+
+@pytest.mark.parametrize("dataset", ["url", "taxi"])
+def test_staleness(benchmark, report, dataset):
+    scenario = _SCENARIOS[dataset]
+
+    def run():
+        return (
+            run_continuous(scenario),
+            run_periodical(scenario),
+        )
+
+    continuous, periodical = run_once(benchmark, run)
+
+    ratio = (
+        periodical.average_training_duration
+        / continuous.average_training_duration
+    )
+    report(
+        f"staleness_{dataset}",
+        f"Model staleness per training event ({dataset}, cost units)\n"
+        f"proactive training : avg "
+        f"{continuous.average_training_duration:.4f}, max "
+        f"{continuous.max_training_duration:.4f} "
+        f"({len(continuous.training_durations)} instances)\n"
+        f"full retraining    : avg "
+        f"{periodical.average_training_duration:.4f}, max "
+        f"{periodical.max_training_duration:.4f} "
+        f"({len(periodical.training_durations)} retrainings)\n"
+        f"a retraining stalls the model "
+        f"{ratio:.0f}x longer than a proactive training",
+    )
+
+    # The paper's §5.5 point: retraining windows dwarf proactive ones.
+    assert ratio > 20.0
+    assert (
+        periodical.max_training_duration
+        > continuous.max_training_duration * 10
+    )

@@ -1,0 +1,58 @@
+"""Shared infrastructure for the benchmark suite.
+
+Every benchmark that regenerates a paper artifact prints the same
+rows/series the paper reports. Output goes both to the terminal
+(bypassing pytest's capture, so ``pytest benchmarks/ --benchmark-only``
+shows it) and to ``benchmarks/results/<name>.txt`` for later reading.
+
+The deployment runs are expensive, so results are cached at session
+scope and shared between the quality-figure and cost-figure benchmarks
+of the same experiment.
+"""
+
+from __future__ import annotations
+
+import warnings
+from pathlib import Path
+
+import pytest
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+# Deployment-scale runs emit ConvergenceWarning by design (retraining
+# at an iteration cap); keep the bench output readable.
+warnings.filterwarnings("ignore", message="SGD stopped at")
+
+
+@pytest.fixture(scope="session")
+def emit():
+    """Return a reporter: emit(name, text) prints and persists."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+
+    def _emit(name: str, text: str) -> None:
+        banner = f"\n=== {name} ===\n{text}\n"
+        print(banner)
+        path = RESULTS_DIR / f"{name}.txt"
+        path.write_text(text + "\n")
+
+    return _emit
+
+
+@pytest.fixture
+def report(capsys, emit):
+    """Per-test reporter that bypasses pytest's output capture."""
+
+    def _report(name: str, text: str) -> None:
+        with capsys.disabled():
+            emit(name, text)
+
+    return _report
+
+
+def run_once(benchmark, function):
+    """Benchmark ``function`` with exactly one timed execution.
+
+    Deployment runs are minutes-scale and deterministic; repeated
+    rounds would only burn time.
+    """
+    return benchmark.pedantic(function, rounds=1, iterations=1)

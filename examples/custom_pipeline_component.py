@@ -1,0 +1,131 @@
+"""Build a custom pipeline component with online statistics.
+
+The paper's platform supports user-defined components (§3.1/§4.3):
+implement ``update`` (fold a batch into incrementally maintainable
+statistics) and ``transform`` (apply them without mutating state).
+
+This example implements a *clipping* component that winsorises a
+column at mean ± k·std using the library's streaming moments, chains
+it into a pipeline in front of a linear regression, and shows that the
+statistics stay current during deployment with no extra scans.
+
+Run:  python examples/custom_pipeline_component.py
+"""
+
+from __future__ import annotations
+
+import warnings
+
+import numpy as np
+
+from repro import (
+    Adam,
+    ContinuousConfig,
+    ContinuousDeployment,
+    LinearRegression,
+    ScheduleConfig,
+    Table,
+)
+from repro.pipeline.component import Batch, ComponentKind, PipelineComponent
+from repro.pipeline.components.assembler import FeatureAssembler
+from repro.pipeline.pipeline import Pipeline
+from repro.pipeline.statistics import RunningMoments
+
+
+class StreamingClipper(PipelineComponent):
+    """Winsorise a column at ``mean ± k * std`` (both streaming).
+
+    ``update`` folds the batch into a :class:`RunningMoments`; the
+    statistic (mean/std) is incrementally maintainable, so the
+    component qualifies for the platform's online statistics
+    computation — no second scan is ever needed.
+    """
+
+    kind = ComponentKind.DATA_TRANSFORMATION
+
+    def __init__(self, column: str, k: float = 3.0,
+                 name: str | None = None) -> None:
+        super().__init__(name)
+        self.column = column
+        self.k = k
+        self._moments = RunningMoments(dim=1)
+
+    def update(self, batch: Batch) -> None:
+        self._moments.update(
+            np.asarray(batch.column(self.column), dtype=np.float64)
+        )
+
+    def transform(self, batch: Batch) -> Batch:
+        values = np.asarray(batch.column(self.column), dtype=np.float64)
+        if self._moments.total_count:
+            center = self._moments.mean()[0]
+            spread = self._moments.std()[0]
+            low = center - self.k * spread
+            high = center + self.k * spread
+            values = np.clip(values, low, high)
+        return batch.with_column(self.column, values)
+
+    def reset(self) -> None:
+        self._moments = RunningMoments(dim=1)
+
+
+def make_stream(num_chunks=60, rows=40, seed=0):
+    """y = 2x + 1, but 3% of the x readings are corrupted (x * 50)."""
+    rng = np.random.default_rng(seed)
+    for __ in range(num_chunks):
+        x = rng.standard_normal(rows)
+        y = 2.0 * x + 1.0
+        corrupted = rng.random(rows) < 0.03
+        observed = np.where(corrupted, x * 50.0, x)
+        yield Table({"x": observed, "y": y})
+
+
+def deploy(with_clipper: bool):
+    components = []
+    clipper = None
+    if with_clipper:
+        clipper = StreamingClipper(column="x", k=1.0, name="clipper")
+        components.append(clipper)
+    components.append(FeatureAssembler(["x"], "y", name="assembler"))
+    model = LinearRegression(num_features=1)
+    deployment = ContinuousDeployment(
+        Pipeline(components),
+        model,
+        Adam(0.05),
+        config=ContinuousConfig(
+            sample_size_chunks=8,
+            schedule=ScheduleConfig(interval_chunks=5),
+            sampler="uniform",
+        ),
+        metric="regression",
+        seed=0,
+    )
+    initial = list(make_stream(num_chunks=1, rows=400, seed=99))
+    deployment.initial_fit(initial, max_iterations=500, tolerance=1e-8)
+    result = deployment.run(make_stream())
+    return result, model, clipper
+
+
+def main() -> None:
+    warnings.simplefilter("ignore")
+
+    clipped, clipped_model, clipper = deploy(with_clipper=True)
+    plain, plain_model, __ = deploy(with_clipper=False)
+
+    print("deployment on a stream with 3% corrupted sensor readings:")
+    print(f"  with StreamingClipper   : final RMSE "
+          f"{clipped.final_error:.3f}, weight "
+          f"{clipped_model.weights[0]:+.3f}")
+    print(f"  without (raw readings)  : final RMSE "
+          f"{plain.final_error:.3f}, weight "
+          f"{plain_model.weights[0]:+.3f}")
+    print()
+    print(f"clipper statistics cover "
+          f"{int(clipper._moments.total_count)} rows — maintained "
+          f"entirely by the online pass (no extra scans), so the")
+    print("custom component is a first-class citizen of online "
+          "statistics computation.")
+
+
+if __name__ == "__main__":
+    main()

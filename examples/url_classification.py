@@ -1,0 +1,96 @@
+"""URL pipeline end-to-end: drifting sparse classification.
+
+The paper's first deployment scenario: classify URLs as malicious or
+legitimate on a high-dimensional sparse stream whose feature space
+grows over time. This example deploys the URL pipeline continuously,
+tracks the cumulative misclassification rate, and demonstrates why
+time-based sampling helps on a drifting stream by running the same
+deployment with uniform sampling for comparison.
+
+Run:  python examples/url_classification.py
+"""
+
+from __future__ import annotations
+
+import warnings
+
+from repro import (
+    Adam,
+    ContinuousConfig,
+    ContinuousDeployment,
+    L2,
+    LinearSVM,
+    ScheduleConfig,
+    URLStreamGenerator,
+    make_url_pipeline,
+)
+from repro.datasets.drift import GradualDrift
+from repro.evaluation.report import format_series
+
+NUM_CHUNKS = 200
+HASH_DIM = 1024
+
+
+def deploy(sampler: str):
+    generator = URLStreamGenerator(
+        num_chunks=NUM_CHUNKS,
+        rows_per_chunk=50,
+        base_features=400,
+        new_features_per_chunk=2,
+        drift=GradualDrift(0.02),
+        seed=7,
+    )
+    pipeline = make_url_pipeline(hash_features=HASH_DIM)
+    model = LinearSVM(num_features=HASH_DIM, regularizer=L2(1e-3))
+    deployment = ContinuousDeployment(
+        pipeline,
+        model,
+        Adam(0.05),
+        config=ContinuousConfig(
+            sample_size_chunks=30,
+            schedule=ScheduleConfig(kind="static", interval_chunks=5),
+            sampler=sampler,
+            half_life=NUM_CHUNKS / 16,
+            online_batch_rows=1,
+        ),
+        metric="classification",
+        seed=7,
+    )
+    deployment.initial_fit(
+        generator.initial_data(1000), max_iterations=500,
+        tolerance=1e-6,
+    )
+    return deployment.run(generator.stream()), deployment
+
+
+def main() -> None:
+    warnings.simplefilter("ignore")
+
+    print("deploying with time-based sampling ...")
+    time_result, time_deployment = deploy("time")
+    print("deploying with uniform sampling ...")
+    uniform_result, __ = deploy("uniform")
+
+    print()
+    print("cumulative misclassification rate (sampled over time):")
+    print(format_series("time-based", time_result.error_history))
+    print(format_series("uniform", uniform_result.error_history))
+    print()
+    print(f"average error, time-based : "
+          f"{time_result.average_error:.4f}")
+    print(f"average error, uniform    : "
+          f"{uniform_result.average_error:.4f}")
+    print()
+    print("The URL stream drifts and keeps growing new features, so")
+    print("samples biased toward recent chunks track the live concept")
+    print("better — the paper's Figure 6 finding.")
+    print()
+    hasher = time_deployment.platform.pipeline.component("hasher")
+    imputer = time_deployment.platform.pipeline.component("imputer")
+    print(f"pipeline state after deployment: "
+          f"{imputer.num_indices_seen} feature indices with imputation "
+          f"statistics, hashed into {hasher.num_features} buckets.")
+
+
+if __name__ == "__main__":
+    main()

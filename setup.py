@@ -1,0 +1,11 @@
+"""Setuptools shim for environments without the ``wheel`` package.
+
+``pip install -e .`` needs PEP 660 editable-wheel support, which this
+offline image lacks; ``python setup.py develop`` (or the Makefile's
+``make install``) installs the package in editable mode instead. All
+metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

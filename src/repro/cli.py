@@ -1,0 +1,300 @@
+"""Command-line interface for the experiment drivers.
+
+Regenerate any paper artifact from a shell::
+
+    python -m repro exp1   --dataset url  --scale test
+    python -m repro table3 --dataset taxi --scale test
+    python -m repro fig6   --dataset url  --scale bench
+    python -m repro table4 --chunks 12000 --sample-size 100
+    python -m repro fig7   --dataset taxi --scale test
+    python -m repro fig8   --dataset url  --scale test
+
+``--scale test`` runs a seconds-long miniature; ``--scale bench`` the
+scale EXPERIMENTS.md records (minutes). Output is the same row/series
+rendering the benchmark suite prints.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import warnings
+from typing import List, Optional
+
+from repro.evaluation.report import (
+    format_comparison_table,
+    format_series,
+    summarize_results,
+)
+from repro.exceptions import ConvergenceWarning
+from repro.experiments.common import (
+    Scenario,
+    taxi_scenario,
+    url_scenario,
+)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The top-level argument parser (exposed for testing)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Reproduce the evaluation of 'Continuous Deployment of "
+            "Machine Learning Pipelines' (EDBT 2019)."
+        ),
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    def add_scenario_options(sub: argparse.ArgumentParser) -> None:
+        sub.add_argument(
+            "--dataset",
+            choices=("url", "taxi"),
+            default="url",
+            help="deployment scenario (default: url)",
+        )
+        sub.add_argument(
+            "--scale",
+            choices=("test", "bench"),
+            default="test",
+            help="test = seconds-long miniature; bench = the "
+            "EXPERIMENTS.md scale (default: test)",
+        )
+        sub.add_argument(
+            "--seed", type=int, default=None,
+            help="override the scenario seed",
+        )
+
+    exp1 = commands.add_parser(
+        "exp1", help="Figure 4: online vs periodical vs continuous"
+    )
+    add_scenario_options(exp1)
+
+    table3 = commands.add_parser(
+        "table3", help="Table 3: hyperparameter grid"
+    )
+    add_scenario_options(table3)
+
+    fig5 = commands.add_parser(
+        "fig5", help="Figure 5: best configs deployed on a prefix"
+    )
+    add_scenario_options(fig5)
+
+    fig6 = commands.add_parser(
+        "fig6", help="Figure 6: sampling strategies vs quality"
+    )
+    add_scenario_options(fig6)
+
+    table4 = commands.add_parser(
+        "table4", help="Table 4: empirical vs analytical μ"
+    )
+    table4.add_argument("--chunks", type=int, default=12_000)
+    table4.add_argument("--sample-size", type=int, default=100)
+    table4.add_argument(
+        "--sample-every", type=int, default=8,
+        help="thin the simulation (1 = the paper's every-chunk mode)",
+    )
+
+    fig7 = commands.add_parser(
+        "fig7", help="Figure 7: cost vs materialization rate"
+    )
+    add_scenario_options(fig7)
+
+    fig8 = commands.add_parser(
+        "fig8", help="Figure 8: quality/cost trade-off"
+    )
+    add_scenario_options(fig8)
+
+    return parser
+
+
+def _scenario(args: argparse.Namespace) -> Scenario:
+    builder = url_scenario if args.dataset == "url" else taxi_scenario
+    if args.seed is not None:
+        return builder(args.scale, seed=args.seed)
+    return builder(args.scale)
+
+
+def _command_exp1(args: argparse.Namespace) -> None:
+    from repro.experiments.exp1_deployment import (
+        cost_ratios,
+        run_experiment1,
+    )
+
+    results = run_experiment1(_scenario(args))
+    print("cumulative error over time:")
+    for name, result in results.items():
+        print(format_series(name, result.error_history, points=12))
+    print("\ncumulative cost over time:")
+    for name, result in results.items():
+        print(
+            format_series(
+                name, result.cost_history, points=12,
+                float_format="{:.2f}",
+            )
+        )
+    print()
+    print(
+        format_comparison_table(
+            summarize_results(results),
+            columns=[
+                "approach", "final_error", "average_error",
+                "total_cost",
+            ],
+        )
+    )
+    ratios = cost_ratios(results)
+    print(
+        "\nfinal-cost ratio vs continuous: "
+        + ", ".join(f"{k}={v:.2f}x" for k, v in sorted(ratios.items()))
+    )
+
+
+def _command_table3(args: argparse.Namespace) -> None:
+    from repro.experiments.exp2_tuning import (
+        ADAPTATIONS,
+        REG_STRENGTHS,
+        best_per_adaptation,
+        table3,
+    )
+
+    grid = table3(_scenario(args))
+    print(
+        "adaptation  "
+        + "  ".join(f"{s:g}" for s in REG_STRENGTHS)
+    )
+    for adaptation in ADAPTATIONS:
+        row = "  ".join(
+            f"{grid[(adaptation, s)]:.4f}" for s in REG_STRENGTHS
+        )
+        print(f"{adaptation:<10}  {row}")
+    best = best_per_adaptation(grid)
+    print(
+        "best: "
+        + ", ".join(f"{k}={v:g}" for k, v in sorted(best.items()))
+    )
+
+
+def _command_fig5(args: argparse.Namespace) -> None:
+    from repro.experiments.exp2_tuning import (
+        best_per_adaptation,
+        figure5,
+        ranking_agreement,
+        table3,
+    )
+
+    scenario = _scenario(args)
+    grid = table3(scenario)
+    best = best_per_adaptation(grid)
+    histories = figure5(scenario, best)
+    for adaptation, history in histories.items():
+        print(format_series(adaptation, history, points=12))
+    print(
+        "initial-training winner also wins deployment: "
+        f"{ranking_agreement(grid, histories)}"
+    )
+
+
+def _command_fig6(args: argparse.Namespace) -> None:
+    from repro.experiments.exp2_sampling import (
+        average_errors,
+        run_sampling_experiment,
+    )
+
+    results = run_sampling_experiment(_scenario(args))
+    for name, result in results.items():
+        print(format_series(name, result.error_history, points=12))
+    averages = average_errors(results)
+    print(
+        "average error: "
+        + ", ".join(
+            f"{k}={v:.4f}" for k, v in sorted(averages.items())
+        )
+    )
+
+
+def _command_table4(args: argparse.Namespace) -> None:
+    from repro.experiments.exp3_materialization import table4
+
+    cells = table4(
+        num_chunks=args.chunks,
+        sample_size=args.sample_size,
+        sample_every=args.sample_every,
+    )
+    print(f"{'sampler':<10} {'m/n':>5} {'empirical':>10} {'theory':>8}")
+    for cell in cells:
+        theory = (
+            f"{cell.theoretical:8.3f}"
+            if cell.theoretical is not None
+            else "      --"
+        )
+        print(
+            f"{cell.sampler:<10} {cell.rate:>5} "
+            f"{cell.empirical:>10.3f} {theory}"
+        )
+
+
+def _command_fig7(args: argparse.Namespace) -> None:
+    from repro.experiments.exp3_materialization import (
+        FIG7_RATES,
+        SAMPLERS,
+        figure7,
+        figure7_no_optimization,
+    )
+
+    scenario = _scenario(args)
+    costs = figure7(scenario)
+    print(
+        f"{'sampler':<10} "
+        + " ".join(f"m/n={r:<6}" for r in FIG7_RATES)
+    )
+    for sampler in SAMPLERS:
+        row = " ".join(
+            f"{costs[(sampler, rate)]:<10.3f}" for rate in FIG7_RATES
+        )
+        print(f"{sampler:<10} {row}")
+    print(
+        f"NoOptimization: {figure7_no_optimization(scenario):.3f}"
+    )
+
+
+def _command_fig8(args: argparse.Namespace) -> None:
+    from repro.experiments.exp4_tradeoff import (
+        headline_claims,
+        run_tradeoff,
+    )
+
+    points = run_tradeoff(_scenario(args))
+    print(f"{'approach':<12} {'avg error':>10} {'total cost':>12}")
+    for point in sorted(points, key=lambda p: p.approach):
+        print(
+            f"{point.approach:<12} {point.average_error:>10.4f} "
+            f"{point.total_cost:>12.3f}"
+        )
+    claims = headline_claims(points)
+    print(
+        f"cost ratio {claims['cost_ratio']:.2f}x, quality delta "
+        f"{claims['quality_delta']:+.4f}"
+    )
+
+
+_COMMANDS = {
+    "exp1": _command_exp1,
+    "table3": _command_table3,
+    "fig5": _command_fig5,
+    "fig6": _command_fig6,
+    "table4": _command_table4,
+    "fig7": _command_fig7,
+    "fig8": _command_fig8,
+}
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+    warnings.simplefilter("ignore", ConvergenceWarning)
+    _COMMANDS[args.command](args)
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

@@ -1,0 +1,52 @@
+"""The paper's contribution: the continuous deployment platform.
+
+* :mod:`repro.core.scheduler` — when proactive training runs (§4.1).
+* :mod:`repro.core.proactive` — one SGD iteration per trigger (§3.3).
+* :mod:`repro.core.pipeline_manager` — the central component wiring
+  pipeline, model, data manager, and execution engine (§4.3).
+* :mod:`repro.core.platform` — the assembled platform (Figure 3).
+* :mod:`repro.core.deployment` — the three deployment approaches
+  compared in Experiment 1 (online, periodical, continuous).
+"""
+
+from repro.core.config import (
+    ContinuousConfig,
+    OnlineConfig,
+    PeriodicalConfig,
+    ScheduleConfig,
+)
+from repro.core.deployment import (
+    ContinuousDeployment,
+    Deployment,
+    DeploymentResult,
+    OnlineDeployment,
+    PeriodicalDeployment,
+    ThresholdRetrainingDeployment,
+)
+from repro.core.pipeline_manager import PipelineManager
+from repro.core.platform import ContinuousDeploymentPlatform
+from repro.core.proactive import ProactiveTrainer
+from repro.core.scheduler import (
+    DynamicScheduler,
+    Scheduler,
+    StaticScheduler,
+)
+
+__all__ = [
+    "ScheduleConfig",
+    "OnlineConfig",
+    "PeriodicalConfig",
+    "ContinuousConfig",
+    "Scheduler",
+    "StaticScheduler",
+    "DynamicScheduler",
+    "ProactiveTrainer",
+    "PipelineManager",
+    "ContinuousDeploymentPlatform",
+    "Deployment",
+    "DeploymentResult",
+    "OnlineDeployment",
+    "PeriodicalDeployment",
+    "ContinuousDeployment",
+    "ThresholdRetrainingDeployment",
+]

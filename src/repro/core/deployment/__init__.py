@@ -1,0 +1,16 @@
+"""The three deployment approaches compared in Experiment 1 (§5.2)."""
+
+from repro.core.deployment.base import Deployment, DeploymentResult
+from repro.core.deployment.continuous import ContinuousDeployment
+from repro.core.deployment.online import OnlineDeployment
+from repro.core.deployment.periodical import PeriodicalDeployment
+from repro.core.deployment.threshold import ThresholdRetrainingDeployment
+
+__all__ = [
+    "Deployment",
+    "DeploymentResult",
+    "OnlineDeployment",
+    "PeriodicalDeployment",
+    "ContinuousDeployment",
+    "ThresholdRetrainingDeployment",
+]

@@ -1,0 +1,183 @@
+"""Deployment base class: the prequential test-then-train loop.
+
+All three approaches share the same outer loop (§5.1's deployment
+process): for every arriving chunk, first answer it as prediction
+queries (test), then use it as training data (train). Subclasses only
+differ in what "train" means:
+
+* online — one online SGD step;
+* periodical — online step + periodic full retraining;
+* continuous — online step + scheduled proactive training.
+
+The loop records, after every chunk, the cumulative prequential error
+and the cumulative deployment cost — exactly the two series plotted in
+Figure 4 of the paper.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional
+
+import numpy as np
+
+from repro.data.table import Table
+from repro.exceptions import ValidationError
+from repro.execution.cost import CostBreakdown
+from repro.ml.metrics import PrequentialTracker
+from repro.ml.models.base import LinearSGDModel
+from repro.ml.sgd import TrainingResult
+
+
+@dataclass
+class DeploymentResult:
+    """Everything a deployment run produced.
+
+    ``error_history[i]`` / ``cost_history[i]`` are the cumulative
+    prequential error and cumulative cost after chunk ``i`` — the
+    Figure 4 series. ``counters`` holds event counts (online updates,
+    proactive trainings, retrainings).
+    """
+
+    approach: str
+    error_history: List[float] = field(default_factory=list)
+    cost_history: List[float] = field(default_factory=list)
+    counters: Dict[str, int] = field(default_factory=dict)
+    cost_breakdown: Optional[CostBreakdown] = None
+    wall_seconds: float = 0.0
+    #: Virtual-clock duration of each training event beyond the online
+    #: updates (proactive trainings or full retrainings). §5.5 of the
+    #: paper compares these: long retrainings leave the served model
+    #: stale, sub-second proactive trainings do not.
+    training_durations: List[float] = field(default_factory=list)
+
+    @property
+    def chunks_processed(self) -> int:
+        return len(self.error_history)
+
+    @property
+    def final_error(self) -> float:
+        """Cumulative prequential error at the end of the deployment."""
+        if not self.error_history:
+            raise ValidationError("deployment processed no chunks")
+        return self.error_history[-1]
+
+    @property
+    def average_error(self) -> float:
+        """Mean of the cumulative-error curve (paper's comparisons)."""
+        if not self.error_history:
+            raise ValidationError("deployment processed no chunks")
+        return float(np.mean(self.error_history))
+
+    @property
+    def total_cost(self) -> float:
+        """Cumulative deployment cost at the end (cost units)."""
+        if not self.cost_history:
+            raise ValidationError("deployment processed no chunks")
+        return self.cost_history[-1]
+
+    @property
+    def average_training_duration(self) -> float:
+        """Mean duration of a training event (0 when none ran).
+
+        For the continuous approach this is the per-instance proactive
+        training time; for the periodical/threshold baselines, the
+        per-retraining time — the model-staleness window of §5.5.
+        """
+        if not self.training_durations:
+            return 0.0
+        return float(np.mean(self.training_durations))
+
+    @property
+    def max_training_duration(self) -> float:
+        """Longest single training event (worst-case staleness)."""
+        if not self.training_durations:
+            return 0.0
+        return float(max(self.training_durations))
+
+
+class Deployment(ABC):
+    """Shared prequential loop for the three deployment approaches.
+
+    Parameters
+    ----------
+    metric:
+        ``"classification"`` — prequential misclassification rate
+        (URL); or ``"regression"`` — prequential RMSE in the model's
+        (log) target space, i.e. RMSLE for the Taxi setup.
+    """
+
+    #: Set by subclasses; used in reports and figures.
+    approach: str = "base"
+
+    def __init__(self, metric: str = "classification") -> None:
+        if metric not in ("classification", "regression"):
+            raise ValidationError(
+                f"metric must be 'classification' or 'regression', "
+                f"got {metric!r}"
+            )
+        self.metric = metric
+        self.prequential = PrequentialTracker(
+            kind="rate" if metric == "classification" else "rmse"
+        )
+
+    # ------------------------------------------------------------------
+    # Subclass interface
+    # ------------------------------------------------------------------
+    @abstractmethod
+    def initial_fit(self, tables: List[Table], **kwargs) -> TrainingResult:
+        """Pre-deployment training on the initial dataset."""
+
+    @abstractmethod
+    def _predict(self, table: Table) -> tuple[np.ndarray, np.ndarray]:
+        """Serve the chunk as prediction queries: (predictions, labels)."""
+
+    @abstractmethod
+    def _observe(self, table: Table, chunk_index: int) -> None:
+        """Consume the chunk as training data."""
+
+    @property
+    @abstractmethod
+    def model(self) -> LinearSGDModel:
+        """The currently deployed model."""
+
+    @abstractmethod
+    def _current_cost(self) -> float:
+        """Cumulative cost units so far."""
+
+    @abstractmethod
+    def _finalize(self, result: DeploymentResult) -> None:
+        """Fill approach-specific counters/breakdowns into ``result``."""
+
+    # ------------------------------------------------------------------
+    # The prequential loop
+    # ------------------------------------------------------------------
+    def run(self, stream: Iterable[Table]) -> DeploymentResult:
+        """Process the deployment stream test-then-train.
+
+        Chunks that come out of the serving path empty (every row
+        filtered as anomalous) still feed training but contribute no
+        prequential measurement for that step; the previous cumulative
+        value is carried forward so the histories stay aligned with
+        chunk indices.
+        """
+        result = DeploymentResult(approach=self.approach)
+        for chunk_index, table in enumerate(stream):
+            predictions, labels = self._predict(table)
+            if len(labels):
+                error_sum = self._chunk_error(predictions, labels)
+                self.prequential.add_chunk(error_sum, len(labels))
+            result.error_history.append(self.prequential.value())
+            self._observe(table, chunk_index)
+            result.cost_history.append(self._current_cost())
+        self._finalize(result)
+        return result
+
+    def _chunk_error(
+        self, predictions: np.ndarray, labels: np.ndarray
+    ) -> float:
+        if self.metric == "classification":
+            return float(np.sum(predictions != labels))
+        residual = predictions - labels
+        return float(np.sum(residual * residual))

@@ -1,0 +1,91 @@
+"""Continuous deployment — the paper's contribution, in the
+Experiment-1 harness shape.
+
+A thin adapter around
+:class:`~repro.core.platform.ContinuousDeploymentPlatform` that plugs
+the platform into the shared prequential loop so it can be compared
+head-to-head with the online and periodical baselines.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.core.config import ContinuousConfig
+from repro.core.deployment.base import Deployment, DeploymentResult
+from repro.core.platform import ContinuousDeploymentPlatform
+from repro.data.table import Table
+from repro.execution.cost import CostModel
+from repro.ml.models.base import LinearSGDModel
+from repro.ml.optim.base import Optimizer
+from repro.ml.sgd import TrainingResult
+from repro.pipeline.pipeline import Pipeline
+from repro.utils.rng import SeedLike
+
+
+class ContinuousDeployment(Deployment):
+    """Online updates + scheduled proactive training on sampled history."""
+
+    approach = "continuous"
+
+    def __init__(
+        self,
+        pipeline: Pipeline,
+        model: LinearSGDModel,
+        optimizer: Optimizer,
+        config: Optional[ContinuousConfig] = None,
+        metric: str = "classification",
+        cost_model: Optional[CostModel] = None,
+        seed: SeedLike = None,
+    ) -> None:
+        super().__init__(metric)
+        self.platform = ContinuousDeploymentPlatform(
+            pipeline=pipeline,
+            model=model,
+            optimizer=optimizer,
+            config=config,
+            cost_model=cost_model,
+            seed=seed,
+        )
+
+    @property
+    def model(self) -> LinearSGDModel:
+        return self.platform.model
+
+    @property
+    def config(self) -> ContinuousConfig:
+        return self.platform.config
+
+    # ------------------------------------------------------------------
+    def initial_fit(self, tables: List[Table], **kwargs) -> TrainingResult:
+        """Initial training; the initial data enters the sample pool."""
+        return self.platform.initial_fit(tables, store=True, **kwargs)
+
+    def _predict(self, table: Table) -> Tuple[np.ndarray, np.ndarray]:
+        return self.platform.predict(table)
+
+    def _observe(self, table: Table, chunk_index: int) -> None:
+        self.platform.observe(table)
+
+    def _current_cost(self) -> float:
+        return self.platform.engine.total_cost()
+
+    def _finalize(self, result: DeploymentResult) -> None:
+        outcomes = self.platform.proactive_outcomes
+        result.counters["proactive_trainings"] = len(outcomes)
+        result.counters["chunks_sampled"] = int(
+            np.sum([o.chunks for o in outcomes])
+        )
+        result.counters["chunks_rematerialized"] = int(
+            np.sum([o.chunks - o.chunks_materialized for o in outcomes])
+        )
+        result.cost_breakdown = self.platform.engine.tracker.breakdown()
+        result.wall_seconds = self.platform.engine.wall.elapsed
+        result.training_durations = [o.duration for o in outcomes]
+
+    # ------------------------------------------------------------------
+    def materialization_utilization(self) -> float:
+        """Empirical μ of this run (see §3.2.2)."""
+        return self.platform.data_manager.stats.utilization()

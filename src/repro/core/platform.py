@@ -1,0 +1,190 @@
+"""The assembled continuous-deployment platform (Figure 3).
+
+:class:`ContinuousDeploymentPlatform` wires the five architecture
+components — pipeline manager, data manager, scheduler, proactive
+trainer, execution engine — from a
+:class:`~repro.core.config.ContinuousConfig`. It exposes the two
+operations a deployment environment needs:
+
+* :meth:`predict` — answer a batch of prediction queries;
+* :meth:`observe` — ingest a batch of training data, run the online
+  update, and fire proactive training when the scheduler says so.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.core.config import ContinuousConfig, ScheduleConfig
+from repro.core.pipeline_manager import PipelineManager
+from repro.core.proactive import ProactiveOutcome, ProactiveTrainer
+from repro.core.scheduler import (
+    DynamicScheduler,
+    Scheduler,
+    StaticScheduler,
+)
+from repro.data.manager import DataManager
+from repro.data.sampling import make_sampler
+from repro.data.storage import ChunkStorage
+from repro.data.table import Table
+from repro.execution.cost import CostModel
+from repro.execution.engine import LocalExecutionEngine
+from repro.ml.models.base import LinearSGDModel
+from repro.ml.optim.base import Optimizer
+from repro.ml.sgd import TrainingResult
+from repro.pipeline.pipeline import Pipeline
+from repro.utils.rng import SeedLike
+
+
+def build_scheduler(config: ScheduleConfig) -> Scheduler:
+    """Construct the scheduler described by ``config``."""
+    if config.kind == "static":
+        return StaticScheduler(config.interval_chunks)
+    return DynamicScheduler(
+        slack=config.slack, initial_interval=config.initial_interval
+    )
+
+
+class ContinuousDeploymentPlatform:
+    """Continuous deployment of one pipeline + model.
+
+    Parameters
+    ----------
+    pipeline, model, optimizer:
+        The deployed artifacts (shared mutable state — the platform
+        updates them in place).
+    config:
+        Deployment hyperparameters (§2.2's first group).
+    cost_model:
+        Optional cost-model prices for the execution engine.
+    seed:
+        Controls the sampling randomness.
+    """
+
+    def __init__(
+        self,
+        pipeline: Pipeline,
+        model: LinearSGDModel,
+        optimizer: Optimizer,
+        config: Optional[ContinuousConfig] = None,
+        cost_model: Optional[CostModel] = None,
+        seed: SeedLike = None,
+    ) -> None:
+        self.config = config if config is not None else ContinuousConfig()
+        sampler = make_sampler(
+            self.config.sampler,
+            window_size=self.config.window_size,
+            half_life=self.config.half_life,
+        )
+        storage = ChunkStorage(
+            max_materialized=self.config.max_materialized_chunks
+        )
+        self.engine = LocalExecutionEngine(cost_model)
+        self.data_manager = DataManager(
+            storage=storage, sampler=sampler, seed=seed
+        )
+        self.manager = PipelineManager(
+            pipeline=pipeline,
+            model=model,
+            optimizer=optimizer,
+            data_manager=self.data_manager,
+            engine=self.engine,
+        )
+        self.scheduler = build_scheduler(self.config.schedule)
+        self.proactive = ProactiveTrainer(self.manager.trainer, self.engine)
+        self.proactive_outcomes: List[ProactiveOutcome] = []
+        self._chunk_index = -1
+
+    # ------------------------------------------------------------------
+    @property
+    def pipeline(self) -> Pipeline:
+        return self.manager.pipeline
+
+    @property
+    def model(self) -> LinearSGDModel:
+        return self.manager.model
+
+    @property
+    def chunks_observed(self) -> int:
+        return self._chunk_index + 1
+
+    # ------------------------------------------------------------------
+    def initial_fit(
+        self,
+        tables: List[Table],
+        batch_size: Optional[int] = None,
+        max_iterations: int = 200,
+        tolerance: float = 1e-4,
+        seed: SeedLike = None,
+        store: bool = False,
+    ) -> TrainingResult:
+        """Pre-deployment training (delegates to the pipeline manager)."""
+        return self.manager.initial_fit(
+            tables,
+            batch_size=batch_size,
+            max_iterations=max_iterations,
+            tolerance=tolerance,
+            seed=seed,
+            store=store,
+        )
+
+    def predict(self, table: Table) -> Tuple[np.ndarray, np.ndarray]:
+        """Answer prediction queries; informs the dynamic scheduler."""
+        before = self.engine.total_cost()
+        predictions, labels = self.manager.answer_queries(table)
+        self.scheduler.record_predictions(
+            count=len(predictions),
+            duration=self.engine.total_cost() - before,
+        )
+        return predictions, labels
+
+    def observe(self, table: Table) -> Optional[ProactiveOutcome]:
+        """Ingest a training chunk; maybe run a proactive training.
+
+        Returns the :class:`ProactiveOutcome` when a proactive training
+        fired for this chunk, else ``None``.
+        """
+        self._chunk_index += 1
+        __, features = self.manager.process_training_chunk(
+            table,
+            online_statistics=self.config.online_statistics,
+            store=True,
+        )
+        if self.config.online_update and features.num_rows:
+            self.manager.online_step(
+                features, self.config.online_batch_rows
+            )
+        now = self.engine.total_cost()
+        if not self.scheduler.should_train(self._chunk_index, now):
+            return None
+        return self._run_proactive_training()
+
+    def _run_proactive_training(self) -> ProactiveOutcome:
+        started_at = self.engine.total_cost()
+        samples = self.manager.sample_for_training(
+            self.config.sample_size_chunks,
+            recompute_statistics=not self.config.online_statistics,
+        )
+        outcome = self.proactive.run(samples)
+        duration = self.engine.total_cost() - started_at
+        # Report the *full* duration (sampling + re-materialization +
+        # SGD) to the scheduler — that is the T of formula (6).
+        self.scheduler.record_training(started_at, duration)
+        full_outcome = ProactiveOutcome(
+            objective=outcome.objective,
+            rows=outcome.rows,
+            chunks=outcome.chunks,
+            chunks_materialized=outcome.chunks_materialized,
+            started_at=started_at,
+            duration=duration,
+        )
+        self.proactive_outcomes.append(full_outcome)
+        return full_outcome
+
+    def __repr__(self) -> str:
+        return (
+            f"ContinuousDeploymentPlatform(chunks={self.chunks_observed}, "
+            f"proactive_runs={len(self.proactive_outcomes)})"
+        )

@@ -1,0 +1,152 @@
+"""Proactive-training schedulers (§4.1 of the paper).
+
+Two mechanisms decide when the next proactive training runs:
+
+* :class:`StaticScheduler` — a fixed interval, expressed in chunks (the
+  paper uses "every 5 minutes"/"every 5 hours", which at one chunk per
+  minute/hour is every 5 chunks — chunks are our clock ticks).
+* :class:`DynamicScheduler` — the paper's formula (6):
+  ``T' = S · T · pr · pl`` where ``T`` is the duration of the last
+  proactive training, ``pr`` the average prediction-query rate, ``pl``
+  the average prediction latency, and ``S`` the slack parameter. Time
+  here is the deterministic cost-model clock, so behaviour is
+  reproducible.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+from repro.exceptions import SchedulingError
+from repro.utils.validation import check_positive, check_positive_int
+
+
+class Scheduler(ABC):
+    """Decides, after each ingested chunk, whether to proactively train."""
+
+    @abstractmethod
+    def should_train(self, chunk_index: int, now: float) -> bool:
+        """True when a proactive training should run now.
+
+        ``chunk_index`` counts ingested deployment chunks from 0;
+        ``now`` is the current virtual-clock time in cost units.
+        """
+
+    def record_training(self, started_at: float, duration: float) -> None:
+        """Inform the scheduler a proactive training just ran."""
+
+    def record_predictions(self, count: int, duration: float) -> None:
+        """Inform the scheduler about served prediction queries."""
+
+
+class StaticScheduler(Scheduler):
+    """Run proactive training every ``interval_chunks`` chunks.
+
+    The first eligible chunk is ``interval_chunks - 1`` (i.e. after
+    every full interval), so an interval of 1 trains on every chunk.
+    """
+
+    def __init__(self, interval_chunks: int) -> None:
+        self.interval_chunks = check_positive_int(
+            interval_chunks, "interval_chunks"
+        )
+
+    def should_train(self, chunk_index: int, now: float) -> bool:
+        if chunk_index < 0:
+            raise SchedulingError(
+                f"chunk_index must be >= 0, got {chunk_index}"
+            )
+        return (chunk_index + 1) % self.interval_chunks == 0
+
+    def __repr__(self) -> str:
+        return f"StaticScheduler(interval_chunks={self.interval_chunks})"
+
+
+class DynamicScheduler(Scheduler):
+    """Tune the training interval from observed rates — formula (6).
+
+    After each proactive training of duration ``T`` ending at time
+    ``t``, the next training is scheduled at ``t + S·T·pr·pl``.
+    ``pr`` and ``pl`` are running averages over everything observed so
+    far. Until the first training completes (no ``T`` yet), an
+    ``initial_interval`` in virtual seconds applies.
+
+    A small slack (1 ≤ S < 2) trains aggressively; a large slack
+    (S ≥ 2) reserves resources for query answering (§4.1).
+    """
+
+    def __init__(
+        self,
+        slack: float = 2.0,
+        initial_interval: float = 1.0,
+    ) -> None:
+        if slack < 1.0:
+            raise SchedulingError(
+                f"slack must be >= 1 (got {slack}); smaller values "
+                f"would schedule training before pending queries finish"
+            )
+        self.slack = float(slack)
+        self.initial_interval = check_positive(
+            initial_interval, "initial_interval"
+        )
+        self._next_time = initial_interval
+        self._prediction_count = 0
+        self._prediction_duration = 0.0
+        self._clock_origin: float | None = None
+
+    # ------------------------------------------------------------------
+    def should_train(self, chunk_index: int, now: float) -> bool:
+        if self._clock_origin is None:
+            self._clock_origin = now
+            self._next_time = now + self.initial_interval
+        return now >= self._next_time
+
+    def record_training(self, started_at: float, duration: float) -> None:
+        if duration < 0:
+            raise SchedulingError(
+                f"training duration must be >= 0, got {duration}"
+            )
+        interval = (
+            self.slack
+            * duration
+            * self.prediction_rate()
+            * self.prediction_latency()
+        )
+        if interval <= 0.0:
+            # No prediction traffic observed yet: fall back to the
+            # initial interval so training still proceeds.
+            interval = self.initial_interval
+        self._next_time = started_at + duration + interval
+
+    def record_predictions(self, count: int, duration: float) -> None:
+        if count < 0 or duration < 0:
+            raise SchedulingError(
+                f"invalid prediction record: count={count}, "
+                f"duration={duration}"
+            )
+        self._prediction_count += count
+        self._prediction_duration += duration
+
+    # ------------------------------------------------------------------
+    def prediction_rate(self) -> float:
+        """Average queries per virtual second observed so far (``pr``)."""
+        if self._prediction_duration <= 0.0:
+            return 0.0
+        return self._prediction_count / self._prediction_duration
+
+    def prediction_latency(self) -> float:
+        """Average virtual seconds per query (``pl``)."""
+        if self._prediction_count == 0:
+            return 0.0
+        return self._prediction_duration / self._prediction_count
+
+    @property
+    def next_training_time(self) -> float:
+        """Virtual time at/after which the next training fires."""
+        return self._next_time
+
+    def __repr__(self) -> str:
+        return (
+            f"DynamicScheduler(slack={self.slack}, "
+            f"next={self._next_time:.4f})"
+        )

@@ -1,0 +1,51 @@
+"""Data management substrate.
+
+This package implements the paper's data manager (§4.2): a
+column-oriented in-memory :class:`~repro.data.table.Table`, timestamped
+raw/feature chunks (§3 step 1), bounded chunk storage with oldest-first
+eviction, sampling strategies (uniform, window-based, time-based), and
+the dynamic-materialization bookkeeping and analysis of §3.2.
+"""
+
+from repro.data.chunk import ChunkStub, FeatureChunk, RawChunk
+from repro.data.manager import DataManager, SampleRequest, SampledChunk
+from repro.data.materialization import (
+    MaterializationStats,
+    empirical_utilization,
+    expected_materialized,
+    harmonic_number,
+    utilization_random,
+    utilization_window,
+)
+from repro.data.sampling import (
+    Sampler,
+    TimeBasedSampler,
+    UniformSampler,
+    WindowBasedSampler,
+    make_sampler,
+)
+from repro.data.storage import ChunkStorage, StorageStats
+from repro.data.table import Table
+
+__all__ = [
+    "Table",
+    "RawChunk",
+    "FeatureChunk",
+    "ChunkStub",
+    "ChunkStorage",
+    "StorageStats",
+    "Sampler",
+    "UniformSampler",
+    "WindowBasedSampler",
+    "TimeBasedSampler",
+    "make_sampler",
+    "DataManager",
+    "SampleRequest",
+    "SampledChunk",
+    "MaterializationStats",
+    "harmonic_number",
+    "expected_materialized",
+    "utilization_random",
+    "utilization_window",
+    "empirical_utilization",
+]

@@ -1,0 +1,186 @@
+"""The data manager (§4.2 of the paper).
+
+The :class:`DataManager` owns the storage unit and performs the four
+tasks the paper assigns to it:
+
+1. discretize incoming training data into timestamped raw chunks,
+2. hand chunks to the pipeline manager (the caller) for processing,
+3. store transformed feature chunks with a reference to their raw
+   chunk, evicting old payloads when storage fills up, and
+4. serve samples for proactive training, re-materializing evicted
+   chunks through a caller-supplied transform (dynamic materialization).
+
+Re-materialized chunks are *transient* by default: they are rebuilt for
+the requesting training step and do not displace newer materialized
+payloads (set ``keep_rematerialized=True`` to cache them instead). The
+transient policy keeps the materialized set equal to the most recent
+*m* chunks, which is the regime analysed by the paper's closed-form
+``μ`` formulas.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Optional
+
+from repro.data.chunk import ChunkStub, FeatureChunk, RawChunk
+from repro.data.materialization import MaterializationStats
+from repro.data.sampling import Sampler, UniformSampler
+from repro.data.storage import ChunkStorage
+from repro.data.table import Table
+from repro.exceptions import SamplingError, StorageError
+from repro.utils.rng import SeedLike, ensure_rng
+
+#: Callback that re-runs the deployed pipeline's transform path on a raw
+#: chunk, producing its feature chunk (dynamic materialization).
+Materializer = Callable[[RawChunk], FeatureChunk]
+
+
+@dataclass(frozen=True)
+class SampleRequest:
+    """A proactive-training sample request."""
+
+    size: int
+
+    def __post_init__(self) -> None:
+        if self.size < 1:
+            raise SamplingError(
+                f"sample size must be >= 1, got {self.size}"
+            )
+
+
+@dataclass(frozen=True)
+class SampledChunk:
+    """One chunk returned by :meth:`DataManager.sample`.
+
+    ``was_materialized`` distinguishes cache hits from chunks that had
+    to be rebuilt, so callers (and the cost model) can account for the
+    re-materialization work.
+    """
+
+    chunk: FeatureChunk
+    was_materialized: bool
+
+    @property
+    def timestamp(self) -> int:
+        return self.chunk.timestamp
+
+
+class DataManager:
+    """Storage, discretization, and sampling front-end.
+
+    Parameters
+    ----------
+    storage:
+        The bounded chunk store; a fresh unbounded one by default.
+    sampler:
+        Sampling strategy for proactive training (uniform by default).
+    seed:
+        Seed or generator for the sampling randomness.
+    keep_rematerialized:
+        When true, chunks rebuilt during sampling are written back into
+        storage (and may evict newer payloads). Default false; see the
+        module docstring.
+    """
+
+    def __init__(
+        self,
+        storage: Optional[ChunkStorage] = None,
+        sampler: Optional[Sampler] = None,
+        seed: SeedLike = None,
+        keep_rematerialized: bool = False,
+    ) -> None:
+        self.storage = storage if storage is not None else ChunkStorage()
+        self.sampler = sampler if sampler is not None else UniformSampler()
+        self.keep_rematerialized = keep_rematerialized
+        self.stats = MaterializationStats()
+        self._rng = ensure_rng(seed)
+        self._next_timestamp = 0
+
+    # ------------------------------------------------------------------
+    # Ingestion
+    # ------------------------------------------------------------------
+    def ingest(self, table: Table) -> RawChunk:
+        """Discretize one batch of raw rows into a timestamped chunk.
+
+        Timestamps are assigned monotonically; the chunk is stored and
+        returned so the caller can forward it through the pipeline.
+        """
+        chunk = RawChunk(timestamp=self._next_timestamp, table=table)
+        self._next_timestamp += 1
+        self.storage.put_raw(chunk)
+        return chunk
+
+    def store_features(self, chunk: FeatureChunk) -> None:
+        """Store the pipeline's output for a previously ingested chunk."""
+        if not self.storage.has_raw(chunk.raw_reference):
+            raise StorageError(
+                f"feature chunk {chunk.timestamp} references raw chunk "
+                f"{chunk.raw_reference}, which is not stored"
+            )
+        self.storage.put_features(chunk)
+
+    @property
+    def num_chunks(self) -> int:
+        """Number of chunks available for sampling (*n* in the paper)."""
+        return len(self._sampleable_timestamps())
+
+    # ------------------------------------------------------------------
+    # Sampling with dynamic materialization
+    # ------------------------------------------------------------------
+    def sample(
+        self,
+        request: SampleRequest,
+        materializer: Materializer,
+    ) -> List[SampledChunk]:
+        """Draw a training sample, re-materializing evicted chunks.
+
+        Only chunks whose raw data is still stored participate (§3.2:
+        unavailable chunks are ignored during sampling). For every
+        selected timestamp the materialized payload is returned when
+        present; otherwise ``materializer`` rebuilds it from the raw
+        chunk. Utilization statistics are recorded either way.
+        """
+        population = self._sampleable_timestamps()
+        if not population:
+            raise SamplingError("no chunks available for sampling")
+        chosen = self.sampler.sample(population, request.size, self._rng)
+        results: List[SampledChunk] = []
+        hits = 0
+        for timestamp in chosen:
+            entry = self.storage.get_features(timestamp)
+            if isinstance(entry, FeatureChunk):
+                hits += 1
+                results.append(
+                    SampledChunk(chunk=entry, was_materialized=True)
+                )
+                continue
+            rebuilt = self._rematerialize(entry, materializer)
+            results.append(
+                SampledChunk(chunk=rebuilt, was_materialized=False)
+            )
+        self.stats.record(sampled=len(chosen), materialized=hits)
+        return results
+
+    def _rematerialize(
+        self, stub: ChunkStub, materializer: Materializer
+    ) -> FeatureChunk:
+        raw = self.storage.get_raw(stub.raw_reference)
+        rebuilt = materializer(raw)
+        if rebuilt.timestamp != stub.timestamp:
+            raise StorageError(
+                f"materializer produced timestamp {rebuilt.timestamp} "
+                f"for stub {stub.timestamp}"
+            )
+        if self.keep_rematerialized:
+            self.storage.put_features(rebuilt)
+        return rebuilt
+
+    def _sampleable_timestamps(self) -> List[int]:
+        return [
+            t
+            for t in self.storage.feature_timestamps
+            if self.storage.has_raw(
+                self.storage.peek_features(t).raw_reference
+            )
+        ]

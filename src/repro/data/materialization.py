@@ -1,0 +1,200 @@
+"""Analysis of dynamic materialization (§3.2.2 of the paper).
+
+The paper models the number of materialized chunks in a sample as a
+hypergeometric variable and derives the *average materialization
+utilization rate* ``μ`` — the expected fraction of sampled chunks that
+are already materialized (and thus need no preprocessing):
+
+* uniform sampling — equation (4):
+  ``μ ≈ m (1 + H_N − H_m) / N``
+* window-based sampling — equation (5):
+  ``μ ≈ m (1 + H_w − H_m + (N − w)/w) / N`` when ``m < w``, else 1
+* time-based sampling — no closed form; estimated empirically.
+
+This module implements the closed forms with exact harmonic numbers and
+an empirical estimator that simulates a deployment (one sampling
+operation per arriving chunk, oldest-first payload eviction) for any
+:class:`~repro.data.sampling.Sampler`. Table 4 of the paper compares
+the two; ``benchmarks/bench_exp3_materialization.py`` regenerates it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import lru_cache
+
+import numpy as np
+
+from repro.data.sampling import Sampler
+from repro.exceptions import ValidationError
+from repro.utils.rng import SeedLike, ensure_rng
+
+#: Euler–Mascheroni constant, used by the asymptotic harmonic expansion.
+EULER_MASCHERONI = 0.57721566490153286
+
+
+@lru_cache(maxsize=4096)
+def harmonic_number(t: int, exact_below: int = 10_000_000) -> float:
+    """Return the ``t``-th harmonic number ``H_t``.
+
+    Computed exactly (vectorised sum) for ``t < exact_below`` and via
+    the asymptotic expansion ``ln t + γ + 1/(2t) − 1/(12t²)`` beyond —
+    the same expansion the paper quotes in §3.2.2.
+    """
+    if t < 0:
+        raise ValidationError(f"harmonic_number requires t >= 0, got {t}")
+    if t == 0:
+        return 0.0
+    if t < exact_below:
+        return float(np.sum(1.0 / np.arange(1, t + 1)))
+    return float(
+        np.log(t) + EULER_MASCHERONI + 1.0 / (2 * t) - 1.0 / (12 * t * t)
+    )
+
+
+def expected_materialized(n: int, m: int, s: int) -> float:
+    """Expected number of materialized chunks in one sample, ``E_n[MS]``.
+
+    With ``n`` available chunks of which ``m`` are materialized, a
+    without-replacement sample of ``s`` chunks contains on average
+    ``s * m / n`` materialized ones (hypergeometric mean). When
+    ``n <= m`` every chunk is materialized, so the expectation is ``s``
+    (capped at ``n``).
+    """
+    _check_counts(n=n, m=m, s=s)
+    if n <= m:
+        return float(min(s, n))
+    return s * m / n
+
+
+def utilization_random(big_n: int, m: int) -> float:
+    """Average utilization rate ``μ`` for uniform sampling — equation (4).
+
+    ``big_n`` is the total number of chunks the deployment will see
+    (*N*) and ``m`` the materialization budget. Uses exact harmonic
+    numbers rather than the paper's ``ln`` approximation, so small
+    configurations are handled correctly too.
+    """
+    _check_counts(n=big_n, m=m, s=1)
+    if m == 0:
+        return 0.0
+    if m >= big_n:
+        return 1.0
+    mu_sum = m + m * (harmonic_number(big_n) - harmonic_number(m))
+    return mu_sum / big_n
+
+
+def utilization_window(big_n: int, m: int, w: int) -> float:
+    """Average utilization rate ``μ`` for window sampling — equation (5).
+
+    ``w`` is the active-window length. When the materialization budget
+    covers the window (``m >= w``) every sampled chunk is materialized
+    and ``μ = 1``.
+    """
+    _check_counts(n=big_n, m=m, s=1)
+    if w < 1:
+        raise ValidationError(f"window w must be >= 1, got {w}")
+    if m == 0:
+        return 0.0
+    if m >= w or m >= big_n:
+        return 1.0
+    if w >= big_n:
+        return utilization_random(big_n, m)
+    mu_sum = (
+        m
+        + m * (harmonic_number(w) - harmonic_number(m))
+        + (big_n - w) * m / w
+    )
+    return mu_sum / big_n
+
+
+def empirical_utilization(
+    sampler: Sampler,
+    big_n: int,
+    m: int,
+    s: int,
+    rng: SeedLike = None,
+    sample_every: int = 1,
+) -> float:
+    """Estimate ``μ`` by simulating a deployment.
+
+    Chunks ``0 .. big_n-1`` arrive one at a time; after every
+    ``sample_every``-th arrival the ``sampler`` draws ``s`` of the
+    ``n`` available chunks and we record which fraction falls inside
+    the materialized set. Mirroring the platform's storage policy, the
+    materialized set is always the ``m`` most recent chunks
+    (oldest-first eviction; re-materialized chunks are transient and do
+    not displace newer ones — see
+    :class:`~repro.data.manager.DataManager`).
+
+    Pure bookkeeping — no feature data moves — so the paper's full
+    12,000-chunk scale runs in well under a second.
+    """
+    _check_counts(n=big_n, m=m, s=s)
+    if sample_every < 1:
+        raise ValidationError(
+            f"sample_every must be >= 1, got {sample_every}"
+        )
+    generator = ensure_rng(rng)
+    if m == 0:
+        return 0.0
+    utilizations = []
+    timestamps = np.arange(big_n)
+    for n in range(1, big_n + 1):
+        if n % sample_every:
+            continue
+        available = timestamps[:n]
+        materialized_floor = max(0, n - m)
+        chosen = sampler.sample(available, min(s, n), generator)
+        hits = sum(1 for t in chosen if t >= materialized_floor)
+        utilizations.append(hits / len(chosen))
+    return float(np.mean(utilizations)) if utilizations else 0.0
+
+
+@dataclass
+class MaterializationStats:
+    """Run-time utilization accounting kept by the data manager.
+
+    Each sampling operation reports how many of the requested chunks
+    were materialized; :meth:`utilization` then yields the empirical
+    ``μ`` of the run, directly comparable to the closed forms above.
+    """
+
+    operations: int = 0
+    chunks_sampled: int = 0
+    chunks_materialized: int = 0
+    rematerializations: int = 0
+    _utilization_sum: float = 0.0
+
+    def record(self, sampled: int, materialized: int) -> None:
+        """Record one sampling operation."""
+        if sampled < 1:
+            raise ValidationError(
+                f"a sampling operation must sample >= 1 chunk, "
+                f"got {sampled}"
+            )
+        if not 0 <= materialized <= sampled:
+            raise ValidationError(
+                f"materialized count {materialized} outside "
+                f"[0, {sampled}]"
+            )
+        self.operations += 1
+        self.chunks_sampled += sampled
+        self.chunks_materialized += materialized
+        self.rematerializations += sampled - materialized
+        self._utilization_sum += materialized / sampled
+
+    def utilization(self) -> float:
+        """Average per-operation materialization utilization rate ``μ``."""
+        if not self.operations:
+            return 0.0
+        return self._utilization_sum / self.operations
+
+
+def _check_counts(n: int, m: int, s: int) -> None:
+    if n < 1:
+        raise ValidationError(f"chunk count must be >= 1, got {n}")
+    if m < 0:
+        raise ValidationError(f"materialized budget must be >= 0, got {m}")
+    if s < 1:
+        raise ValidationError(f"sample size must be >= 1, got {s}")

@@ -1,0 +1,283 @@
+"""Bounded chunk storage with oldest-first payload eviction.
+
+Implements the storage unit of §3.2: raw chunks are (by the paper's
+assumption) always retained, while materialized feature chunks live in a
+bounded region. When the bound is exceeded the *payload* of the oldest
+feature chunks is evicted, leaving a :class:`~repro.data.chunk.ChunkStub`
+that still references the raw chunk so the pipeline can re-materialize
+it on demand (dynamic materialization).
+
+The bound can be expressed as a maximum chunk count (``max_materialized``,
+the paper's *m*) or a maximum byte budget (``max_bytes``); whichever is
+exceeded first triggers eviction.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import List, Optional, Union
+
+from repro.data.chunk import ChunkStub, FeatureChunk, RawChunk
+from repro.exceptions import StorageError
+
+
+@dataclass
+class StorageStats:
+    """Counters describing the life of a :class:`ChunkStorage`."""
+
+    raw_inserted: int = 0
+    raw_dropped: int = 0
+    features_inserted: int = 0
+    features_evicted: int = 0
+    feature_hits: int = 0
+    feature_misses: int = 0
+    bytes_materialized: int = 0
+
+    def hit_rate(self) -> float:
+        """Fraction of feature lookups served from materialized storage."""
+        total = self.feature_hits + self.feature_misses
+        return self.feature_hits / total if total else 0.0
+
+
+class ChunkStorage:
+    """In-memory store for raw chunks and (bounded) feature chunks.
+
+    Parameters
+    ----------
+    max_materialized:
+        Maximum number of feature chunks kept materialized (*m* in the
+        paper). ``None`` means unbounded.
+    max_bytes:
+        Optional byte budget for materialized feature payloads.
+    raw_capacity:
+        Maximum number of raw chunks retained (*N* in the paper).
+        ``None`` (default) keeps all raw chunks — the paper's standing
+        assumption. When set, the oldest raw chunks are dropped together
+        with their feature chunks/stubs, and the sampler simply never
+        sees them (§3.2: "the platform ignores these chunks").
+    """
+
+    def __init__(
+        self,
+        max_materialized: Optional[int] = None,
+        max_bytes: Optional[int] = None,
+        raw_capacity: Optional[int] = None,
+    ) -> None:
+        if max_materialized is not None and max_materialized < 0:
+            raise StorageError(
+                f"max_materialized must be >= 0, got {max_materialized}"
+            )
+        if max_bytes is not None and max_bytes < 0:
+            raise StorageError(f"max_bytes must be >= 0, got {max_bytes}")
+        if raw_capacity is not None and raw_capacity < 1:
+            raise StorageError(
+                f"raw_capacity must be >= 1, got {raw_capacity}"
+            )
+        self.max_materialized = max_materialized
+        self.max_bytes = max_bytes
+        self.raw_capacity = raw_capacity
+        self._raw: "OrderedDict[int, RawChunk]" = OrderedDict()
+        self._features: "OrderedDict[int, Union[FeatureChunk, ChunkStub]]" = (
+            OrderedDict()
+        )
+        self._materialized_count = 0
+        self._materialized_bytes = 0
+        self.stats = StorageStats()
+
+    # ------------------------------------------------------------------
+    # Raw chunks
+    # ------------------------------------------------------------------
+    def put_raw(self, chunk: RawChunk) -> None:
+        """Store a raw chunk; evict the oldest if over ``raw_capacity``."""
+        if chunk.timestamp in self._raw:
+            raise StorageError(
+                f"raw chunk {chunk.timestamp} already stored"
+            )
+        self._raw[chunk.timestamp] = chunk
+        self.stats.raw_inserted += 1
+        while (
+            self.raw_capacity is not None
+            and len(self._raw) > self.raw_capacity
+        ):
+            oldest, __ = self._raw.popitem(last=False)
+            self.stats.raw_dropped += 1
+            entry = self._features.pop(oldest, None)
+            if isinstance(entry, FeatureChunk):
+                self._account_eviction(entry)
+
+    def get_raw(self, timestamp: int) -> RawChunk:
+        """Return the raw chunk with ``timestamp``.
+
+        Raises :class:`StorageError` if it has been dropped — dynamic
+        materialization relies on raw chunks being available.
+        """
+        try:
+            return self._raw[timestamp]
+        except KeyError:
+            raise StorageError(
+                f"raw chunk {timestamp} is not stored (dropped or never "
+                f"inserted); cannot re-materialize"
+            ) from None
+
+    def has_raw(self, timestamp: int) -> bool:
+        return timestamp in self._raw
+
+    @property
+    def raw_timestamps(self) -> List[int]:
+        """Timestamps of all stored raw chunks, oldest first."""
+        return list(self._raw)
+
+    @property
+    def num_raw(self) -> int:
+        return len(self._raw)
+
+    # ------------------------------------------------------------------
+    # Feature chunks
+    # ------------------------------------------------------------------
+    def put_features(self, chunk: FeatureChunk) -> None:
+        """Store a materialized feature chunk, evicting as needed.
+
+        Replacing a stub with a re-materialized payload is allowed (that
+        *is* dynamic materialization); replacing a live payload is not.
+        """
+        existing = self._features.get(chunk.timestamp)
+        if isinstance(existing, FeatureChunk):
+            raise StorageError(
+                f"feature chunk {chunk.timestamp} is already materialized"
+            )
+        if existing is not None:
+            # Re-materializing over a stub: remove the stub first but
+            # keep the chunk's original position out of the eviction
+            # order question by re-inserting at the end (it is now the
+            # most recently materialized payload).
+            del self._features[chunk.timestamp]
+        self._features[chunk.timestamp] = chunk
+        self._materialized_count += 1
+        self._materialized_bytes += chunk.nbytes()
+        self.stats.features_inserted += 1
+        self.stats.bytes_materialized = self._materialized_bytes
+        self._evict_over_budget()
+
+    def get_features(
+        self, timestamp: int
+    ) -> Union[FeatureChunk, ChunkStub]:
+        """Return the feature chunk or its stub for ``timestamp``.
+
+        Updates hit/miss statistics: a materialized payload is a hit, a
+        stub is a miss (the caller must re-materialize).
+        """
+        try:
+            entry = self._features[timestamp]
+        except KeyError:
+            raise StorageError(
+                f"no feature chunk or stub for timestamp {timestamp}"
+            ) from None
+        if isinstance(entry, FeatureChunk):
+            self.stats.feature_hits += 1
+        else:
+            self.stats.feature_misses += 1
+        return entry
+
+    def peek_features(
+        self, timestamp: int
+    ) -> Union[FeatureChunk, ChunkStub]:
+        """Like :meth:`get_features` but without touching hit/miss stats.
+
+        Used for population scans and introspection that must not skew
+        the utilization accounting.
+        """
+        try:
+            return self._features[timestamp]
+        except KeyError:
+            raise StorageError(
+                f"no feature chunk or stub for timestamp {timestamp}"
+            ) from None
+
+    def is_materialized(self, timestamp: int) -> bool:
+        """True when the feature payload for ``timestamp`` is in memory."""
+        return isinstance(self._features.get(timestamp), FeatureChunk)
+
+    def has_features_entry(self, timestamp: int) -> bool:
+        """True when a feature chunk *or stub* exists for ``timestamp``."""
+        return timestamp in self._features
+
+    @property
+    def feature_timestamps(self) -> List[int]:
+        """Timestamps with a feature entry (payload or stub)."""
+        return list(self._features)
+
+    @property
+    def materialized_timestamps(self) -> List[int]:
+        """Timestamps whose feature payload is currently materialized."""
+        return [
+            t
+            for t, entry in self._features.items()
+            if isinstance(entry, FeatureChunk)
+        ]
+
+    @property
+    def num_materialized(self) -> int:
+        return self._materialized_count
+
+    @property
+    def materialized_bytes(self) -> int:
+        return self._materialized_bytes
+
+    # ------------------------------------------------------------------
+    # Eviction
+    # ------------------------------------------------------------------
+    def _evict_over_budget(self) -> None:
+        """Evict oldest payloads until both bounds hold.
+
+        Strictly oldest-first, including a just-inserted chunk: with a
+        budget of zero every payload is evicted immediately, matching
+        the paper's materialization rate 0.0 configuration.
+        """
+        while self._over_budget():
+            victim = self._oldest_materialized()
+            if victim is None:
+                break
+            self.evict(victim)
+
+    def _over_budget(self) -> bool:
+        if (
+            self.max_materialized is not None
+            and self._materialized_count > self.max_materialized
+        ):
+            return True
+        if (
+            self.max_bytes is not None
+            and self._materialized_bytes > self.max_bytes
+        ):
+            return True
+        return False
+
+    def _oldest_materialized(self) -> Optional[int]:
+        for timestamp, entry in self._features.items():
+            if isinstance(entry, FeatureChunk):
+                return timestamp
+        return None
+
+    def evict(self, timestamp: int) -> ChunkStub:
+        """Drop the payload of a materialized chunk, leaving a stub."""
+        entry = self._features.get(timestamp)
+        if not isinstance(entry, FeatureChunk):
+            raise StorageError(
+                f"feature chunk {timestamp} is not materialized"
+            )
+        stub = ChunkStub.of(entry)
+        self._features[timestamp] = stub
+        self._account_eviction(entry)
+        return stub
+
+    def _account_eviction(self, chunk: FeatureChunk) -> None:
+        self._materialized_count -= 1
+        self._materialized_bytes -= chunk.nbytes()
+        self.stats.features_evicted += 1
+        self.stats.bytes_materialized = self._materialized_bytes
+
+    def clear_features(self) -> None:
+        """Evict every materialized payload (used by ablation benches)."""
+        for timestamp in self.materialized_timestamps:
+            self.evict(timestamp)

@@ -1,0 +1,111 @@
+"""Concept-drift schedules for synthetic streams.
+
+A schedule perturbs a generator's ground-truth weight vector once per
+chunk. :class:`GradualDrift` models the URL dataset's slow change in
+underlying characteristics (§5.3 of the paper); :class:`AbruptDrift`
+models sudden regime shifts (useful for the drift-detection extension
+benches); :class:`NoDrift` models the Taxi dataset's stationarity.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Sequence
+
+import numpy as np
+
+from repro.exceptions import ValidationError
+from repro.utils.validation import check_non_negative
+
+
+class DriftSchedule(ABC):
+    """Mutates a ground-truth weight vector as the stream advances."""
+
+    @abstractmethod
+    def apply(
+        self,
+        weights: np.ndarray,
+        chunk_index: int,
+        rng: np.random.Generator,
+    ) -> np.ndarray:
+        """Return the (possibly new) weights for ``chunk_index``.
+
+        Must not mutate ``weights`` in place.
+        """
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}()"
+
+
+class NoDrift(DriftSchedule):
+    """Stationary concept: weights never change."""
+
+    def apply(
+        self,
+        weights: np.ndarray,
+        chunk_index: int,
+        rng: np.random.Generator,
+    ) -> np.ndarray:
+        return weights
+
+
+class GradualDrift(DriftSchedule):
+    """Random-walk drift: ``w ← w + rate · ε``, ``ε ~ N(0, I)``.
+
+    ``rate`` controls the per-chunk step; the expected weight change
+    after *k* chunks is ``rate · √k`` per coordinate, so the concept
+    moves steadily without jumps.
+    """
+
+    def __init__(self, rate: float = 0.01) -> None:
+        self.rate = check_non_negative(rate, "rate")
+
+    def apply(
+        self,
+        weights: np.ndarray,
+        chunk_index: int,
+        rng: np.random.Generator,
+    ) -> np.ndarray:
+        return weights + self.rate * rng.standard_normal(weights.shape)
+
+    def __repr__(self) -> str:
+        return f"GradualDrift(rate={self.rate})"
+
+
+class AbruptDrift(DriftSchedule):
+    """Sudden concept shifts at chosen chunk indices.
+
+    At each index in ``at_chunks`` a fraction ``magnitude`` of the
+    weight mass is replaced with fresh random values.
+    """
+
+    def __init__(
+        self, at_chunks: Sequence[int], magnitude: float = 1.0
+    ) -> None:
+        if not at_chunks:
+            raise ValidationError("AbruptDrift needs at least one index")
+        if any(index < 0 for index in at_chunks):
+            raise ValidationError("drift indices must be >= 0")
+        if not 0.0 < magnitude <= 1.0:
+            raise ValidationError(
+                f"magnitude must be in (0, 1], got {magnitude}"
+            )
+        self.at_chunks = frozenset(int(index) for index in at_chunks)
+        self.magnitude = float(magnitude)
+
+    def apply(
+        self,
+        weights: np.ndarray,
+        chunk_index: int,
+        rng: np.random.Generator,
+    ) -> np.ndarray:
+        if chunk_index not in self.at_chunks:
+            return weights
+        fresh = rng.standard_normal(weights.shape)
+        return (1.0 - self.magnitude) * weights + self.magnitude * fresh
+
+    def __repr__(self) -> str:
+        return (
+            f"AbruptDrift(at_chunks={sorted(self.at_chunks)}, "
+            f"magnitude={self.magnitude})"
+        )

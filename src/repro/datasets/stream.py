@@ -1,0 +1,33 @@
+"""Chunked-stream utilities."""
+
+from __future__ import annotations
+
+from itertools import islice
+from typing import Iterable, Iterator, List
+
+from repro.data.table import Table
+from repro.exceptions import ValidationError
+
+
+def chunk_table(table: Table, rows_per_chunk: int) -> List[Table]:
+    """Split a table into consecutive chunks of ``rows_per_chunk`` rows.
+
+    The last chunk may be short; an empty table yields no chunks. This
+    is the discretization step (§3, stage 1) for batch-shaped inputs.
+    """
+    if rows_per_chunk < 1:
+        raise ValidationError(
+            f"rows_per_chunk must be >= 1, got {rows_per_chunk}"
+        )
+    chunks = []
+    for start in range(0, table.num_rows, rows_per_chunk):
+        indices = range(start, min(start + rows_per_chunk, table.num_rows))
+        chunks.append(table.take(list(indices)))
+    return chunks
+
+
+def take(stream: Iterable[Table], count: int) -> Iterator[Table]:
+    """Yield at most ``count`` chunks from a stream."""
+    if count < 0:
+        raise ValidationError(f"count must be >= 0, got {count}")
+    return islice(iter(stream), count)

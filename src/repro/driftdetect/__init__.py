@@ -1,0 +1,33 @@
+"""Concept-drift detection (the paper's §7 future work, implemented).
+
+The paper's platform handles drift implicitly (recency-weighted
+sampling keeps proactive training on fresh data) and names *native*
+drift detection as future work. This package provides classic
+streaming detectors over the prequential error signal:
+
+* :class:`DDM` — Gama et al.'s Drift Detection Method on Bernoulli
+  error indicators (classification).
+* :class:`PageHinkley` — Page–Hinkley test on any real-valued error
+  signal (classification or regression residuals).
+* :class:`WindowComparisonDetector` — recent-vs-reference window mean
+  comparison, a simple and robust baseline.
+
+:class:`DriftAwareContinuousDeployment` plugs a detector into the
+continuous deployment: a detected drift triggers an immediate
+proactive-training burst, on top of the regular schedule.
+"""
+
+from repro.driftdetect.base import DriftDetector, DriftState
+from repro.driftdetect.ddm import DDM
+from repro.driftdetect.deployment import DriftAwareContinuousDeployment
+from repro.driftdetect.page_hinkley import PageHinkley
+from repro.driftdetect.window import WindowComparisonDetector
+
+__all__ = [
+    "DriftState",
+    "DriftDetector",
+    "DDM",
+    "PageHinkley",
+    "WindowComparisonDetector",
+    "DriftAwareContinuousDeployment",
+]

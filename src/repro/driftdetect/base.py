@@ -1,0 +1,76 @@
+"""Drift-detector contract."""
+
+from __future__ import annotations
+
+import enum
+from abc import ABC, abstractmethod
+from typing import Iterable
+
+
+class DriftState(enum.Enum):
+    """Detector verdict after an observation.
+
+    ``STABLE`` — no evidence of change; ``WARNING`` — accumulating
+    evidence (detectors without a warning zone never emit it);
+    ``DRIFT`` — change detected (detectors reset themselves after
+    signalling it).
+    """
+
+    STABLE = "stable"
+    WARNING = "warning"
+    DRIFT = "drift"
+
+
+class DriftDetector(ABC):
+    """Streaming detector over a per-observation error signal.
+
+    Observations are fed one at a time (or in batches via
+    :meth:`update_many`); the return value is the verdict *after*
+    folding the observation in. Detectors are self-resetting: after
+    returning :attr:`DriftState.DRIFT` they restart from a clean
+    state, so a long degradation yields repeated, separated alarms
+    rather than one permanent one.
+    """
+
+    def __init__(self) -> None:
+        #: Total observations consumed (across resets).
+        self.observations = 0
+        #: Number of drifts signalled so far.
+        self.drifts_detected = 0
+
+    @abstractmethod
+    def _update(self, error: float) -> DriftState:
+        """Fold one observation; return the verdict."""
+
+    @abstractmethod
+    def reset(self) -> None:
+        """Restart detection from a clean state (counters persist)."""
+
+    def update(self, error: float) -> DriftState:
+        """Feed one error observation and return the verdict."""
+        self.observations += 1
+        state = self._update(float(error))
+        if state is DriftState.DRIFT:
+            self.drifts_detected += 1
+            self.reset()
+        return state
+
+    def update_many(self, errors: Iterable[float]) -> DriftState:
+        """Feed a batch; returns the most severe verdict observed."""
+        worst = DriftState.STABLE
+        for error in errors:
+            state = self.update(error)
+            if state is DriftState.DRIFT:
+                worst = state
+            elif (
+                state is DriftState.WARNING
+                and worst is DriftState.STABLE
+            ):
+                worst = state
+        return worst
+
+    def __repr__(self) -> str:
+        return (
+            f"{type(self).__name__}(observations={self.observations}, "
+            f"drifts={self.drifts_detected})"
+        )

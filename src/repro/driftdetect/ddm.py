@@ -1,0 +1,88 @@
+"""Drift Detection Method (DDM) — Gama et al., SBIA 2004.
+
+Monitors a stream of Bernoulli error indicators (1 = misclassified).
+With ``p_t`` the running error rate and ``s_t = sqrt(p_t(1-p_t)/t)``
+its standard deviation, DDM tracks the minimum of ``p + s`` and
+signals:
+
+* WARNING when ``p_t + s_t >= p_min + warning_level * s_min``;
+* DRIFT   when ``p_t + s_t >= p_min + drift_level * s_min``.
+
+The classic levels are 2 and 3 standard deviations.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.driftdetect.base import DriftDetector, DriftState
+from repro.exceptions import ValidationError
+from repro.utils.validation import check_positive, check_positive_int
+
+
+class DDM(DriftDetector):
+    """Drift Detection Method over binary error indicators.
+
+    Parameters
+    ----------
+    warning_level, drift_level:
+        Thresholds in units of ``s_min`` (defaults 2.0 / 3.0).
+    minimum_observations:
+        Observations required before any verdict other than STABLE
+        (the statistic is meaningless for tiny ``t``).
+    """
+
+    def __init__(
+        self,
+        warning_level: float = 2.0,
+        drift_level: float = 3.0,
+        minimum_observations: int = 30,
+    ) -> None:
+        super().__init__()
+        check_positive(warning_level, "warning_level")
+        check_positive(drift_level, "drift_level")
+        if drift_level <= warning_level:
+            raise ValidationError(
+                f"drift_level ({drift_level}) must exceed "
+                f"warning_level ({warning_level})"
+            )
+        self.warning_level = float(warning_level)
+        self.drift_level = float(drift_level)
+        self.minimum_observations = check_positive_int(
+            minimum_observations, "minimum_observations"
+        )
+        self.reset()
+
+    def reset(self) -> None:
+        self._count = 0
+        self._error_sum = 0.0
+        self._p_min = math.inf
+        self._s_min = math.inf
+
+    def _update(self, error: float) -> DriftState:
+        if error not in (0.0, 1.0):
+            raise ValidationError(
+                f"DDM expects binary error indicators, got {error}"
+            )
+        self._count += 1
+        self._error_sum += error
+        if self._count < self.minimum_observations:
+            return DriftState.STABLE
+        p = self._error_sum / self._count
+        s = math.sqrt(max(p * (1.0 - p), 0.0) / self._count)
+        if p + s <= self._p_min + self._s_min:
+            self._p_min = p
+            self._s_min = s
+        level = p + s
+        if level >= self._p_min + self.drift_level * self._s_min:
+            return DriftState.DRIFT
+        if level >= self._p_min + self.warning_level * self._s_min:
+            return DriftState.WARNING
+        return DriftState.STABLE
+
+    @property
+    def error_rate(self) -> float:
+        """Running error rate since the last reset."""
+        if not self._count:
+            return 0.0
+        return self._error_sum / self._count

@@ -1,0 +1,73 @@
+"""Page–Hinkley test for upward change in a real-valued signal.
+
+Tracks the cumulative deviation of observations from their running
+mean, ``m_t = Σ (x_i − x̄_i − δ)``, and its running minimum ``M_t``;
+drift is signalled when ``m_t − M_t > λ``. Suitable for regression
+residual magnitudes as well as 0/1 error indicators.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.driftdetect.base import DriftDetector, DriftState
+from repro.utils.validation import (
+    check_non_negative,
+    check_positive,
+    check_positive_int,
+)
+
+
+class PageHinkley(DriftDetector):
+    """Page–Hinkley change detector (increase direction).
+
+    Parameters
+    ----------
+    delta:
+        Magnitude tolerance: deviations below ``delta`` never
+        accumulate (guards against noise).
+    threshold:
+        The λ alarm threshold on the accumulated deviation. Larger
+        values tolerate more change before alarming.
+    minimum_observations:
+        Observations required before a verdict other than STABLE.
+    """
+
+    def __init__(
+        self,
+        delta: float = 0.005,
+        threshold: float = 1.0,
+        minimum_observations: int = 30,
+    ) -> None:
+        super().__init__()
+        self.delta = check_non_negative(delta, "delta")
+        self.threshold = check_positive(threshold, "threshold")
+        self.minimum_observations = check_positive_int(
+            minimum_observations, "minimum_observations"
+        )
+        self.reset()
+
+    def reset(self) -> None:
+        self._count = 0
+        self._mean = 0.0
+        self._cumulative = 0.0
+        self._minimum = math.inf
+
+    def _update(self, error: float) -> DriftState:
+        self._count += 1
+        # Running mean first (standard PH formulation).
+        self._mean += (error - self._mean) / self._count
+        self._cumulative += error - self._mean - self.delta
+        self._minimum = min(self._minimum, self._cumulative)
+        if self._count < self.minimum_observations:
+            return DriftState.STABLE
+        if self._cumulative - self._minimum > self.threshold:
+            return DriftState.DRIFT
+        return DriftState.STABLE
+
+    @property
+    def statistic(self) -> float:
+        """Current test statistic ``m_t − M_t``."""
+        if not self._count or math.isinf(self._minimum):
+            return 0.0
+        return self._cumulative - self._minimum

@@ -1,0 +1,84 @@
+"""Two-window mean-comparison drift detector.
+
+A robust baseline: keep a *reference* window (errors right after the
+last reset) and a *recent* sliding window; signal drift when the
+recent mean exceeds the reference mean by a relative margin. No
+distributional assumptions — works for rates and residuals alike.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+import numpy as np
+
+from repro.driftdetect.base import DriftDetector, DriftState
+from repro.utils.validation import check_positive, check_positive_int
+
+
+class WindowComparisonDetector(DriftDetector):
+    """Signal drift when recent errors exceed the reference level.
+
+    Parameters
+    ----------
+    window_size:
+        Length of both the reference and the recent window.
+    ratio:
+        Relative degradation that triggers drift: with 0.2, a recent
+        mean 20% above the reference mean fires.
+    warning_ratio:
+        Optional lower bound for a WARNING verdict; defaults to half
+        the drift ratio.
+    """
+
+    def __init__(
+        self,
+        window_size: int = 50,
+        ratio: float = 0.2,
+        warning_ratio: float | None = None,
+    ) -> None:
+        super().__init__()
+        self.window_size = check_positive_int(window_size, "window_size")
+        self.ratio = check_positive(ratio, "ratio")
+        if warning_ratio is None:
+            warning_ratio = ratio / 2.0
+        self.warning_ratio = check_positive(
+            warning_ratio, "warning_ratio"
+        )
+        self.reset()
+
+    def reset(self) -> None:
+        self._reference: list = []
+        self._recent: deque = deque(maxlen=self.window_size)
+
+    def _update(self, error: float) -> DriftState:
+        if len(self._reference) < self.window_size:
+            self._reference.append(error)
+            return DriftState.STABLE
+        self._recent.append(error)
+        if len(self._recent) < self.window_size:
+            return DriftState.STABLE
+        reference_mean = float(np.mean(self._reference))
+        recent_mean = float(np.mean(self._recent))
+        # A zero-error reference only drifts on any positive error.
+        floor = max(reference_mean, 1e-12)
+        degradation = (recent_mean - reference_mean) / floor
+        if degradation > self.ratio:
+            return DriftState.DRIFT
+        if degradation < -self.warning_ratio:
+            # Quality improved markedly: adopt the recent window as
+            # the new reference, so later degradations are judged
+            # against the best level seen, not a stale worse one.
+            self._reference = list(self._recent)
+            self._recent.clear()
+            return DriftState.STABLE
+        if degradation > self.warning_ratio:
+            return DriftState.WARNING
+        return DriftState.STABLE
+
+    @property
+    def reference_mean(self) -> float:
+        """Mean of the reference window (0 while still filling)."""
+        if not self._reference:
+            return 0.0
+        return float(np.mean(self._reference))

@@ -1,0 +1,15 @@
+"""Result reporting utilities for experiments and benchmarks."""
+
+from repro.evaluation.report import (
+    downsample,
+    format_comparison_table,
+    format_series,
+    summarize_results,
+)
+
+__all__ = [
+    "downsample",
+    "summarize_results",
+    "format_comparison_table",
+    "format_series",
+]

@@ -1,0 +1,151 @@
+"""Multi-seed replication of deployment experiments.
+
+Single-run comparisons (one seed) are what the paper reports, but the
+quality differences between approaches are fractions of a percent —
+well inside run-to-run noise at reproduction scale. This harness
+repeats a scenario-runner over several seeds and aggregates
+mean ± std for the headline quantities, so claims like "continuous
+beats online" can be checked as tendencies rather than coin flips.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Mapping, Sequence
+
+import numpy as np
+
+from repro.core.deployment.base import DeploymentResult
+from repro.exceptions import ValidationError
+from repro.experiments.common import Scenario
+
+#: Builds a fresh scenario for one seed.
+ScenarioBuilder = Callable[[int], Scenario]
+#: Runs one deployment on a scenario.
+Runner = Callable[[Scenario], DeploymentResult]
+
+
+@dataclass(frozen=True)
+class Aggregate:
+    """Mean ± std of one scalar across replicated runs."""
+
+    mean: float
+    std: float
+    values: tuple
+
+    @staticmethod
+    def of(values: Sequence[float]) -> "Aggregate":
+        array = np.asarray(list(values), dtype=np.float64)
+        if array.size == 0:
+            raise ValidationError("cannot aggregate zero values")
+        return Aggregate(
+            mean=float(array.mean()),
+            std=float(array.std(ddof=1)) if array.size > 1 else 0.0,
+            values=tuple(float(v) for v in array),
+        )
+
+    def __str__(self) -> str:
+        return f"{self.mean:.4f} ± {self.std:.4f}"
+
+
+@dataclass
+class ReplicatedResult:
+    """Aggregates over one approach's replicated runs."""
+
+    approach: str
+    seeds: List[int]
+    final_error: Aggregate = None
+    average_error: Aggregate = None
+    total_cost: Aggregate = None
+    results: List[DeploymentResult] = field(default_factory=list)
+
+
+def replicate(
+    build_scenario: ScenarioBuilder,
+    runners: Mapping[str, Runner],
+    seeds: Sequence[int],
+) -> Dict[str, ReplicatedResult]:
+    """Run every runner on a fresh scenario per seed and aggregate.
+
+    Parameters
+    ----------
+    build_scenario:
+        ``seed -> Scenario`` factory; each seed gets a fresh data
+        stream and sampling randomness.
+    runners:
+        Named deployment runners (e.g. the Experiment-1 trio).
+    seeds:
+        Seeds to replicate over (at least one).
+    """
+    seeds = list(seeds)
+    if not seeds:
+        raise ValidationError("replicate needs at least one seed")
+    if not runners:
+        raise ValidationError("replicate needs at least one runner")
+    per_runner: Dict[str, List[DeploymentResult]] = {
+        name: [] for name in runners
+    }
+    for seed in seeds:
+        scenario = build_scenario(seed)
+        for name, runner in runners.items():
+            per_runner[name].append(runner(scenario))
+    aggregated: Dict[str, ReplicatedResult] = {}
+    for name, results in per_runner.items():
+        aggregated[name] = ReplicatedResult(
+            approach=name,
+            seeds=seeds,
+            final_error=Aggregate.of(
+                [r.final_error for r in results]
+            ),
+            average_error=Aggregate.of(
+                [r.average_error for r in results]
+            ),
+            total_cost=Aggregate.of(
+                [r.total_cost for r in results]
+            ),
+            results=results,
+        )
+    return aggregated
+
+
+def win_rate(
+    replicated: Mapping[str, ReplicatedResult],
+    challenger: str,
+    incumbent: str,
+) -> float:
+    """Fraction of seeds where ``challenger`` had lower average error.
+
+    A paired per-seed comparison — far more sensitive than comparing
+    the two means when the streams are shared across approaches.
+    """
+    left = replicated[challenger]
+    right = replicated[incumbent]
+    if left.seeds != right.seeds:
+        raise ValidationError(
+            "win_rate requires results replicated over the same seeds"
+        )
+    wins = sum(
+        1
+        for a, b in zip(
+            left.average_error.values, right.average_error.values
+        )
+        if a < b
+    )
+    return wins / len(left.seeds)
+
+
+def format_replicated(
+    replicated: Mapping[str, ReplicatedResult],
+) -> str:
+    """Text table of mean ± std per approach."""
+    lines = [
+        f"{'approach':<12} {'avg error':>18} {'final error':>18} "
+        f"{'total cost':>18}"
+    ]
+    for name, result in replicated.items():
+        lines.append(
+            f"{name:<12} {str(result.average_error):>18} "
+            f"{str(result.final_error):>18} "
+            f"{str(result.total_cost):>18}"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,101 @@
+"""Text rendering of experiment results.
+
+The benchmark harness prints the same rows/series the paper's tables
+and figures report; these helpers keep the formatting in one place.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Sequence
+
+import numpy as np
+
+from repro.core.deployment.base import DeploymentResult
+from repro.exceptions import ValidationError
+
+
+def downsample(series: Sequence[float], points: int = 20) -> List[float]:
+    """Evenly thin a series to at most ``points`` values (last kept).
+
+    Used to print figure curves as rows without drowning the output.
+    """
+    if points < 2:
+        raise ValidationError(f"points must be >= 2, got {points}")
+    values = list(series)
+    if len(values) <= points:
+        return values
+    indices = np.linspace(0, len(values) - 1, points).round().astype(int)
+    return [values[i] for i in indices]
+
+
+def summarize_results(
+    results: Mapping[str, DeploymentResult],
+) -> List[Dict[str, float]]:
+    """One summary row per deployment approach.
+
+    Rows carry the quantities the paper compares: final and average
+    cumulative prequential error, total deployment cost, and the key
+    event counters.
+    """
+    rows = []
+    for name, result in results.items():
+        rows.append(
+            {
+                "approach": name,
+                "final_error": result.final_error,
+                "average_error": result.average_error,
+                "total_cost": result.total_cost,
+                "chunks": result.chunks_processed,
+                **{
+                    f"count_{key}": value
+                    for key, value in sorted(result.counters.items())
+                },
+            }
+        )
+    return rows
+
+
+def format_comparison_table(
+    rows: Sequence[Mapping[str, object]],
+    columns: Sequence[str] | None = None,
+    float_format: str = "{:.4f}",
+) -> str:
+    """Render summary rows as an aligned text table."""
+    if not rows:
+        raise ValidationError("no rows to format")
+    if columns is None:
+        columns = list(rows[0].keys())
+    rendered: List[List[str]] = [[str(c) for c in columns]]
+    for row in rows:
+        cells = []
+        for column in columns:
+            value = row.get(column, "")
+            if isinstance(value, float):
+                cells.append(float_format.format(value))
+            else:
+                cells.append(str(value))
+        rendered.append(cells)
+    widths = [
+        max(len(line[i]) for line in rendered)
+        for i in range(len(columns))
+    ]
+    lines = []
+    for line_index, cells in enumerate(rendered):
+        lines.append(
+            "  ".join(cell.ljust(width) for cell, width in zip(cells, widths))
+        )
+        if line_index == 0:
+            lines.append("  ".join("-" * width for width in widths))
+    return "\n".join(lines)
+
+
+def format_series(
+    name: str,
+    series: Sequence[float],
+    points: int = 12,
+    float_format: str = "{:.4f}",
+) -> str:
+    """Render a figure curve as one labelled row of sampled values."""
+    sampled = downsample(series, points)
+    values = " ".join(float_format.format(v) for v in sampled)
+    return f"{name:<14} {values}"

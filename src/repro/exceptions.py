@@ -1,0 +1,57 @@
+"""Exception hierarchy for the ``repro`` library.
+
+All library errors derive from :class:`ReproError` so that callers can
+catch every library-specific failure with a single ``except`` clause
+while still letting programming errors (``TypeError`` et al.) propagate.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by the ``repro`` library."""
+
+
+class ValidationError(ReproError, ValueError):
+    """An argument or configuration value failed validation."""
+
+
+class SchemaError(ReproError):
+    """A :class:`~repro.data.table.Table` violated a schema expectation.
+
+    Raised, for example, when columns have mismatched lengths or a
+    pipeline component is asked for a column that does not exist.
+    """
+
+
+class PipelineError(ReproError):
+    """A pipeline was assembled or used incorrectly.
+
+    Examples: transforming with a component that has never seen data,
+    appending a non-component object, or running an empty pipeline.
+    """
+
+
+class NotFittedError(PipelineError):
+    """A stateful component or model was used before receiving data."""
+
+
+class StorageError(ReproError):
+    """The chunk storage layer was used incorrectly.
+
+    Raised when a raw chunk referenced by a feature-chunk stub has been
+    dropped (violating the paper's always-available assumption), when a
+    duplicate timestamp is inserted, or when a chunk id is unknown.
+    """
+
+
+class SamplingError(ReproError):
+    """A sampler received an impossible request (e.g. empty population)."""
+
+
+class SchedulingError(ReproError):
+    """The proactive-training scheduler was configured incorrectly."""
+
+
+class ConvergenceWarning(UserWarning):
+    """Training stopped at the iteration cap before converging."""

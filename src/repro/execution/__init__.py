@@ -1,0 +1,18 @@
+"""Execution engine substrate.
+
+The paper prototypes on Apache Spark; here a local, deterministic
+engine executes pipeline transforms and SGD training while charging a
+:class:`~repro.execution.cost.CostModel` for every value touched. The
+resulting cost-unit "virtual clock" reproduces the *shape* of the
+paper's deployment-cost plots without a cluster.
+"""
+
+from repro.execution.cost import CostBreakdown, CostModel, CostTracker
+from repro.execution.engine import LocalExecutionEngine
+
+__all__ = [
+    "CostModel",
+    "CostTracker",
+    "CostBreakdown",
+    "LocalExecutionEngine",
+]

@@ -1,0 +1,24 @@
+"""Experiment drivers reproducing the paper's tables and figures.
+
+Each module regenerates one artifact of §5 (see DESIGN.md's experiment
+index); ``benchmarks/`` wraps these in pytest-benchmark targets that
+print the paper-shaped rows and series.
+"""
+
+from repro.experiments.common import (
+    Scenario,
+    run_continuous,
+    run_online,
+    run_periodical,
+    taxi_scenario,
+    url_scenario,
+)
+
+__all__ = [
+    "Scenario",
+    "url_scenario",
+    "taxi_scenario",
+    "run_online",
+    "run_periodical",
+    "run_continuous",
+]

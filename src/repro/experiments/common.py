@@ -1,0 +1,295 @@
+"""Shared scenario definitions for the experiments.
+
+A :class:`Scenario` bundles everything one deployment run needs —
+dataset generator, pipeline/model/optimizer factories, initial-training
+settings, and the deployment hyperparameters of each approach — at a
+chosen scale. Two scales exist:
+
+* ``"bench"`` — the benchmark scale (hundreds of chunks; minutes of
+  wall time for the full suite). This is the scale EXPERIMENTS.md
+  records.
+* ``"test"`` — a tiny scale for the integration test suite (tens of
+  chunks; seconds).
+
+The deployment hyperparameters mirror the paper's proportions: the
+periodical baseline retrains ~12 times over the stream (URL: every 10
+days of 120; Taxi: monthly over 17 months), and proactive training
+fires every 5 chunks with a sample whose size matches the initial
+training batch (§5.3: 16k/1M rows).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Callable, Dict, Iterable, Optional
+
+from repro.core.config import (
+    ContinuousConfig,
+    PeriodicalConfig,
+    ScheduleConfig,
+)
+from repro.core.deployment import (
+    ContinuousDeployment,
+    DeploymentResult,
+    OnlineDeployment,
+    PeriodicalDeployment,
+)
+from repro.data.table import Table
+from repro.datasets.taxi import (
+    TAXI_FEATURE_COLUMNS,
+    TaxiStreamGenerator,
+    make_taxi_pipeline,
+)
+from repro.datasets.drift import GradualDrift
+from repro.datasets.url import URLStreamGenerator, make_url_pipeline
+from repro.exceptions import ValidationError
+from repro.ml.models.base import LinearSGDModel
+from repro.ml.models.linear_regression import LinearRegression
+from repro.ml.models.svm import LinearSVM
+from repro.ml.optim import Optimizer, make_optimizer
+from repro.ml.regularizers import L2
+from repro.pipeline.pipeline import Pipeline
+
+
+@dataclass
+class Scenario:
+    """One dataset + pipeline + deployment parameterisation."""
+
+    name: str
+    metric: str
+    seed: int
+    make_pipeline: Callable[[], Pipeline]
+    make_model: Callable[[], LinearSGDModel]
+    make_optimizer: Callable[[], Optimizer]
+    make_stream: Callable[[], Iterable[Table]]
+    make_initial_data: Callable[[], list]
+    initial_fit_kwargs: Dict = field(default_factory=dict)
+    continuous_config: ContinuousConfig = field(
+        default_factory=ContinuousConfig
+    )
+    periodical_config: PeriodicalConfig = field(
+        default_factory=PeriodicalConfig
+    )
+    num_chunks: int = 0
+    #: Row-slice size of the online update shared by every approach
+    #: (1 = point-at-a-time online gradient descent, as in the paper).
+    online_batch_rows: Optional[int] = None
+
+    def with_continuous(self, **overrides) -> "Scenario":
+        """Copy of the scenario with continuous-config overrides."""
+        config = replace(self.continuous_config, **overrides)
+        return replace(self, continuous_config=config)
+
+    def with_optimizer(
+        self, name: str, learning_rate: Optional[float] = None, **kw
+    ) -> "Scenario":
+        """Copy with a different learning-rate adaptation technique."""
+        if learning_rate is not None:
+            kw["learning_rate"] = learning_rate
+        return replace(
+            self, make_optimizer=lambda: make_optimizer(name, **kw)
+        )
+
+    def with_regularization(self, strength: float) -> "Scenario":
+        """Copy with a different L2 strength on the model."""
+        original = self.make_model
+
+        def build() -> LinearSGDModel:
+            model = original()
+            model.regularizer = L2(strength)
+            return model
+
+        return replace(self, make_model=build)
+
+
+_SCALES = ("bench", "test")
+
+
+def url_scenario(scale: str = "bench", seed: int = 7) -> Scenario:
+    """The URL deployment scenario (SVM, misclassification rate).
+
+    Bench scale: 600 chunks x 50 rows, 1024 hashed features, gradual
+    drift with a growing feature space — 1/20th of the paper's 12,000
+    chunks with the same qualitative dynamics.
+    """
+    _check_scale(scale)
+    if scale == "bench":
+        num_chunks, rows, hash_dim, initial_rows = 600, 50, 1024, 1000
+        interval, sample_chunks, retrain_every = 5, 80, 50
+        init_iters, retrain_iters = 500, 150
+    else:
+        num_chunks, rows, hash_dim, initial_rows = 40, 25, 256, 200
+        interval, sample_chunks, retrain_every = 5, 8, 10
+        init_iters, retrain_iters = 120, 60
+
+    def make_generator() -> URLStreamGenerator:
+        return URLStreamGenerator(
+            num_chunks=num_chunks,
+            rows_per_chunk=rows,
+            base_features=400,
+            new_features_per_chunk=2,
+            drift=GradualDrift(0.02),
+            seed=seed,
+        )
+
+    return Scenario(
+        name=f"url-{scale}",
+        metric="classification",
+        seed=seed,
+        make_pipeline=lambda: make_url_pipeline(hash_features=hash_dim),
+        make_model=lambda: LinearSVM(hash_dim, regularizer=L2(1e-3)),
+        make_optimizer=lambda: make_optimizer("adam", learning_rate=0.05),
+        make_stream=lambda: make_generator().stream(),
+        make_initial_data=lambda: make_generator().initial_data(
+            initial_rows
+        ),
+        initial_fit_kwargs={
+            "max_iterations": init_iters,
+            "tolerance": 1e-6,
+        },
+        continuous_config=ContinuousConfig(
+            sample_size_chunks=sample_chunks,
+            schedule=ScheduleConfig(
+                kind="static", interval_chunks=interval
+            ),
+            sampler="time",
+            half_life=max(num_chunks // 16, 1),
+            online_batch_rows=1,
+        ),
+        periodical_config=PeriodicalConfig(
+            retrain_every_chunks=retrain_every,
+            max_epoch_iterations=retrain_iters,
+            batch_size=None,
+            tolerance=1e-5,
+        ),
+        num_chunks=num_chunks,
+        online_batch_rows=1,
+    )
+
+
+def taxi_scenario(scale: str = "bench", seed: int = 3) -> Scenario:
+    """The Taxi deployment scenario (linear regression, RMSLE).
+
+    Bench scale: 400 hourly chunks x 80 rows with a stationary
+    concept, ~1/30th of the paper's 12,382 chunks.
+    """
+    _check_scale(scale)
+    if scale == "bench":
+        num_chunks, rows, initial_rows = 400, 80, 2000
+        interval, sample_chunks, retrain_every = 5, 60, 33
+        init_iters, retrain_iters = 500, 200
+    else:
+        num_chunks, rows, initial_rows = 30, 40, 400
+        interval, sample_chunks, retrain_every = 5, 6, 10
+        init_iters, retrain_iters = 150, 60
+
+    def make_generator() -> TaxiStreamGenerator:
+        return TaxiStreamGenerator(
+            num_chunks=num_chunks, rows_per_chunk=rows, seed=seed
+        )
+
+    num_features = len(TAXI_FEATURE_COLUMNS)
+    return Scenario(
+        name=f"taxi-{scale}",
+        metric="regression",
+        seed=seed,
+        make_pipeline=make_taxi_pipeline,
+        make_model=lambda: LinearRegression(
+            num_features, regularizer=L2(1e-4)
+        ),
+        make_optimizer=lambda: make_optimizer(
+            "rmsprop", learning_rate=0.05
+        ),
+        make_stream=lambda: make_generator().stream(),
+        make_initial_data=lambda: make_generator().initial_data(
+            initial_rows
+        ),
+        initial_fit_kwargs={
+            "max_iterations": init_iters,
+            "tolerance": 1e-7,
+        },
+        continuous_config=ContinuousConfig(
+            sample_size_chunks=sample_chunks,
+            schedule=ScheduleConfig(
+                kind="static", interval_chunks=interval
+            ),
+            sampler="time",
+            half_life=max(num_chunks // 16, 1),
+            online_batch_rows=1,
+        ),
+        periodical_config=PeriodicalConfig(
+            retrain_every_chunks=retrain_every,
+            max_epoch_iterations=retrain_iters,
+            batch_size=None,
+            tolerance=1e-5,
+        ),
+        num_chunks=num_chunks,
+        online_batch_rows=1,
+    )
+
+
+def _check_scale(scale: str) -> None:
+    if scale not in _SCALES:
+        raise ValidationError(
+            f"scale must be one of {_SCALES}, got {scale!r}"
+        )
+
+
+# ----------------------------------------------------------------------
+# Runners
+# ----------------------------------------------------------------------
+def run_online(scenario: Scenario) -> DeploymentResult:
+    """Run the online baseline on the scenario."""
+    deployment = OnlineDeployment(
+        scenario.make_pipeline(),
+        scenario.make_model(),
+        scenario.make_optimizer(),
+        metric=scenario.metric,
+        online_batch_rows=scenario.online_batch_rows,
+    )
+    deployment.initial_fit(
+        scenario.make_initial_data(),
+        seed=scenario.seed,
+        **scenario.initial_fit_kwargs,
+    )
+    return deployment.run(scenario.make_stream())
+
+
+def run_periodical(scenario: Scenario) -> DeploymentResult:
+    """Run the periodical baseline on the scenario."""
+    deployment = PeriodicalDeployment(
+        scenario.make_pipeline(),
+        scenario.make_model(),
+        scenario.make_optimizer(),
+        config=scenario.periodical_config,
+        metric=scenario.metric,
+        seed=scenario.seed,
+        online_batch_rows=scenario.online_batch_rows,
+    )
+    deployment.initial_fit(
+        scenario.make_initial_data(),
+        seed=scenario.seed,
+        **scenario.initial_fit_kwargs,
+    )
+    return deployment.run(scenario.make_stream())
+
+
+def run_continuous(
+    scenario: Scenario,
+    config: Optional[ContinuousConfig] = None,
+) -> DeploymentResult:
+    """Run the continuous approach (optionally overriding its config)."""
+    deployment = ContinuousDeployment(
+        scenario.make_pipeline(),
+        scenario.make_model(),
+        scenario.make_optimizer(),
+        config=config if config is not None else scenario.continuous_config,
+        metric=scenario.metric,
+        seed=scenario.seed,
+    )
+    deployment.initial_fit(
+        scenario.make_initial_data(),
+        seed=scenario.seed,
+        **scenario.initial_fit_kwargs,
+    )
+    return deployment.run(scenario.make_stream())

@@ -1,0 +1,64 @@
+"""Experiment 4 — quality/cost trade-off (Figure 8, §5.5).
+
+Figure 8 is a scatter of average deployment quality against total
+deployment cost for the three approaches: the paper's punchline is
+that continuous deployment sits at (roughly) the periodical quality
+for 6–15x less cost.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Mapping
+
+from repro.core.deployment.base import DeploymentResult
+from repro.experiments.common import Scenario
+from repro.experiments.exp1_deployment import run_experiment1
+
+
+@dataclass(frozen=True)
+class TradeoffPoint:
+    """One scatter point: an approach's quality and cost."""
+
+    approach: str
+    average_error: float
+    total_cost: float
+
+
+def tradeoff_points(
+    results: Mapping[str, DeploymentResult],
+) -> List[TradeoffPoint]:
+    """Figure 8 points from Experiment-1 results."""
+    return [
+        TradeoffPoint(
+            approach=name,
+            average_error=result.average_error,
+            total_cost=result.total_cost,
+        )
+        for name, result in results.items()
+    ]
+
+
+def run_tradeoff(scenario: Scenario) -> List[TradeoffPoint]:
+    """Run Experiment 1 and condense it into Figure 8 points."""
+    return tradeoff_points(run_experiment1(scenario))
+
+
+def headline_claims(points: List[TradeoffPoint]) -> Dict[str, float]:
+    """The two numbers §5.5 quotes.
+
+    * ``cost_ratio`` — periodical cost / continuous cost (6–15x in
+      the paper);
+    * ``quality_delta`` — periodical average error minus continuous
+      average error (>= ~0 in the paper: continuous matches or
+      slightly beats periodical).
+    """
+    by_name = {point.approach: point for point in points}
+    continuous = by_name["continuous"]
+    periodical = by_name["periodical"]
+    return {
+        "cost_ratio": periodical.total_cost / continuous.total_cost,
+        "quality_delta": (
+            periodical.average_error - continuous.average_error
+        ),
+    }

@@ -1,0 +1,24 @@
+"""File I/O: load real datasets into chunked deployment streams.
+
+The experiments run on synthetic stand-ins, but the deployment
+machinery is format-agnostic: these readers turn files into the same
+chunked :class:`~repro.data.table.Table` streams the generators
+produce, so the actual URL dataset (svmlight format) or NYC-Taxi
+extracts (CSV) plug straight into the pipelines when available.
+"""
+
+from repro.io.csvio import iter_csv_chunks, read_csv, write_csv
+from repro.io.svmlight import (
+    iter_svmlight_chunks,
+    read_svmlight,
+    write_svmlight,
+)
+
+__all__ = [
+    "iter_svmlight_chunks",
+    "read_svmlight",
+    "write_svmlight",
+    "iter_csv_chunks",
+    "read_csv",
+    "write_csv",
+]

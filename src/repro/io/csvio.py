@@ -1,0 +1,139 @@
+"""CSV I/O for dense tabular streams (NYC-Taxi-style extracts).
+
+A header row names the columns; values parse as floats where possible
+and stay strings otherwise (a column is typed by its first data row,
+consistently for the whole file). Rows stream out as chunked
+:class:`~repro.data.table.Table` objects ready for the Taxi pipeline.
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+from typing import Iterator, List, Optional, Sequence, Union
+
+import numpy as np
+
+from repro.data.table import Table
+from repro.exceptions import ValidationError
+from repro.utils.validation import check_positive_int
+
+PathLike = Union[str, Path]
+
+
+def iter_csv_chunks(
+    path: PathLike,
+    rows_per_chunk: int,
+    columns: Optional[Sequence[str]] = None,
+) -> Iterator[Table]:
+    """Stream a headered CSV file as chunked tables.
+
+    Parameters
+    ----------
+    path:
+        CSV file with a header row.
+    rows_per_chunk:
+        Chunk height; the last chunk may be short.
+    columns:
+        Optional subset (and order) of columns to keep; all must
+        exist in the header.
+    """
+    check_positive_int(rows_per_chunk, "rows_per_chunk")
+    with open(path, "r", encoding="utf-8", newline="") as handle:
+        reader = csv.reader(handle)
+        try:
+            header = next(reader)
+        except StopIteration:
+            return
+        header = [name.strip() for name in header]
+        if columns is not None:
+            missing = set(columns) - set(header)
+            if missing:
+                raise ValidationError(
+                    f"columns {sorted(missing)} not in header {header}"
+                )
+            keep = [header.index(name) for name in columns]
+            names = list(columns)
+        else:
+            keep = list(range(len(header)))
+            names = header
+
+        buffer: List[List[str]] = []
+        for row in reader:
+            if not row:
+                continue
+            if len(row) != len(header):
+                raise ValidationError(
+                    f"row has {len(row)} fields, header has "
+                    f"{len(header)}: {row!r}"
+                )
+            buffer.append([row[i] for i in keep])
+            if len(buffer) == rows_per_chunk:
+                yield _rows_table(names, buffer)
+                buffer = []
+        if buffer:
+            yield _rows_table(names, buffer)
+
+
+def read_csv(
+    path: PathLike, columns: Optional[Sequence[str]] = None
+) -> Table:
+    """Read a whole CSV file into one table."""
+    chunks = list(iter_csv_chunks(path, 2**30, columns))
+    if not chunks:
+        return Table()
+    return Table.concat(chunks)
+
+
+def write_csv(path: PathLike, table: Table) -> Path:
+    """Write a table as a headered CSV file."""
+    path = Path(path)
+    names = table.column_names
+    with open(path, "w", encoding="utf-8", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(names)
+        arrays = [table.column(name) for name in names]
+        for row_index in range(table.num_rows):
+            writer.writerow(
+                [array[row_index] for array in arrays]
+            )
+    return path
+
+
+def _rows_table(names: List[str], rows: List[List[str]]) -> Table:
+    columns = {}
+    for position, name in enumerate(names):
+        raw = [row[position] for row in rows]
+        columns[name] = _type_column(raw)
+    return Table(columns)
+
+
+def _type_column(raw: List[str]) -> np.ndarray:
+    """Float column when the first value parses as float, else object.
+
+    Empty fields in a float column become NaN (missing values for the
+    imputer); in a string column they stay empty strings.
+    """
+    first = next((value for value in raw if value != ""), "")
+    try:
+        float(first)
+        is_float = True
+    except ValueError:
+        is_float = False
+    if is_float:
+        values = np.empty(len(raw), dtype=np.float64)
+        for position, value in enumerate(raw):
+            if value == "":
+                values[position] = np.nan
+                continue
+            try:
+                values[position] = float(value)
+            except ValueError:
+                raise ValidationError(
+                    f"non-numeric value {value!r} in a numeric column"
+                ) from None
+        return values
+    array = np.empty(len(raw), dtype=object)
+    for position, value in enumerate(raw):
+        array[position] = value
+    return array

@@ -1,0 +1,108 @@
+"""svmlight-format I/O.
+
+The URL dataset ships as svmlight files (``label index:value ...``).
+These helpers stream such files as chunked tables whose single
+``line`` column feeds the URL pipeline's
+:class:`~repro.pipeline.components.parser.SvmLightParser` unchanged —
+the parser owns validation, so the reader stays a dumb chunker.
+"""
+
+from __future__ import annotations
+
+import math
+from pathlib import Path
+from typing import Dict, Iterator, List, Sequence, Union
+
+import numpy as np
+
+from repro.data.table import Table
+from repro.exceptions import ValidationError
+from repro.utils.validation import check_positive_int
+
+PathLike = Union[str, Path]
+
+
+def iter_svmlight_chunks(
+    path: PathLike,
+    rows_per_chunk: int,
+    line_column: str = "line",
+) -> Iterator[Table]:
+    """Stream an svmlight file as chunked single-column tables.
+
+    Blank lines and ``#`` comment lines are skipped. The last chunk
+    may be short; an empty file yields nothing.
+    """
+    check_positive_int(rows_per_chunk, "rows_per_chunk")
+    buffer: List[str] = []
+    with open(path, "r", encoding="utf-8") as handle:
+        for raw_line in handle:
+            line = raw_line.strip()
+            if not line or line.startswith("#"):
+                continue
+            buffer.append(line)
+            if len(buffer) == rows_per_chunk:
+                yield _lines_table(buffer, line_column)
+                buffer = []
+    if buffer:
+        yield _lines_table(buffer, line_column)
+
+
+def read_svmlight(
+    path: PathLike, line_column: str = "line"
+) -> Table:
+    """Read a whole svmlight file into one table of raw lines."""
+    chunks = list(iter_svmlight_chunks(path, 2**30, line_column))
+    if not chunks:
+        return Table({line_column: np.array([], dtype=object)})
+    return chunks[0]
+
+
+def write_svmlight(
+    path: PathLike,
+    labels: Sequence[float],
+    rows: Sequence[Dict[int, float]],
+) -> Path:
+    """Write labels + sparse rows as an svmlight file.
+
+    Feature indices are emitted in ascending order; NaN values are
+    written as ``nan`` (the parser round-trips them).
+    """
+    labels = list(labels)
+    rows = list(rows)
+    if len(labels) != len(rows):
+        raise ValidationError(
+            f"{len(labels)} labels but {len(rows)} rows"
+        )
+    path = Path(path)
+    with open(path, "w", encoding="utf-8") as handle:
+        for label, row in zip(labels, rows):
+            handle.write(_format_line(float(label), row))
+            handle.write("\n")
+    return path
+
+
+def _format_line(label: float, row: Dict[int, float]) -> str:
+    tokens = [_format_number(label)]
+    for index in sorted(row):
+        value = row[index]
+        if int(index) < 0:
+            raise ValidationError(
+                f"feature index must be >= 0, got {index}"
+            )
+        tokens.append(f"{int(index)}:{_format_number(value)}")
+    return " ".join(tokens)
+
+
+def _format_number(value: float) -> str:
+    if math.isnan(value):
+        return "nan"
+    if float(value).is_integer():
+        return str(int(value))
+    return repr(float(value))
+
+
+def _lines_table(lines: List[str], line_column: str) -> Table:
+    array = np.empty(len(lines), dtype=object)
+    for position, line in enumerate(lines):
+        array[position] = line
+    return Table({line_column: array})

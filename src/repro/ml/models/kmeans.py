@@ -1,0 +1,201 @@
+"""Online k-means clustering by SGD (Bottou & Bengio 1995).
+
+The paper lists clustering among the SGD-trained model families its
+platform accommodates (§2.1, citing [6]). This is the classic online
+k-means: each point moves its nearest centroid by a per-centroid
+learning rate ``1 / count`` — exactly the SGD update of the
+quantization objective with the Bottou–Bengio step size, which makes
+each centroid the running mean of the points assigned to it.
+
+Seeding: the first ``seed_size`` points are buffered and centroids are
+chosen from them by k-means++ (D² sampling), then the buffered points
+are replayed as ordinary online updates. Plain take-the-first-k
+seeding collapses badly when early points share a cluster; the short
+buffer fixes that while keeping the learner a one-pass streamer.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.exceptions import NotFittedError, ValidationError
+from repro.utils.rng import SeedLike, ensure_rng
+from repro.utils.validation import check_positive_int
+
+
+class OnlineKMeans:
+    """Streaming k-means with buffered k-means++ seeding.
+
+    Parameters
+    ----------
+    num_clusters:
+        Number of centroids (k).
+    num_features:
+        Dimensionality of the points.
+    seed_size:
+        Points buffered before k-means++ seeding runs; defaults to
+        ``10 * k`` (at least ``k``).
+    seed:
+        Seeds the k-means++ sampling.
+    """
+
+    def __init__(
+        self,
+        num_clusters: int,
+        num_features: int,
+        seed_size: Optional[int] = None,
+        seed: SeedLike = None,
+    ) -> None:
+        self.num_clusters = check_positive_int(
+            num_clusters, "num_clusters"
+        )
+        self.num_features = check_positive_int(
+            num_features, "num_features"
+        )
+        if seed_size is None:
+            seed_size = 10 * self.num_clusters
+        if seed_size < self.num_clusters:
+            raise ValidationError(
+                f"seed_size must be >= num_clusters "
+                f"({self.num_clusters}), got {seed_size}"
+            )
+        self.seed_size = int(seed_size)
+        self._rng = ensure_rng(seed)
+        self.centroids = np.zeros(
+            (self.num_clusters, self.num_features), dtype=np.float64
+        )
+        self.counts = np.zeros(self.num_clusters, dtype=np.int64)
+        self._buffer: List[np.ndarray] = []
+        self._seeded = False
+
+    # ------------------------------------------------------------------
+    @property
+    def is_fitted(self) -> bool:
+        """True once seeding has run (enough points were buffered)."""
+        return self._seeded
+
+    def partial_fit(self, points: np.ndarray) -> "OnlineKMeans":
+        """Fold a batch of points into the clustering (one SGD pass)."""
+        points = self._check_points(points)
+        for point in points:
+            if not self._seeded:
+                self._buffer.append(point.copy())
+                if len(self._buffer) >= self.seed_size:
+                    self._seed_from_buffer()
+                continue
+            self._online_update(point)
+        return self
+
+    def _online_update(self, point: np.ndarray) -> None:
+        winner = self._nearest(point)
+        self.counts[winner] += 1
+        rate = 1.0 / self.counts[winner]
+        self.centroids[winner] += rate * (point - self.centroids[winner])
+
+    def _seed_from_buffer(self) -> None:
+        """k-means++ over the buffer, then replay it as updates."""
+        buffered = np.asarray(self._buffer)
+        self.centroids = _kmeans_plus_plus(
+            buffered, self.num_clusters, self._rng
+        )
+        # Counts start at zero: the replay below makes each centroid
+        # exactly the running mean of its assigned points.
+        self.counts = np.zeros(self.num_clusters, dtype=np.int64)
+        self._seeded = True
+        for point in buffered:
+            self._online_update(point)
+        self._buffer = []
+
+    # ------------------------------------------------------------------
+    def predict(self, points: np.ndarray) -> np.ndarray:
+        """Index of the nearest centroid per point."""
+        self._require_fitted()
+        points = self._check_points(points)
+        return self._distances(points).argmin(axis=1)
+
+    def inertia(self, points: np.ndarray) -> float:
+        """Mean squared distance to the nearest centroid."""
+        self._require_fitted()
+        points = self._check_points(points)
+        return float(self._distances(points).min(axis=1).mean())
+
+    def _distances(self, points: np.ndarray) -> np.ndarray:
+        deltas = points[:, None, :] - self.centroids[None, :, :]
+        return np.sum(deltas * deltas, axis=2)
+
+    def _nearest(self, point: np.ndarray) -> int:
+        deltas = self.centroids - point
+        return int(np.sum(deltas * deltas, axis=1).argmin())
+
+    # ------------------------------------------------------------------
+    def state_dict(self) -> Dict[str, object]:
+        """Deep copy of the clustering state."""
+        return {
+            "centroids": self.centroids.copy(),
+            "counts": self.counts.copy(),
+            "seeded": self._seeded,
+            "buffer": [point.copy() for point in self._buffer],
+        }
+
+    def load_state_dict(self, payload: Dict[str, object]) -> None:
+        centroids = np.asarray(payload["centroids"], dtype=np.float64)
+        if centroids.shape != (self.num_clusters, self.num_features):
+            raise ValidationError(
+                f"state centroids have shape {centroids.shape}, "
+                f"expected {(self.num_clusters, self.num_features)}"
+            )
+        self.centroids = centroids.copy()
+        self.counts = np.asarray(payload["counts"], dtype=np.int64).copy()
+        self._seeded = bool(payload["seeded"])
+        self._buffer = [
+            np.asarray(point, dtype=np.float64).copy()
+            for point in payload["buffer"]
+        ]
+
+    # ------------------------------------------------------------------
+    def _check_points(self, points: np.ndarray) -> np.ndarray:
+        points = np.asarray(points, dtype=np.float64)
+        if points.ndim != 2 or points.shape[1] != self.num_features:
+            raise ValidationError(
+                f"points must have shape (n, {self.num_features}), "
+                f"got {points.shape}"
+            )
+        return points
+
+    def _require_fitted(self) -> None:
+        if not self._seeded:
+            raise NotFittedError(
+                f"OnlineKMeans has buffered {len(self._buffer)} of the "
+                f"{self.seed_size} points needed for seeding"
+            )
+
+    def __repr__(self) -> str:
+        return (
+            f"OnlineKMeans(k={self.num_clusters}, "
+            f"dim={self.num_features}, "
+            f"points={int(self.counts.sum())}, "
+            f"seeded={self._seeded})"
+        )
+
+
+def _kmeans_plus_plus(
+    points: np.ndarray, k: int, rng: np.random.Generator
+) -> np.ndarray:
+    """k-means++ (D² sampling) initial centroids from ``points``."""
+    centroids = np.empty((k, points.shape[1]), dtype=np.float64)
+    first = rng.integers(0, len(points))
+    centroids[0] = points[first]
+    closest_sq = np.sum((points - centroids[0]) ** 2, axis=1)
+    for index in range(1, k):
+        total = closest_sq.sum()
+        if total <= 0:
+            # All remaining points coincide with a centroid; reuse any.
+            centroids[index] = points[rng.integers(0, len(points))]
+            continue
+        chosen = rng.choice(len(points), p=closest_sq / total)
+        centroids[index] = points[chosen]
+        distances = np.sum((points - centroids[index]) ** 2, axis=1)
+        closest_sq = np.minimum(closest_sq, distances)
+    return centroids

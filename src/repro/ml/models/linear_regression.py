@@ -1,0 +1,39 @@
+"""Linear regression on squared loss (paper §2.1, equation (1)).
+
+Used by the Taxi pipeline to predict ``log1p(trip duration)``; the
+RMSLE evaluation metric then is simply RMSE in the model's output
+space (see :func:`repro.ml.metrics.rmsle_from_log`).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.ml.losses import SquaredLoss
+from repro.ml.models.base import LinearSGDModel, Matrix
+from repro.ml.regularizers import Regularizer
+
+import numpy as np
+
+
+class LinearRegression(LinearSGDModel):
+    """Least-squares linear model."""
+
+    task = "regression"
+
+    def __init__(
+        self,
+        num_features: int,
+        regularizer: Optional[Regularizer] = None,
+        fit_intercept: bool = True,
+    ) -> None:
+        super().__init__(
+            num_features=num_features,
+            loss=SquaredLoss(),
+            regularizer=regularizer,
+            fit_intercept=fit_intercept,
+        )
+
+    def predict(self, features: Matrix) -> np.ndarray:
+        """Predicted targets (identical to the decision values)."""
+        return self.decision_function(features)

@@ -1,0 +1,42 @@
+"""Logistic regression with {-1, +1} labels."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.ml.losses import LogisticLoss, sigmoid
+from repro.ml.models.base import LinearSGDModel, Matrix
+from repro.ml.regularizers import Regularizer
+
+
+class LogisticRegression(LinearSGDModel):
+    """Binary linear classifier on the logistic loss.
+
+    ``predict`` returns hard labels in {-1, +1};
+    ``predict_proba`` the probability of the +1 class.
+    """
+
+    task = "classification"
+
+    def __init__(
+        self,
+        num_features: int,
+        regularizer: Optional[Regularizer] = None,
+        fit_intercept: bool = True,
+    ) -> None:
+        super().__init__(
+            num_features=num_features,
+            loss=LogisticLoss(),
+            regularizer=regularizer,
+            fit_intercept=fit_intercept,
+        )
+
+    def predict(self, features: Matrix) -> np.ndarray:
+        decision = self.decision_function(features)
+        return np.where(decision >= 0.0, 1.0, -1.0)
+
+    def predict_proba(self, features: Matrix) -> np.ndarray:
+        """P(label = +1) per row."""
+        return sigmoid(self.decision_function(features))

@@ -1,0 +1,137 @@
+"""Per-coordinate adaptive update rules: AdaGrad, RMSProp, AdaDelta, Adam.
+
+These are the methods §2.1 of the paper highlights: each coordinate of
+the weight vector gets its own effective learning rate, driven by the
+history of that coordinate's gradients. Definitions follow the cited
+originals (Duchi et al. 2011; Tieleman & Hinton 2012; Zeiler 2012;
+Kingma & Ba 2014 — with Adam's bias correction).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.ml.optim.base import Optimizer
+from repro.utils.validation import check_fraction, check_positive
+
+
+class AdaGrad(Optimizer):
+    """AdaGrad: accumulate squared gradients, shrink step per coordinate.
+
+    ``G ← G + g²``;  ``w ← w − η g / (√G + ε)``
+    """
+
+    name = "adagrad"
+
+    def __init__(
+        self, learning_rate: float = 0.01, epsilon: float = 1e-8
+    ) -> None:
+        super().__init__()
+        self.learning_rate = check_positive(learning_rate, "learning_rate")
+        self.epsilon = check_positive(epsilon, "epsilon")
+
+    def _update(self, grad: np.ndarray) -> np.ndarray:
+        accumulator = self._ensure_array("sq_sum", grad)
+        accumulator += grad * grad
+        return (
+            -self.learning_rate
+            * grad
+            / (np.sqrt(accumulator) + self.epsilon)
+        )
+
+
+class RMSProp(Optimizer):
+    """RMSProp: exponential moving average of squared gradients.
+
+    ``E[g²] ← ρ E[g²] + (1−ρ) g²``;
+    ``w ← w − η g / √(E[g²] + ε)``
+    """
+
+    name = "rmsprop"
+
+    def __init__(
+        self,
+        learning_rate: float = 0.01,
+        rho: float = 0.9,
+        epsilon: float = 1e-8,
+    ) -> None:
+        super().__init__()
+        self.learning_rate = check_positive(learning_rate, "learning_rate")
+        self.rho = check_fraction(rho, "rho")
+        self.epsilon = check_positive(epsilon, "epsilon")
+
+    def _update(self, grad: np.ndarray) -> np.ndarray:
+        average = self._ensure_array("sq_avg", grad)
+        average *= self.rho
+        average += (1.0 - self.rho) * grad * grad
+        return (
+            -self.learning_rate * grad / np.sqrt(average + self.epsilon)
+        )
+
+
+class AdaDelta(Optimizer):
+    """AdaDelta: RMS-ratio updates, no global learning rate.
+
+    ``E[g²] ← ρ E[g²] + (1−ρ) g²``;
+    ``Δw = −(RMS[Δw] / RMS[g]) g``;
+    ``E[Δw²] ← ρ E[Δw²] + (1−ρ) Δw²``
+    """
+
+    name = "adadelta"
+
+    def __init__(self, rho: float = 0.95, epsilon: float = 1e-6) -> None:
+        super().__init__()
+        self.rho = check_fraction(rho, "rho")
+        self.epsilon = check_positive(epsilon, "epsilon")
+
+    def _update(self, grad: np.ndarray) -> np.ndarray:
+        sq_avg = self._ensure_array("sq_avg", grad)
+        delta_avg = self._ensure_array("delta_avg", grad)
+        sq_avg *= self.rho
+        sq_avg += (1.0 - self.rho) * grad * grad
+        delta = (
+            -np.sqrt(delta_avg + self.epsilon)
+            / np.sqrt(sq_avg + self.epsilon)
+            * grad
+        )
+        delta_avg *= self.rho
+        delta_avg += (1.0 - self.rho) * delta * delta
+        return delta
+
+
+class Adam(Optimizer):
+    """Adam: bias-corrected first and second moment estimates.
+
+    ``m ← β₁ m + (1−β₁) g``;  ``v ← β₂ v + (1−β₂) g²``;
+    ``w ← w − η m̂ / (√v̂ + ε)`` with ``m̂ = m/(1−β₁ᵗ)``,
+    ``v̂ = v/(1−β₂ᵗ)``.
+    """
+
+    name = "adam"
+
+    def __init__(
+        self,
+        learning_rate: float = 0.001,
+        beta1: float = 0.9,
+        beta2: float = 0.999,
+        epsilon: float = 1e-8,
+    ) -> None:
+        super().__init__()
+        self.learning_rate = check_positive(learning_rate, "learning_rate")
+        self.beta1 = check_fraction(beta1, "beta1")
+        self.beta2 = check_fraction(beta2, "beta2")
+        self.epsilon = check_positive(epsilon, "epsilon")
+
+    def _update(self, grad: np.ndarray) -> np.ndarray:
+        first = self._ensure_array("m", grad)
+        second = self._ensure_array("v", grad)
+        step_index = self._bump_counter()
+        first *= self.beta1
+        first += (1.0 - self.beta1) * grad
+        second *= self.beta2
+        second += (1.0 - self.beta2) * grad * grad
+        m_hat = first / (1.0 - self.beta1**step_index)
+        v_hat = second / (1.0 - self.beta2**step_index)
+        return (
+            -self.learning_rate * m_hat / (np.sqrt(v_hat) + self.epsilon)
+        )

@@ -1,0 +1,79 @@
+"""Weight regularizers.
+
+Applied to the weight vector only — never the intercept — by the
+models in :mod:`repro.ml.models`. The paper's hyperparameter grid
+(Table 3) sweeps the L2 strength over {1e-2, 1e-3, 1e-4}.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+import numpy as np
+
+from repro.utils.validation import check_non_negative
+
+
+class Regularizer(ABC):
+    """Penalty term added to the loss, with its (sub)gradient."""
+
+    name: str = "base"
+
+    @abstractmethod
+    def penalty(self, weights: np.ndarray) -> float:
+        """Penalty value for ``weights``."""
+
+    @abstractmethod
+    def gradient(self, weights: np.ndarray) -> np.ndarray:
+        """(Sub)gradient of the penalty at ``weights``."""
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}()"
+
+
+class NoRegularizer(Regularizer):
+    """No penalty."""
+
+    name = "none"
+
+    def penalty(self, weights: np.ndarray) -> float:
+        return 0.0
+
+    def gradient(self, weights: np.ndarray) -> np.ndarray:
+        return np.zeros_like(weights)
+
+
+class L2(Regularizer):
+    """Ridge penalty ``½ λ ‖w‖²`` with gradient ``λ w``."""
+
+    name = "l2"
+
+    def __init__(self, strength: float) -> None:
+        self.strength = check_non_negative(strength, "strength")
+
+    def penalty(self, weights: np.ndarray) -> float:
+        return float(0.5 * self.strength * np.dot(weights, weights))
+
+    def gradient(self, weights: np.ndarray) -> np.ndarray:
+        return self.strength * weights
+
+    def __repr__(self) -> str:
+        return f"L2(strength={self.strength})"
+
+
+class L1(Regularizer):
+    """Lasso penalty ``λ ‖w‖₁`` with subgradient ``λ sign(w)``."""
+
+    name = "l1"
+
+    def __init__(self, strength: float) -> None:
+        self.strength = check_non_negative(strength, "strength")
+
+    def penalty(self, weights: np.ndarray) -> float:
+        return float(self.strength * np.abs(weights).sum())
+
+    def gradient(self, weights: np.ndarray) -> np.ndarray:
+        return self.strength * np.sign(weights)
+
+    def __repr__(self) -> str:
+        return f"L1(strength={self.strength})"

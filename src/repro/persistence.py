@@ -1,0 +1,137 @@
+"""Deployment persistence: save and restore pipeline + model + optimizer.
+
+The paper's platform deploys the *pipeline alongside the model* (§4.3)
+and warm-starts from existing statistics, weights, and optimizer state
+(§5.2). This module makes that state durable: a deployment bundle —
+the fitted pipeline (with all component statistics), the model, and
+the optimizer state — round-trips through a single file, so a platform
+restart resumes exactly where it stopped (the conditional-independence
+property of §3.3 guarantees the resumed training stream is identical).
+
+Format: a pickle payload wrapped with a format tag, the library
+version, and a SHA-256 checksum. Loading verifies the checksum and tag
+before unpickling, so truncated or foreign files fail loudly instead
+of deserialising garbage.
+
+Security note — pickle executes code on load; only load bundles you
+wrote. This mirrors every mainstream Python model store.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import io
+import pickle
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Union
+
+from repro.exceptions import ReproError
+from repro.ml.models.base import LinearSGDModel
+from repro.ml.optim.base import Optimizer
+from repro.pipeline.pipeline import Pipeline
+
+#: File magic identifying a deployment bundle.
+MAGIC = b"REPRO-BUNDLE-1\n"
+
+
+class PersistenceError(ReproError):
+    """A bundle file is malformed, corrupted, or incompatible."""
+
+
+@dataclass
+class DeploymentBundle:
+    """The durable unit: everything needed to resume a deployment."""
+
+    pipeline: Pipeline
+    model: LinearSGDModel
+    optimizer: Optimizer
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.pipeline, Pipeline):
+            raise PersistenceError(
+                f"pipeline must be a Pipeline, got "
+                f"{type(self.pipeline).__name__}"
+            )
+        if not isinstance(self.model, LinearSGDModel):
+            raise PersistenceError(
+                f"model must be a LinearSGDModel, got "
+                f"{type(self.model).__name__}"
+            )
+        if not isinstance(self.optimizer, Optimizer):
+            raise PersistenceError(
+                f"optimizer must be an Optimizer, got "
+                f"{type(self.optimizer).__name__}"
+            )
+
+
+def save_bundle(
+    path: Union[str, Path],
+    pipeline: Pipeline,
+    model: LinearSGDModel,
+    optimizer: Optimizer,
+) -> Path:
+    """Write a deployment bundle to ``path`` and return the path.
+
+    The write is atomic-ish: the payload is fully serialised in memory
+    first, so a serialisation failure never leaves a partial file.
+    """
+    bundle = DeploymentBundle(
+        pipeline=pipeline, model=model, optimizer=optimizer
+    )
+    buffer = io.BytesIO()
+    pickle.dump(
+        {
+            "version": _library_version(),
+            "bundle": bundle,
+        },
+        buffer,
+        protocol=pickle.HIGHEST_PROTOCOL,
+    )
+    payload = buffer.getvalue()
+    digest = hashlib.sha256(payload).digest()
+    path = Path(path)
+    path.write_bytes(MAGIC + digest + payload)
+    return path
+
+
+def load_bundle(path: Union[str, Path]) -> DeploymentBundle:
+    """Read a deployment bundle, verifying magic and checksum."""
+    path = Path(path)
+    try:
+        raw = path.read_bytes()
+    except OSError as error:
+        raise PersistenceError(
+            f"cannot read bundle {path}: {error}"
+        ) from error
+    if not raw.startswith(MAGIC):
+        raise PersistenceError(
+            f"{path} is not a repro deployment bundle "
+            f"(bad magic header)"
+        )
+    body = raw[len(MAGIC):]
+    if len(body) < 32:
+        raise PersistenceError(f"{path} is truncated")
+    digest, payload = body[:32], body[32:]
+    if hashlib.sha256(payload).digest() != digest:
+        raise PersistenceError(
+            f"{path} failed its checksum (corrupted or truncated)"
+        )
+    try:
+        envelope = pickle.loads(payload)
+    except Exception as error:
+        raise PersistenceError(
+            f"{path} could not be deserialised: {error}"
+        ) from error
+    bundle = envelope.get("bundle")
+    if not isinstance(bundle, DeploymentBundle):
+        raise PersistenceError(
+            f"{path} does not contain a DeploymentBundle"
+        )
+    return bundle
+
+
+def _library_version() -> str:
+    from repro import __version__
+
+    return __version__

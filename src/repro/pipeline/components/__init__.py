@@ -1,0 +1,75 @@
+"""Concrete pipeline components.
+
+The two paper pipelines are assembled from these parts:
+
+* URL pipeline — :class:`SvmLightParser`, :class:`SparseMeanImputer`,
+  :class:`SparseStandardScaler`, :class:`FeatureHasher` (+ linear SVM).
+* Taxi pipeline — :class:`ColumnExtractor` instances (trip duration,
+  haversine, bearing, hour, weekday), :class:`AnomalyFilter`,
+  :class:`StandardScaler`, :class:`FeatureAssembler` (+ linear
+  regression).
+"""
+
+from repro.pipeline.components.anomaly import AnomalyFilter, RangeFilter
+from repro.pipeline.components.assembler import FeatureAssembler
+from repro.pipeline.components.extractor import (
+    ColumnDifference,
+    ColumnExtractor,
+    DayOfWeekExtractor,
+    HourOfDayExtractor,
+)
+from repro.pipeline.components.geo import (
+    bearing,
+    bearing_component,
+    haversine_component,
+    haversine_distance,
+)
+from repro.pipeline.components.hasher import FeatureHasher, hash_index
+from repro.pipeline.components.imputer import (
+    MissingValueImputer,
+    SparseMeanImputer,
+)
+from repro.pipeline.components.onehot import OneHotEncoder
+from repro.pipeline.components.parser import SvmLightParser
+from repro.pipeline.components.polynomial import PolynomialInteractions
+from repro.pipeline.components.scaler import (
+    MinMaxScaler,
+    SparseStandardScaler,
+    StandardScaler,
+)
+from repro.pipeline.components.selector import VarianceThreshold
+from repro.pipeline.components.transformer import (
+    ColumnTransformer,
+    absolute_transformer,
+    log1p_transformer,
+    sqrt_transformer,
+)
+
+__all__ = [
+    "SvmLightParser",
+    "MissingValueImputer",
+    "SparseMeanImputer",
+    "StandardScaler",
+    "SparseStandardScaler",
+    "MinMaxScaler",
+    "FeatureHasher",
+    "hash_index",
+    "OneHotEncoder",
+    "AnomalyFilter",
+    "RangeFilter",
+    "ColumnExtractor",
+    "ColumnDifference",
+    "HourOfDayExtractor",
+    "DayOfWeekExtractor",
+    "haversine_distance",
+    "bearing",
+    "haversine_component",
+    "bearing_component",
+    "VarianceThreshold",
+    "FeatureAssembler",
+    "PolynomialInteractions",
+    "ColumnTransformer",
+    "log1p_transformer",
+    "sqrt_transformer",
+    "absolute_transformer",
+]

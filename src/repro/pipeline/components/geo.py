@@ -1,0 +1,91 @@
+"""Geospatial feature math for the Taxi pipeline.
+
+The paper's taxi feature extractor computes the haversine distance and
+the bearing between pickup and dropoff coordinates (it cites the
+standard formulas). The functions here are vectorised over numpy
+arrays; the ``*_component`` factories wrap them as pipeline components.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.pipeline.components.extractor import ColumnExtractor
+
+#: Mean Earth radius in kilometres (IUGG value).
+EARTH_RADIUS_KM = 6371.0088
+
+
+def haversine_distance(
+    lat1: np.ndarray,
+    lon1: np.ndarray,
+    lat2: np.ndarray,
+    lon2: np.ndarray,
+) -> np.ndarray:
+    """Great-circle distance in kilometres between coordinate arrays."""
+    lat1, lon1, lat2, lon2 = (
+        np.radians(np.asarray(a, dtype=np.float64))
+        for a in (lat1, lon1, lat2, lon2)
+    )
+    dlat = lat2 - lat1
+    dlon = lon2 - lon1
+    chord = (
+        np.sin(dlat / 2.0) ** 2
+        + np.cos(lat1) * np.cos(lat2) * np.sin(dlon / 2.0) ** 2
+    )
+    # Clip guards rounding noise for antipodal / identical points.
+    angle = 2.0 * np.arcsin(np.sqrt(np.clip(chord, 0.0, 1.0)))
+    return EARTH_RADIUS_KM * angle
+
+
+def bearing(
+    lat1: np.ndarray,
+    lon1: np.ndarray,
+    lat2: np.ndarray,
+    lon2: np.ndarray,
+) -> np.ndarray:
+    """Initial compass bearing in degrees in [0, 360)."""
+    lat1, lon1, lat2, lon2 = (
+        np.radians(np.asarray(a, dtype=np.float64))
+        for a in (lat1, lon1, lat2, lon2)
+    )
+    dlon = lon2 - lon1
+    y = np.sin(dlon) * np.cos(lat2)
+    x = np.cos(lat1) * np.sin(lat2) - np.sin(lat1) * np.cos(lat2) * np.cos(
+        dlon
+    )
+    return np.degrees(np.arctan2(y, x)) % 360.0
+
+
+def haversine_component(
+    lat1: str,
+    lon1: str,
+    lat2: str,
+    lon2: str,
+    output: str = "distance_km",
+    name: str = "haversine",
+) -> ColumnExtractor:
+    """Pipeline component computing haversine distance between columns."""
+    return ColumnExtractor(
+        inputs=[lat1, lon1, lat2, lon2],
+        function=haversine_distance,
+        output=output,
+        name=name,
+    )
+
+
+def bearing_component(
+    lat1: str,
+    lon1: str,
+    lat2: str,
+    lon2: str,
+    output: str = "bearing_deg",
+    name: str = "bearing",
+) -> ColumnExtractor:
+    """Pipeline component computing the bearing between columns."""
+    return ColumnExtractor(
+        inputs=[lat1, lon1, lat2, lon2],
+        function=bearing,
+        output=output,
+        name=name,
+    )

@@ -1,0 +1,20 @@
+"""Shared utilities: RNG handling, validation helpers, timing."""
+
+from repro.utils.rng import ensure_rng, spawn_rng
+from repro.utils.timer import Timer
+from repro.utils.validation import (
+    check_fraction,
+    check_non_negative,
+    check_positive,
+    check_positive_int,
+)
+
+__all__ = [
+    "ensure_rng",
+    "spawn_rng",
+    "Timer",
+    "check_fraction",
+    "check_non_negative",
+    "check_positive",
+    "check_positive_int",
+]

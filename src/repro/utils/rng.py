@@ -1,0 +1,35 @@
+"""Random-number-generator plumbing.
+
+Every stochastic object in the library accepts a ``seed`` argument that
+may be ``None``, an integer, or a :class:`numpy.random.Generator`. This
+module centralises the conversion so behaviour is uniform everywhere.
+"""
+
+from __future__ import annotations
+
+from typing import Union
+
+import numpy as np
+
+SeedLike = Union[None, int, np.random.Generator]
+
+
+def ensure_rng(seed: SeedLike = None) -> np.random.Generator:
+    """Return a :class:`numpy.random.Generator` for ``seed``.
+
+    ``None`` yields an OS-seeded generator, an ``int`` a deterministic
+    one, and an existing generator is passed through unchanged.
+    """
+    if isinstance(seed, np.random.Generator):
+        return seed
+    return np.random.default_rng(seed)
+
+
+def spawn_rng(rng: np.random.Generator) -> np.random.Generator:
+    """Derive an independent child generator from ``rng``.
+
+    Used when one seeded object constructs several stochastic children
+    that must not share a stream (e.g. a dataset generator that owns a
+    drift schedule and a noise source).
+    """
+    return np.random.default_rng(rng.integers(0, 2**63 - 1))

@@ -1,0 +1,60 @@
+"""A tiny wall-clock timer used by the evaluation harness.
+
+The deterministic cost model (:mod:`repro.execution.cost`) is the
+primary cost source for experiments; this timer records real elapsed
+time alongside it for sanity checks.
+"""
+
+from __future__ import annotations
+
+import time
+
+
+class Timer:
+    """Accumulating stopwatch.
+
+    Usage::
+
+        timer = Timer()
+        with timer:
+            do_work()
+        print(timer.elapsed)
+
+    The timer can be re-entered; elapsed time accumulates across uses.
+    """
+
+    def __init__(self) -> None:
+        self.elapsed = 0.0
+        self._started_at: float | None = None
+
+    def start(self) -> None:
+        if self._started_at is not None:
+            raise RuntimeError("Timer is already running")
+        self._started_at = time.perf_counter()
+
+    def stop(self) -> float:
+        if self._started_at is None:
+            raise RuntimeError("Timer is not running")
+        delta = time.perf_counter() - self._started_at
+        self.elapsed += delta
+        self._started_at = None
+        return delta
+
+    def reset(self) -> None:
+        self.elapsed = 0.0
+        self._started_at = None
+
+    @property
+    def running(self) -> bool:
+        return self._started_at is not None
+
+    def __enter__(self) -> "Timer":
+        self.start()
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.stop()
+
+    def __repr__(self) -> str:
+        state = "running" if self.running else "stopped"
+        return f"Timer(elapsed={self.elapsed:.6f}, {state})"

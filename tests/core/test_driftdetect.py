@@ -1,0 +1,314 @@
+"""Tests for the drift detectors and the drift-aware deployment."""
+
+import numpy as np
+import pytest
+
+from repro.driftdetect import (
+    DDM,
+    DriftAwareContinuousDeployment,
+    DriftState,
+    PageHinkley,
+    WindowComparisonDetector,
+)
+from repro.exceptions import ValidationError
+
+pytestmark = pytest.mark.filterwarnings(
+    "ignore::repro.exceptions.ConvergenceWarning"
+)
+
+ALL_DETECTORS = [
+    lambda: DDM(minimum_observations=30),
+    lambda: PageHinkley(threshold=2.0, minimum_observations=30),
+    lambda: WindowComparisonDetector(window_size=25, ratio=0.3),
+]
+
+
+def feed(detector, errors):
+    return [detector.update(e) for e in errors]
+
+
+class TestDDM:
+    def test_detects_error_surge(self):
+        detector = DDM()
+        states = feed(detector, [0.0] * 200 + [1.0] * 80)
+        assert DriftState.DRIFT in states
+        assert detector.drifts_detected >= 1
+
+    def test_warning_precedes_drift(self):
+        rng = np.random.default_rng(0)
+        detector = DDM()
+        stable = (rng.random(300) < 0.1).astype(float)
+        degraded = (rng.random(200) < 0.5).astype(float)
+        states = feed(detector, np.concatenate([stable, degraded]))
+        drift_at = states.index(DriftState.DRIFT)
+        assert DriftState.WARNING in states[:drift_at]
+
+    def test_stable_stream_rarely_alarms(self):
+        """DDM's early p_min estimates can false-alarm once on a
+        stationary stream (a known property of the method); it must
+        not alarm repeatedly."""
+        rng = np.random.default_rng(1)
+        detector = DDM()
+        feed(detector, (rng.random(500) < 0.2).astype(float))
+        assert detector.drifts_detected <= 1
+
+    def test_non_binary_rejected(self):
+        with pytest.raises(ValidationError):
+            DDM().update(0.5)
+
+    def test_error_rate_accessor(self):
+        detector = DDM()
+        feed(detector, [1.0, 0.0, 1.0, 1.0])
+        assert detector.error_rate == pytest.approx(0.75)
+
+    def test_invalid_levels(self):
+        with pytest.raises(ValidationError):
+            DDM(warning_level=3.0, drift_level=2.0)
+
+
+class TestPageHinkley:
+    def test_detects_mean_shift(self):
+        detector = PageHinkley(threshold=2.0)
+        states = feed(detector, [0.1] * 100 + [0.8] * 60)
+        assert DriftState.DRIFT in states
+
+    def test_tolerates_noise_below_delta(self):
+        rng = np.random.default_rng(2)
+        detector = PageHinkley(delta=0.05, threshold=5.0)
+        noise = 0.2 + rng.normal(0, 0.01, 800)
+        states = feed(detector, noise)
+        assert DriftState.DRIFT not in states
+
+    def test_statistic_accessor(self):
+        detector = PageHinkley()
+        assert detector.statistic == 0.0
+        feed(detector, [0.1] * 50)
+        assert detector.statistic >= 0.0
+
+    def test_works_on_regression_residuals(self):
+        detector = PageHinkley(threshold=3.0)
+        small = [0.05] * 100
+        large = [2.5] * 40
+        states = feed(detector, small + large)
+        assert DriftState.DRIFT in states
+
+
+class TestWindowComparison:
+    def test_detects_degradation(self):
+        detector = WindowComparisonDetector(window_size=20, ratio=0.2)
+        states = feed(detector, [0.1] * 40 + [0.3] * 30)
+        assert DriftState.DRIFT in states
+
+    def test_reference_mean(self):
+        detector = WindowComparisonDetector(window_size=5)
+        feed(detector, [0.2] * 5)
+        assert detector.reference_mean == pytest.approx(0.2)
+
+    def test_stable_within_ratio(self):
+        detector = WindowComparisonDetector(window_size=20, ratio=0.5)
+        states = feed(detector, [0.2] * 40 + [0.25] * 40)
+        assert DriftState.DRIFT not in states
+
+
+class TestDetectorContract:
+    @pytest.mark.parametrize(
+        "factory", ALL_DETECTORS,
+        ids=["ddm", "page_hinkley", "window"],
+    )
+    def test_self_reset_after_drift(self, factory):
+        detector = factory()
+        surge = [0.0] * 200 + [1.0] * 100
+        feed(detector, surge)
+        first_drifts = detector.drifts_detected
+        assert first_drifts >= 1
+        # After the reset, a fresh surge is detected again.
+        feed(detector, surge)
+        assert detector.drifts_detected > first_drifts
+
+    @pytest.mark.parametrize(
+        "factory", ALL_DETECTORS,
+        ids=["ddm", "page_hinkley", "window"],
+    )
+    def test_update_many_reports_worst(self, factory):
+        detector = factory()
+        state = detector.update_many([0.0] * 200 + [1.0] * 100)
+        assert state is DriftState.DRIFT
+
+    def test_observation_counters(self):
+        detector = PageHinkley()
+        detector.update_many([0.1] * 10)
+        assert detector.observations == 10
+
+
+class TestDriftAwareDeployment:
+    def _make(self, detector, bursts=1):
+        from repro.core.config import ContinuousConfig, ScheduleConfig
+        from repro.data.table import Table
+        from repro.ml.models import LinearRegression
+        from repro.ml.optim import Adam
+        from repro.pipeline.components.assembler import FeatureAssembler
+        from repro.pipeline.components.scaler import StandardScaler
+        from repro.pipeline.pipeline import Pipeline
+
+        pipeline = Pipeline(
+            [
+                StandardScaler(["x"], name="scaler"),
+                FeatureAssembler(["x"], "y", name="assembler"),
+            ]
+        )
+        deployment = DriftAwareContinuousDeployment(
+            pipeline,
+            LinearRegression(num_features=1),
+            Adam(0.05),
+            detector=detector,
+            bursts_per_drift=bursts,
+            config=ContinuousConfig(
+                sample_size_chunks=3,
+                schedule=ScheduleConfig(interval_chunks=1000),
+            ),
+            metric="regression",
+            seed=0,
+        )
+        rng = np.random.default_rng(9)
+        x = rng.standard_normal(60)
+        deployment.initial_fit(
+            [Table({"x": x, "y": 3.0 * x})],
+            max_iterations=400,
+            tolerance=1e-8,
+        )
+        return deployment
+
+    @staticmethod
+    def _shifting_stream(num_chunks=40, shift_at=20):
+        from repro.data.table import Table
+
+        rng = np.random.default_rng(4)
+        for index in range(num_chunks):
+            x = rng.standard_normal(12)
+            slope = 3.0 if index < shift_at else -3.0
+            yield Table({"x": x, "y": slope * x})
+
+    def test_burst_fires_on_drift(self):
+        detector = PageHinkley(threshold=2.0, minimum_observations=30)
+        deployment = self._make(detector)
+        result = deployment.run(self._shifting_stream())
+        assert result.counters["drifts_detected"] >= 1
+        # The schedule (interval 1000) never fires: every proactive
+        # training came from a drift burst.
+        assert (
+            result.counters["proactive_trainings"]
+            == result.counters["drifts_detected"]
+            * deployment.bursts_per_drift
+        )
+        assert deployment.drift_chunks[0] >= 20
+
+    def test_no_drift_no_burst(self):
+        from repro.data.table import Table
+
+        detector = PageHinkley(threshold=50.0)
+        deployment = self._make(detector)
+        rng = np.random.default_rng(5)
+        stream = (
+            Table(
+                {
+                    "x": rng.standard_normal(12),
+                    "y": 3.0 * rng.standard_normal(12),
+                }
+            )
+            for __ in range(10)
+        )
+        # Stream is noisy but threshold is enormous.
+        result = deployment.run(self._shifting_stream(10, shift_at=99))
+        assert result.counters["drifts_detected"] == 0
+
+    def test_invalid_bursts(self):
+        with pytest.raises(ValueError):
+            self._make(PageHinkley(), bursts=0)
+
+
+class TestBurstMechanics:
+    def _deployment(self, **kwargs):
+        import numpy as np
+
+        from repro.core.config import ContinuousConfig, ScheduleConfig
+        from repro.data.table import Table
+        from repro.ml.models import LinearRegression
+        from repro.ml.optim import Adam
+        from repro.pipeline.components.assembler import FeatureAssembler
+        from repro.pipeline.components.scaler import StandardScaler
+        from repro.pipeline.pipeline import Pipeline
+
+        pipeline = Pipeline(
+            [
+                StandardScaler(["x"], name="scaler"),
+                FeatureAssembler(["x"], "y", name="assembler"),
+            ]
+        )
+        deployment = DriftAwareContinuousDeployment(
+            pipeline,
+            LinearRegression(num_features=1),
+            Adam(0.05),
+            detector=kwargs.pop(
+                "detector", PageHinkley(threshold=2.0,
+                                        minimum_observations=30)
+            ),
+            config=ContinuousConfig(
+                sample_size_chunks=2,
+                schedule=ScheduleConfig(interval_chunks=1000),
+            ),
+            metric="regression",
+            seed=0,
+            **kwargs,
+        )
+        rng = np.random.default_rng(9)
+        x = rng.standard_normal(60)
+        deployment.initial_fit(
+            [Table({"x": x, "y": 3.0 * x})],
+            max_iterations=100,
+            tolerance=1e-6,
+        )
+        return deployment
+
+    @staticmethod
+    def _stream(num_chunks=40, shift_at=15):
+        import numpy as np
+
+        from repro.data.table import Table
+
+        rng = np.random.default_rng(4)
+        for index in range(num_chunks):
+            x = rng.standard_normal(12)
+            slope = 3.0 if index < shift_at else -3.0
+            yield Table({"x": x, "y": slope * x})
+
+    def test_regular_sampler_restored_after_burst(self):
+        from repro.data.sampling import TimeBasedSampler
+
+        deployment = self._deployment(burst_delay_chunks=2)
+        regular = deployment.platform.data_manager.sampler
+        deployment.run(self._stream())
+        assert deployment.platform.data_manager.sampler is regular
+
+    def test_burst_delay_defers_response(self):
+        deployment = self._deployment(
+            burst_delay_chunks=5, bursts_per_drift=2
+        )
+        result = deployment.run(self._stream())
+        assert result.counters["drifts_detected"] >= 1
+        # All proactive trainings came from bursts (schedule is 1000).
+        assert result.counters["proactive_trainings"] % 2 == 0
+
+    def test_no_duplicate_detection_during_countdown(self):
+        """While a burst countdown is pending, further DRIFT signals
+        must not queue additional bursts."""
+        deployment = self._deployment(
+            burst_delay_chunks=10, bursts_per_drift=1
+        )
+        result = deployment.run(self._stream(num_chunks=30))
+        assert result.counters["drifts_detected"] <= 2
+
+    def test_invalid_burst_parameters(self):
+        with pytest.raises(ValueError):
+            self._deployment(burst_window=0)
+        with pytest.raises(ValueError):
+            self._deployment(burst_delay_chunks=-1)

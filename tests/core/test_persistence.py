@@ -1,0 +1,148 @@
+"""Tests for deployment-bundle persistence."""
+
+import numpy as np
+import pytest
+
+from repro.datasets.taxi import TaxiStreamGenerator, make_taxi_pipeline
+from repro.datasets.url import URLStreamGenerator, make_url_pipeline
+from repro.ml.models import LinearRegression, LinearSVM
+from repro.ml.optim import Adam, RMSProp
+from repro.ml.sgd import SGDTrainer
+from repro.persistence import (
+    DeploymentBundle,
+    PersistenceError,
+    load_bundle,
+    save_bundle,
+)
+
+pytestmark = pytest.mark.filterwarnings(
+    "ignore::repro.exceptions.ConvergenceWarning"
+)
+
+
+def fitted_url_parts():
+    generator = URLStreamGenerator(
+        num_chunks=3, rows_per_chunk=20, seed=4
+    )
+    pipeline = make_url_pipeline(hash_features=128)
+    model = LinearSVM(num_features=128)
+    optimizer = Adam(0.05)
+    trainer = SGDTrainer(model, optimizer)
+    for chunk in generator.stream():
+        features = pipeline.update_transform_to_features(chunk)
+        trainer.step(features.matrix, features.labels)
+    return generator, pipeline, model, optimizer
+
+
+class TestRoundtrip:
+    def test_url_bundle_roundtrip(self, tmp_path):
+        generator, pipeline, model, optimizer = fitted_url_parts()
+        path = save_bundle(
+            tmp_path / "deployment.bundle", pipeline, model, optimizer
+        )
+        restored = load_bundle(path)
+
+        # The restored pipeline+model must serve identically.
+        probe = generator.chunk(1)
+        original = pipeline.transform_to_features(probe)
+        resumed = restored.pipeline.transform_to_features(probe)
+        assert np.allclose(
+            original.matrix.toarray(), resumed.matrix.toarray()
+        )
+        assert np.allclose(
+            model.predict(original.matrix),
+            restored.model.predict(resumed.matrix),
+        )
+
+    def test_resumed_training_is_identical(self, tmp_path):
+        """The §3.3 property end-to-end: save, restore, and the next
+        SGD step matches the never-interrupted run exactly."""
+        generator, pipeline, model, optimizer = fitted_url_parts()
+        path = save_bundle(
+            tmp_path / "d.bundle", pipeline, model, optimizer
+        )
+        restored = load_bundle(path)
+
+        next_chunk = generator.chunk(2)
+        features = pipeline.transform_to_features(next_chunk)
+        SGDTrainer(model, optimizer).step(
+            features.matrix, features.labels
+        )
+        restored_features = restored.pipeline.transform_to_features(
+            next_chunk
+        )
+        SGDTrainer(restored.model, restored.optimizer).step(
+            restored_features.matrix, restored_features.labels
+        )
+        assert restored.model.params_vector() == pytest.approx(
+            model.params_vector()
+        )
+
+    def test_taxi_bundle_roundtrip(self, tmp_path):
+        generator = TaxiStreamGenerator(
+            num_chunks=2, rows_per_chunk=30, seed=1
+        )
+        pipeline = make_taxi_pipeline()
+        model = LinearRegression(num_features=11)
+        optimizer = RMSProp(0.05)
+        features = pipeline.update_transform_to_features(
+            generator.chunk(0)
+        )
+        SGDTrainer(model, optimizer).step(
+            features.matrix, features.labels
+        )
+        path = save_bundle(
+            tmp_path / "taxi.bundle", pipeline, model, optimizer
+        )
+        restored = load_bundle(path)
+        probe = generator.chunk(1)
+        assert np.allclose(
+            pipeline.transform_to_features(probe).matrix,
+            restored.pipeline.transform_to_features(probe).matrix,
+        )
+
+
+class TestIntegrity:
+    def test_bad_magic_rejected(self, tmp_path):
+        path = tmp_path / "not_a_bundle"
+        path.write_bytes(b"hello world")
+        with pytest.raises(PersistenceError, match="magic"):
+            load_bundle(path)
+
+    def test_corruption_detected(self, tmp_path):
+        __, pipeline, model, optimizer = fitted_url_parts()
+        path = save_bundle(
+            tmp_path / "d.bundle", pipeline, model, optimizer
+        )
+        raw = bytearray(path.read_bytes())
+        raw[-1] ^= 0xFF
+        path.write_bytes(bytes(raw))
+        with pytest.raises(PersistenceError, match="checksum"):
+            load_bundle(path)
+
+    def test_truncation_detected(self, tmp_path):
+        __, pipeline, model, optimizer = fitted_url_parts()
+        path = save_bundle(
+            tmp_path / "d.bundle", pipeline, model, optimizer
+        )
+        raw = path.read_bytes()
+        path.write_bytes(raw[: len(raw) // 2])
+        with pytest.raises(PersistenceError):
+            load_bundle(path)
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(PersistenceError, match="cannot read"):
+            load_bundle(tmp_path / "nope.bundle")
+
+    def test_bundle_type_validation(self):
+        __, pipeline, model, optimizer = fitted_url_parts()
+        with pytest.raises(PersistenceError):
+            DeploymentBundle(
+                pipeline="not a pipeline",
+                model=model,
+                optimizer=optimizer,
+            )
+        with pytest.raises(PersistenceError):
+            DeploymentBundle(
+                pipeline=pipeline, model=None, optimizer=optimizer
+            )

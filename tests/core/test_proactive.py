@@ -1,0 +1,126 @@
+"""Unit tests for the proactive trainer."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.core.proactive import ProactiveTrainer, combine_chunks
+from repro.data.chunk import FeatureChunk
+from repro.data.manager import SampledChunk
+from repro.exceptions import ValidationError
+from repro.execution.engine import LocalExecutionEngine
+from repro.ml.models import LinearRegression
+from repro.ml.optim import Adam
+from repro.ml.sgd import SGDTrainer
+
+
+def dense_sample(timestamp, rows=4, dim=2, seed=0, materialized=True):
+    rng = np.random.default_rng(seed + timestamp)
+    chunk = FeatureChunk(
+        timestamp=timestamp,
+        raw_reference=timestamp,
+        features=rng.standard_normal((rows, dim)),
+        labels=rng.standard_normal(rows),
+    )
+    return SampledChunk(chunk=chunk, was_materialized=materialized)
+
+
+def sparse_sample(timestamp, materialized=True):
+    chunk = FeatureChunk(
+        timestamp=timestamp,
+        raw_reference=timestamp,
+        features=sp.csr_matrix(np.eye(3)),
+        labels=np.ones(3),
+    )
+    return SampledChunk(chunk=chunk, was_materialized=materialized)
+
+
+class TestCombineChunks:
+    def test_dense_union(self):
+        combined = combine_chunks([dense_sample(0), dense_sample(1)])
+        assert combined.num_rows == 8
+        assert combined.num_features == 2
+
+    def test_sparse_union(self):
+        combined = combine_chunks([sparse_sample(0), sparse_sample(1)])
+        assert sp.issparse(combined.matrix)
+        assert combined.num_rows == 6
+
+    def test_mixed_rejected(self):
+        with pytest.raises(ValidationError):
+            combine_chunks([dense_sample(0, dim=3), sparse_sample(1)])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValidationError):
+            combine_chunks([])
+
+
+class TestProactiveTrainer:
+    def _trainer(self):
+        model = LinearRegression(num_features=2)
+        engine = LocalExecutionEngine()
+        return (
+            ProactiveTrainer(SGDTrainer(model, Adam(0.05)), engine),
+            model,
+            engine,
+        )
+
+    def test_run_is_one_sgd_iteration(self):
+        proactive, model, __ = self._trainer()
+        outcome = proactive.run([dense_sample(0), dense_sample(1)])
+        assert model.updates_applied == 1
+        assert proactive.instances_run == 1
+        assert outcome.rows == 8
+        assert outcome.chunks == 2
+        assert outcome.duration > 0
+
+    def test_materialized_counting(self):
+        proactive, __, __ = self._trainer()
+        outcome = proactive.run(
+            [
+                dense_sample(0, materialized=True),
+                dense_sample(1, materialized=False),
+                dense_sample(2, materialized=True),
+            ]
+        )
+        assert outcome.chunks_materialized == 2
+
+    def test_objective_reported(self):
+        proactive, __, __ = self._trainer()
+        outcome = proactive.run([dense_sample(0)])
+        assert outcome.objective >= 0.0
+
+    def test_cost_charged_to_training(self):
+        proactive, __, engine = self._trainer()
+        proactive.run([dense_sample(0)])
+        assert engine.tracker.category("training") > 0
+
+    def test_sequential_instances_accumulate(self):
+        proactive, model, __ = self._trainer()
+        proactive.run([dense_sample(0)])
+        proactive.run([dense_sample(1)])
+        assert model.updates_applied == 2
+        assert proactive.instances_run == 2
+
+
+class TestEmptySample:
+    def test_zero_row_sample_skips_the_step(self):
+        """All sampled chunks empty (every row anomalous): no gradient
+        exists, so the trainer must skip rather than crash."""
+        proactive, model, __ = (
+            TestProactiveTrainer()._trainer()
+        )
+        empty = SampledChunk(
+            chunk=FeatureChunk(
+                timestamp=0,
+                raw_reference=0,
+                features=np.empty((0, 2)),
+                labels=np.empty(0),
+            ),
+            was_materialized=True,
+        )
+        outcome = proactive.run([empty, empty])
+        assert outcome.rows == 0
+        assert outcome.objective == 0.0
+        assert model.updates_applied == 0
+        assert proactive.instances_run == 1

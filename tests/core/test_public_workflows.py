@@ -1,0 +1,187 @@
+"""End-to-end workflows a downstream user would actually run.
+
+These are adoption-path tests: the README quickstart, swapping
+optimizers mid-design, deploying with the one-hot encoder pipeline,
+and driving a deployment from files on disk.
+"""
+
+import numpy as np
+import pytest
+
+pytestmark = pytest.mark.filterwarnings(
+    "ignore::repro.exceptions.ConvergenceWarning"
+)
+
+
+class TestReadmeQuickstart:
+    def test_quickstart_snippet_runs(self):
+        """The exact shape of the README quickstart, miniaturised."""
+        from repro import (
+            Adam,
+            ContinuousConfig,
+            ContinuousDeployment,
+            L2,
+            LinearSVM,
+            ScheduleConfig,
+            URLStreamGenerator,
+            make_url_pipeline,
+        )
+
+        generator = URLStreamGenerator(
+            num_chunks=12, rows_per_chunk=20, seed=7
+        )
+        pipeline = make_url_pipeline(hash_features=128)
+        model = LinearSVM(num_features=128, regularizer=L2(1e-3))
+        deployment = ContinuousDeployment(
+            pipeline,
+            model,
+            Adam(0.05),
+            config=ContinuousConfig(
+                sample_size_chunks=4,
+                schedule=ScheduleConfig(
+                    kind="static", interval_chunks=5
+                ),
+                sampler="time",
+                half_life=6,
+            ),
+            metric="classification",
+            seed=7,
+        )
+        deployment.initial_fit(
+            generator.initial_data(100), max_iterations=60
+        )
+        result = deployment.run(generator.stream())
+        assert 0.0 <= result.final_error <= 1.0
+        assert result.total_cost > 0
+        assert result.counters["proactive_trainings"] == 2
+
+
+class TestOneHotPipelineDeployment:
+    def test_categorical_pipeline_end_to_end(self):
+        """A pipeline ending in the one-hot encoder deploys like any
+        other terminal component."""
+        from repro import (
+            Adam,
+            ContinuousConfig,
+            ContinuousDeployment,
+            LinearRegression,
+            ScheduleConfig,
+            Table,
+        )
+        from repro.pipeline.components.onehot import OneHotEncoder
+        from repro.pipeline.pipeline import Pipeline
+
+        categories = np.array(["a", "b", "c"], dtype=object)
+        effects = {"a": 1.0, "b": 3.0, "c": -2.0}
+
+        def make_stream(num_chunks=20, rows=15, seed=0):
+            rng = np.random.default_rng(seed)
+            for __ in range(num_chunks):
+                chosen = rng.choice(categories, size=rows)
+                y = np.array([effects[c] for c in chosen])
+                yield Table({"kind": chosen, "y": y})
+
+        encoder = OneHotEncoder(
+            categorical_columns=["kind"],
+            label_column="y",
+            max_categories=3,
+            name="encoder",
+        )
+        model = LinearRegression(num_features=3)
+        deployment = ContinuousDeployment(
+            Pipeline([encoder]),
+            model,
+            Adam(0.1),
+            config=ContinuousConfig(
+                sample_size_chunks=5,
+                schedule=ScheduleConfig(interval_chunks=2),
+                sampler="uniform",
+            ),
+            metric="regression",
+            seed=0,
+        )
+        deployment.initial_fit(
+            list(make_stream(num_chunks=1, rows=200, seed=9)),
+            max_iterations=400,
+            tolerance=1e-8,
+        )
+        result = deployment.run(make_stream())
+        # The per-category effects are perfectly learnable.
+        assert result.final_error < 0.3
+        # Vocabulary order is first-seen (stream-dependent).
+        assert sorted(encoder.vocabulary("kind")) == ["a", "b", "c"]
+
+
+class TestFileDrivenDeployment:
+    def test_deploy_from_svmlight_file(self, tmp_path):
+        """Generate → write to disk → stream chunks from the file into
+        a deployment: the io layer is a drop-in stream source."""
+        from repro import (
+            Adam,
+            L2,
+            LinearSVM,
+            OnlineDeployment,
+            URLStreamGenerator,
+            make_url_pipeline,
+        )
+        from repro.io import iter_svmlight_chunks
+
+        generator = URLStreamGenerator(
+            num_chunks=6, rows_per_chunk=10, seed=3
+        )
+        lines = [
+            line
+            for chunk in generator.stream()
+            for line in chunk["line"]
+        ]
+        path = tmp_path / "stream.svm"
+        path.write_text("\n".join(lines) + "\n")
+
+        pipeline = make_url_pipeline(hash_features=64)
+        model = LinearSVM(num_features=64, regularizer=L2(1e-3))
+        deployment = OnlineDeployment(
+            pipeline, model, Adam(0.05), metric="classification"
+        )
+        deployment.initial_fit(
+            generator.initial_data(80), max_iterations=50
+        )
+        result = deployment.run(
+            iter_svmlight_chunks(path, rows_per_chunk=10)
+        )
+        assert result.chunks_processed == 6
+
+
+class TestOptimizerSwap:
+    @pytest.mark.parametrize(
+        "name", ["adam", "rmsprop", "adadelta", "momentum", "adagrad"]
+    )
+    def test_any_optimizer_drives_a_deployment(self, name):
+        from repro import OnlineDeployment, Table
+        from repro.ml.models import LinearRegression
+        from repro.ml.optim import make_optimizer
+        from repro.pipeline.components.assembler import FeatureAssembler
+        from repro.pipeline.pipeline import Pipeline
+
+        rng = np.random.default_rng(0)
+
+        def make_stream():
+            for __ in range(5):
+                x = rng.standard_normal(10)
+                yield Table({"x": x, "y": 2.0 * x})
+
+        pipeline = Pipeline(
+            [FeatureAssembler(["x"], "y", name="assembler")]
+        )
+        deployment = OnlineDeployment(
+            pipeline,
+            LinearRegression(num_features=1),
+            make_optimizer(name),
+            metric="regression",
+        )
+        x = rng.standard_normal(30)
+        deployment.initial_fit(
+            [Table({"x": x, "y": 2.0 * x})], max_iterations=20
+        )
+        result = deployment.run(make_stream())
+        assert result.chunks_processed == 5
+        assert np.isfinite(result.final_error)

@@ -1,0 +1,129 @@
+"""Unit tests for the proactive-training schedulers."""
+
+import pytest
+
+from repro.core.scheduler import DynamicScheduler, StaticScheduler
+from repro.exceptions import SchedulingError
+
+
+class TestStaticScheduler:
+    def test_every_k_chunks(self):
+        scheduler = StaticScheduler(interval_chunks=3)
+        decisions = [
+            scheduler.should_train(i, now=0.0) for i in range(9)
+        ]
+        assert decisions == [
+            False, False, True,
+            False, False, True,
+            False, False, True,
+        ]
+
+    def test_interval_one_fires_always(self):
+        scheduler = StaticScheduler(interval_chunks=1)
+        assert all(
+            scheduler.should_train(i, now=0.0) for i in range(5)
+        )
+
+    def test_negative_chunk_index_rejected(self):
+        with pytest.raises(SchedulingError):
+            StaticScheduler(2).should_train(-1, now=0.0)
+
+    def test_invalid_interval(self):
+        from repro.exceptions import ValidationError
+
+        with pytest.raises(ValidationError):
+            StaticScheduler(0)
+
+    def test_records_are_noops(self):
+        scheduler = StaticScheduler(2)
+        scheduler.record_training(0.0, 1.0)
+        scheduler.record_predictions(5, 0.1)
+
+
+class TestDynamicScheduler:
+    def test_initial_interval_respected(self):
+        scheduler = DynamicScheduler(slack=2.0, initial_interval=5.0)
+        assert not scheduler.should_train(0, now=0.0)
+        assert not scheduler.should_train(1, now=4.9)
+        assert scheduler.should_train(2, now=5.0)
+
+    def test_formula_six(self):
+        """T' = S * T * pr * pl after a training completes."""
+        scheduler = DynamicScheduler(slack=2.0, initial_interval=1.0)
+        scheduler.should_train(0, now=0.0)  # anchors the clock
+        # 100 queries in 10 virtual seconds: pr = 10/s, pl = 0.1 s.
+        scheduler.record_predictions(count=100, duration=10.0)
+        # A training of duration 3 ends at t = 13.
+        scheduler.record_training(started_at=10.0, duration=3.0)
+        expected_interval = 2.0 * 3.0 * 10.0 * 0.1  # = 6
+        assert scheduler.next_training_time == pytest.approx(
+            13.0 + expected_interval
+        )
+        assert not scheduler.should_train(5, now=18.9)
+        assert scheduler.should_train(6, now=19.0)
+
+    def test_larger_slack_longer_interval(self):
+        intervals = []
+        for slack in (1.0, 4.0):
+            scheduler = DynamicScheduler(slack=slack)
+            scheduler.should_train(0, now=0.0)
+            scheduler.record_predictions(10, 1.0)
+            scheduler.record_training(started_at=1.0, duration=1.0)
+            intervals.append(scheduler.next_training_time)
+        assert intervals[1] > intervals[0]
+
+    def test_no_prediction_traffic_falls_back(self):
+        scheduler = DynamicScheduler(slack=2.0, initial_interval=2.0)
+        scheduler.should_train(0, now=0.0)
+        scheduler.record_training(started_at=0.0, duration=1.0)
+        # pr*pl = 0 -> falls back to the initial interval.
+        assert scheduler.next_training_time == pytest.approx(3.0)
+
+    def test_rate_and_latency_accessors(self):
+        scheduler = DynamicScheduler()
+        assert scheduler.prediction_rate() == 0.0
+        assert scheduler.prediction_latency() == 0.0
+        scheduler.record_predictions(20, 4.0)
+        assert scheduler.prediction_rate() == pytest.approx(5.0)
+        assert scheduler.prediction_latency() == pytest.approx(0.2)
+
+    def test_slack_below_one_rejected(self):
+        with pytest.raises(SchedulingError, match="slack"):
+            DynamicScheduler(slack=0.5)
+
+    def test_invalid_records(self):
+        scheduler = DynamicScheduler()
+        with pytest.raises(SchedulingError):
+            scheduler.record_training(0.0, -1.0)
+        with pytest.raises(SchedulingError):
+            scheduler.record_predictions(-1, 0.0)
+
+
+class TestDynamicSchedulerEdgeCases:
+    def test_clock_origin_anchors_on_first_query(self):
+        """The first should_train call anchors the virtual clock, so a
+        deployment starting at a non-zero cost baseline still waits a
+        full initial interval."""
+        scheduler = DynamicScheduler(slack=2.0, initial_interval=3.0)
+        assert not scheduler.should_train(0, now=100.0)
+        assert not scheduler.should_train(1, now=102.9)
+        assert scheduler.should_train(2, now=103.0)
+
+    def test_consecutive_trainings_reschedule(self):
+        scheduler = DynamicScheduler(slack=1.0, initial_interval=1.0)
+        scheduler.should_train(0, now=0.0)
+        scheduler.record_predictions(10, 2.0)  # pr=5, pl=0.2
+        scheduler.record_training(started_at=1.0, duration=2.0)
+        first_next = scheduler.next_training_time
+        scheduler.record_training(
+            started_at=first_next, duration=4.0
+        )
+        # Longer training -> proportionally later next slot.
+        assert scheduler.next_training_time > first_next + 4.0
+
+    def test_zero_duration_training_uses_fallback(self):
+        scheduler = DynamicScheduler(slack=2.0, initial_interval=7.0)
+        scheduler.should_train(0, now=0.0)
+        scheduler.record_predictions(10, 1.0)
+        scheduler.record_training(started_at=5.0, duration=0.0)
+        assert scheduler.next_training_time == pytest.approx(12.0)

@@ -1,0 +1,172 @@
+"""Unit tests for the μ analysis (equations 4 and 5 of the paper)."""
+
+import numpy as np
+import pytest
+
+from repro.data.materialization import (
+    MaterializationStats,
+    empirical_utilization,
+    expected_materialized,
+    harmonic_number,
+    utilization_random,
+    utilization_window,
+)
+from repro.data.sampling import (
+    TimeBasedSampler,
+    UniformSampler,
+    WindowBasedSampler,
+)
+from repro.exceptions import ValidationError
+
+
+class TestHarmonicNumber:
+    def test_small_values(self):
+        assert harmonic_number(0) == 0.0
+        assert harmonic_number(1) == 1.0
+        assert harmonic_number(2) == pytest.approx(1.5)
+        assert harmonic_number(4) == pytest.approx(1 + 0.5 + 1 / 3 + 0.25)
+
+    def test_asymptotic_matches_exact(self):
+        exact = harmonic_number(50_000)
+        approx = harmonic_number(50_000, exact_below=1)
+        assert approx == pytest.approx(exact, rel=1e-9)
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValidationError):
+            harmonic_number(-1)
+
+
+class TestExpectedMaterialized:
+    def test_hypergeometric_mean(self):
+        assert expected_materialized(n=10, m=5, s=4) == pytest.approx(2.0)
+
+    def test_all_materialized_when_small(self):
+        assert expected_materialized(n=3, m=5, s=4) == 3.0
+
+    def test_validation(self):
+        with pytest.raises(ValidationError):
+            expected_materialized(n=0, m=1, s=1)
+        with pytest.raises(ValidationError):
+            expected_materialized(n=1, m=-1, s=1)
+        with pytest.raises(ValidationError):
+            expected_materialized(n=1, m=1, s=0)
+
+
+class TestUtilizationRandom:
+    def test_boundary_values(self):
+        assert utilization_random(100, 0) == 0.0
+        assert utilization_random(100, 100) == 1.0
+        assert utilization_random(100, 200) == 1.0
+
+    def test_paper_example(self):
+        """§3.2.2: N=12000, m=7200 gives μ ≈ 0.91."""
+        assert utilization_random(12_000, 7_200) == pytest.approx(
+            0.91, abs=0.01
+        )
+
+    def test_monotone_in_budget(self):
+        values = [utilization_random(1000, m) for m in (0, 100, 500, 900)]
+        assert values == sorted(values)
+
+    def test_matches_direct_sum(self):
+        big_n, m = 200, 60
+        direct = (
+            m + sum(m / n for n in range(m + 1, big_n + 1))
+        ) / big_n
+        assert utilization_random(big_n, m) == pytest.approx(direct)
+
+
+class TestUtilizationWindow:
+    def test_budget_covers_window(self):
+        assert utilization_window(1000, 500, 400) == 1.0
+
+    def test_boundaries(self):
+        assert utilization_window(1000, 0, 100) == 0.0
+        assert utilization_window(1000, 1000, 100) == 1.0
+
+    def test_window_equal_population_matches_random(self):
+        assert utilization_window(500, 100, 500) == pytest.approx(
+            utilization_random(500, 100)
+        )
+
+    def test_matches_direct_sum(self):
+        big_n, m, w = 300, 50, 120
+        direct = (
+            m
+            + sum(m / n for n in range(m + 1, w + 1))
+            + (big_n - w) * m / w
+        ) / big_n
+        assert utilization_window(big_n, m, w) == pytest.approx(direct)
+
+    def test_invalid_window(self):
+        with pytest.raises(ValidationError):
+            utilization_window(100, 10, 0)
+
+
+class TestEmpiricalUtilization:
+    def test_uniform_matches_theory(self):
+        """The Table 4 agreement: empirical ≈ analytical for uniform."""
+        big_n, m, s = 600, 120, 20
+        empirical = empirical_utilization(
+            UniformSampler(), big_n, m, s, rng=0
+        )
+        theory = utilization_random(big_n, m)
+        assert empirical == pytest.approx(theory, abs=0.03)
+
+    def test_window_matches_theory(self):
+        big_n, m, s, w = 600, 120, 20, 300
+        empirical = empirical_utilization(
+            WindowBasedSampler(w), big_n, m, s, rng=0
+        )
+        theory = utilization_window(big_n, m, w)
+        assert empirical == pytest.approx(theory, abs=0.03)
+
+    def test_time_based_beats_uniform(self):
+        """§3.2.2's guarantee: recency weighting raises μ."""
+        big_n, m, s = 400, 80, 20
+        time_mu = empirical_utilization(
+            TimeBasedSampler(half_life=big_n / 4), big_n, m, s, rng=0
+        )
+        uniform_mu = empirical_utilization(
+            UniformSampler(), big_n, m, s, rng=0
+        )
+        assert time_mu > uniform_mu
+
+    def test_zero_budget_gives_zero(self):
+        assert empirical_utilization(
+            UniformSampler(), 100, 0, 5, rng=0
+        ) == 0.0
+
+    def test_sample_every_thins(self):
+        value = empirical_utilization(
+            UniformSampler(), 200, 40, 10, rng=0, sample_every=10
+        )
+        assert 0.0 < value <= 1.0
+
+    def test_invalid_sample_every(self):
+        with pytest.raises(ValidationError):
+            empirical_utilization(
+                UniformSampler(), 10, 5, 2, sample_every=0
+            )
+
+
+class TestMaterializationStats:
+    def test_record_and_utilization(self):
+        stats = MaterializationStats()
+        stats.record(sampled=4, materialized=4)
+        stats.record(sampled=4, materialized=0)
+        assert stats.utilization() == pytest.approx(0.5)
+        assert stats.rematerializations == 4
+        assert stats.chunks_sampled == 8
+
+    def test_empty_utilization(self):
+        assert MaterializationStats().utilization() == 0.0
+
+    def test_invalid_records(self):
+        stats = MaterializationStats()
+        with pytest.raises(ValidationError):
+            stats.record(sampled=0, materialized=0)
+        with pytest.raises(ValidationError):
+            stats.record(sampled=2, materialized=3)
+        with pytest.raises(ValidationError):
+            stats.record(sampled=2, materialized=-1)

@@ -1,0 +1,162 @@
+"""Unit tests for the sampling strategies."""
+
+import numpy as np
+import pytest
+
+from repro.data.sampling import (
+    TimeBasedSampler,
+    UniformSampler,
+    WindowBasedSampler,
+    make_sampler,
+)
+from repro.exceptions import SamplingError, ValidationError
+
+
+TIMESTAMPS = list(range(20))
+
+
+class TestUniformSampler:
+    def test_sample_size_and_membership(self, rng):
+        sampler = UniformSampler()
+        chosen = sampler.sample(TIMESTAMPS, 5, rng)
+        assert len(chosen) == 5
+        assert set(chosen) <= set(TIMESTAMPS)
+
+    def test_without_replacement(self, rng):
+        chosen = UniformSampler().sample(TIMESTAMPS, 20, rng)
+        assert sorted(chosen) == TIMESTAMPS
+
+    def test_small_population_returns_all(self, rng):
+        chosen = UniformSampler().sample([3, 1], 10, rng)
+        assert sorted(chosen) == [1, 3]
+
+    def test_empty_population_raises(self, rng):
+        with pytest.raises(SamplingError, match="empty"):
+            UniformSampler().sample([], 1, rng)
+
+    def test_zero_size_raises(self, rng):
+        with pytest.raises(SamplingError, match="size"):
+            UniformSampler().sample(TIMESTAMPS, 0, rng)
+
+    def test_uniform_coverage(self):
+        """Every chunk should be sampled at a similar frequency."""
+        sampler = UniformSampler()
+        rng = np.random.default_rng(0)
+        counts = np.zeros(20)
+        for __ in range(2000):
+            for t in sampler.sample(TIMESTAMPS, 5, rng):
+                counts[t] += 1
+        expected = 2000 * 5 / 20
+        assert np.all(np.abs(counts - expected) < expected * 0.25)
+
+    def test_deterministic_given_seed(self):
+        sampler = UniformSampler()
+        a = sampler.sample(TIMESTAMPS, 5, np.random.default_rng(1))
+        b = sampler.sample(TIMESTAMPS, 5, np.random.default_rng(1))
+        assert a == b
+
+
+class TestWindowBasedSampler:
+    def test_only_window_sampled(self, rng):
+        sampler = WindowBasedSampler(window_size=5)
+        for __ in range(50):
+            chosen = sampler.sample(TIMESTAMPS, 3, rng)
+            assert all(t >= 15 for t in chosen)
+
+    def test_window_larger_than_population(self, rng):
+        sampler = WindowBasedSampler(window_size=100)
+        chosen = sampler.sample(TIMESTAMPS, 5, rng)
+        assert len(chosen) == 5
+
+    def test_small_window_caps_sample(self, rng):
+        sampler = WindowBasedSampler(window_size=2)
+        chosen = sampler.sample(TIMESTAMPS, 5, rng)
+        assert sorted(chosen) == [18, 19]
+
+    def test_invalid_window_rejected(self):
+        with pytest.raises(ValidationError):
+            WindowBasedSampler(window_size=0)
+
+
+class TestTimeBasedSampler:
+    def test_recent_sampled_more_often(self):
+        sampler = TimeBasedSampler(half_life=5.0)
+        rng = np.random.default_rng(0)
+        counts = np.zeros(20)
+        for __ in range(3000):
+            for t in sampler.sample(TIMESTAMPS, 3, rng):
+                counts[t] += 1
+        # Newest chunk must be sampled far more often than the oldest.
+        assert counts[19] > counts[0] * 3
+
+    def test_weights_monotonically_increase(self):
+        weights = TimeBasedSampler(half_life=10.0).weights(TIMESTAMPS)
+        assert np.all(np.diff(weights) > 0)
+
+    def test_half_life_semantics(self):
+        weights = TimeBasedSampler(half_life=4.0).weights(TIMESTAMPS)
+        # A chunk 4 positions older has half the weight.
+        assert weights[-5] == pytest.approx(weights[-1] / 2.0)
+
+    def test_invalid_half_life_rejected(self):
+        with pytest.raises(ValidationError):
+            TimeBasedSampler(half_life=0.0)
+
+
+class TestMakeSampler:
+    def test_uniform(self):
+        assert isinstance(make_sampler("uniform"), UniformSampler)
+
+    def test_window_requires_size(self):
+        with pytest.raises(ValidationError, match="window_size"):
+            make_sampler("window")
+        sampler = make_sampler("window", window_size=4)
+        assert sampler.window_size == 4
+
+    def test_time_defaults(self):
+        assert isinstance(make_sampler("time"), TimeBasedSampler)
+        sampler = make_sampler("time", half_life=9.0)
+        assert sampler.half_life == 9.0
+
+    def test_unknown_rejected(self):
+        with pytest.raises(ValidationError, match="unknown sampler"):
+            make_sampler("zipf")
+
+
+class TestSamplerContract:
+    @pytest.mark.parametrize(
+        "sampler",
+        [
+            UniformSampler(),
+            WindowBasedSampler(window_size=8),
+            TimeBasedSampler(half_life=6.0),
+        ],
+        ids=["uniform", "window", "time"],
+    )
+    def test_returns_sorted_unique(self, sampler, rng):
+        chosen = sampler.sample(TIMESTAMPS, 6, rng)
+        assert chosen == sorted(set(chosen))
+
+    def test_weights_shape_checked(self, rng):
+        class BrokenSampler(UniformSampler):
+            def weights(self, timestamps):
+                return np.ones(3)
+
+        with pytest.raises(SamplingError, match="shape"):
+            BrokenSampler().sample(TIMESTAMPS, 2, rng)
+
+    def test_negative_weights_rejected(self, rng):
+        class NegativeSampler(UniformSampler):
+            def weights(self, timestamps):
+                return -np.ones(len(timestamps))
+
+        with pytest.raises(SamplingError, match="non-negative"):
+            NegativeSampler().sample(TIMESTAMPS, 2, rng)
+
+    def test_all_zero_weights_rejected(self, rng):
+        class ZeroSampler(UniformSampler):
+            def weights(self, timestamps):
+                return np.zeros(len(timestamps))
+
+        with pytest.raises(SamplingError, match="zero"):
+            ZeroSampler().sample(TIMESTAMPS, 2, rng)

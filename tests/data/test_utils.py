@@ -1,0 +1,176 @@
+"""Unit tests for the shared utilities (rng, timer, validation)."""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ValidationError
+from repro.utils import (
+    Timer,
+    check_fraction,
+    check_non_negative,
+    check_positive,
+    check_positive_int,
+    ensure_rng,
+    spawn_rng,
+)
+
+
+class TestEnsureRng:
+    def test_none_gives_generator(self):
+        assert isinstance(ensure_rng(None), np.random.Generator)
+
+    def test_int_is_deterministic(self):
+        a = ensure_rng(42).integers(0, 1000, 5)
+        b = ensure_rng(42).integers(0, 1000, 5)
+        assert np.array_equal(a, b)
+
+    def test_generator_passes_through(self):
+        generator = np.random.default_rng(0)
+        assert ensure_rng(generator) is generator
+
+    def test_spawn_is_independent(self):
+        parent = ensure_rng(0)
+        child = spawn_rng(parent)
+        assert child is not parent
+        # The child stream differs from a same-seed parent's stream.
+        fresh = ensure_rng(0)
+        spawn_rng(fresh)
+        assert not np.array_equal(
+            child.integers(0, 10**9, 8),
+            ensure_rng(0).integers(0, 10**9, 8),
+        )
+
+
+class TestTimer:
+    def test_context_manager_accumulates(self):
+        timer = Timer()
+        with timer:
+            time.sleep(0.01)
+        first = timer.elapsed
+        assert first > 0
+        with timer:
+            time.sleep(0.01)
+        assert timer.elapsed > first
+
+    def test_double_start_rejected(self):
+        timer = Timer()
+        timer.start()
+        with pytest.raises(RuntimeError, match="already running"):
+            timer.start()
+        timer.stop()
+
+    def test_stop_without_start_rejected(self):
+        with pytest.raises(RuntimeError, match="not running"):
+            Timer().stop()
+
+    def test_reset(self):
+        timer = Timer()
+        with timer:
+            pass
+        timer.reset()
+        assert timer.elapsed == 0.0
+        assert not timer.running
+
+    def test_running_flag(self):
+        timer = Timer()
+        assert not timer.running
+        timer.start()
+        assert timer.running
+        timer.stop()
+        assert not timer.running
+
+
+class TestValidation:
+    def test_check_positive(self):
+        assert check_positive(1.5, "x") == 1.5
+        for bad in (0, -1, float("nan"), float("inf"), "3", True):
+            with pytest.raises(ValidationError):
+                check_positive(bad, "x")
+
+    def test_check_non_negative(self):
+        assert check_non_negative(0, "x") == 0.0
+        with pytest.raises(ValidationError):
+            check_non_negative(-0.1, "x")
+
+    def test_check_fraction(self):
+        assert check_fraction(0.0, "x") == 0.0
+        assert check_fraction(1.0, "x") == 1.0
+        for bad in (-0.01, 1.01):
+            with pytest.raises(ValidationError):
+                check_fraction(bad, "x")
+
+    def test_check_positive_int(self):
+        assert check_positive_int(3, "x") == 3
+        for bad in (0, -1, 1.5, True, "2"):
+            with pytest.raises(ValidationError):
+                check_positive_int(bad, "x")
+
+    def test_error_names_parameter(self):
+        with pytest.raises(ValidationError, match="my_param"):
+            check_positive(-1, "my_param")
+
+
+class TestExceptionHierarchy:
+    def test_all_errors_are_repro_errors(self):
+        from repro import exceptions
+
+        for name in (
+            "ValidationError",
+            "SchemaError",
+            "PipelineError",
+            "NotFittedError",
+            "StorageError",
+            "SamplingError",
+            "SchedulingError",
+        ):
+            cls = getattr(exceptions, name)
+            assert issubclass(cls, exceptions.ReproError)
+
+    def test_validation_error_is_value_error(self):
+        from repro.exceptions import ValidationError
+
+        assert issubclass(ValidationError, ValueError)
+
+    def test_not_fitted_is_pipeline_error(self):
+        from repro.exceptions import NotFittedError, PipelineError
+
+        assert issubclass(NotFittedError, PipelineError)
+
+    def test_persistence_error_in_hierarchy(self):
+        from repro.exceptions import ReproError
+        from repro.persistence import PersistenceError
+
+        assert issubclass(PersistenceError, ReproError)
+
+
+class TestImportSurface:
+    def test_top_level_all_resolves(self):
+        import repro
+
+        for name in repro.__all__:
+            assert getattr(repro, name) is not None
+
+    def test_subpackage_all_resolves(self):
+        import repro.core as core
+        import repro.data as data
+        import repro.datasets as datasets
+        import repro.driftdetect as driftdetect
+        import repro.evaluation as evaluation
+        import repro.execution as execution
+        import repro.io as io
+        import repro.ml as ml
+        import repro.pipeline as pipeline
+
+        for module in (
+            core, data, datasets, driftdetect, evaluation,
+            execution, io, ml, pipeline,
+        ):
+            for name in module.__all__:
+                assert getattr(module, name) is not None
+
+    def test_version_string(self):
+        import repro
+
+        assert repro.__version__.count(".") == 2

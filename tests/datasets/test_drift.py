@@ -1,0 +1,89 @@
+"""Unit tests for drift schedules."""
+
+import numpy as np
+import pytest
+
+from repro.datasets.drift import AbruptDrift, GradualDrift, NoDrift
+from repro.exceptions import ValidationError
+
+
+class TestNoDrift:
+    def test_identity(self, rng):
+        weights = rng.standard_normal(10)
+        result = NoDrift().apply(weights, 5, rng)
+        assert np.array_equal(result, weights)
+
+
+class TestGradualDrift:
+    def test_perturbs_without_mutating(self, rng):
+        weights = np.zeros(100)
+        drift = GradualDrift(rate=0.1)
+        result = drift.apply(weights, 0, rng)
+        assert not np.array_equal(result, weights)
+        assert np.all(weights == 0)  # input untouched
+
+    def test_step_size_scales_with_rate(self, rng):
+        weights = np.zeros(10_000)
+        small = GradualDrift(0.01).apply(
+            weights, 0, np.random.default_rng(0)
+        )
+        large = GradualDrift(0.1).apply(
+            weights, 0, np.random.default_rng(0)
+        )
+        assert np.std(large) == pytest.approx(10 * np.std(small))
+
+    def test_zero_rate_is_identity(self, rng):
+        weights = rng.standard_normal(5)
+        result = GradualDrift(0.0).apply(weights, 0, rng)
+        assert np.array_equal(result, weights)
+
+    def test_negative_rate_rejected(self):
+        with pytest.raises(ValidationError):
+            GradualDrift(-0.1)
+
+    def test_random_walk_variance_grows(self, rng):
+        weights = np.zeros(5000)
+        drift = GradualDrift(0.1)
+        for step in range(25):
+            weights = drift.apply(weights, step, rng)
+        assert np.std(weights) == pytest.approx(
+            0.1 * np.sqrt(25), rel=0.1
+        )
+
+
+class TestAbruptDrift:
+    def test_shift_only_at_chosen_chunks(self, rng):
+        weights = np.ones(50)
+        drift = AbruptDrift(at_chunks=[3], magnitude=1.0)
+        assert np.array_equal(drift.apply(weights, 2, rng), weights)
+        shifted = drift.apply(weights, 3, rng)
+        assert not np.array_equal(shifted, weights)
+
+    def test_full_magnitude_replaces_weights(self, rng):
+        weights = np.full(1000, 7.0)
+        drift = AbruptDrift(at_chunks=[0], magnitude=1.0)
+        shifted = drift.apply(weights, 0, rng)
+        assert abs(shifted.mean()) < 1.0  # fresh N(0,1) weights
+
+    def test_partial_magnitude_blends(self):
+        weights = np.full(10_000, 4.0)
+        drift = AbruptDrift(at_chunks=[0], magnitude=0.5)
+        shifted = drift.apply(weights, 0, np.random.default_rng(0))
+        assert shifted.mean() == pytest.approx(2.0, abs=0.1)
+
+    def test_multiple_shift_points(self, rng):
+        drift = AbruptDrift(at_chunks=[1, 4])
+        weights = np.ones(10)
+        assert not np.array_equal(
+            drift.apply(weights, 4, rng), weights
+        )
+
+    def test_validation(self):
+        with pytest.raises(ValidationError):
+            AbruptDrift(at_chunks=[])
+        with pytest.raises(ValidationError):
+            AbruptDrift(at_chunks=[-1])
+        with pytest.raises(ValidationError):
+            AbruptDrift(at_chunks=[1], magnitude=0.0)
+        with pytest.raises(ValidationError):
+            AbruptDrift(at_chunks=[1], magnitude=1.5)

@@ -1,0 +1,53 @@
+"""Unit tests for stream utilities."""
+
+import numpy as np
+import pytest
+
+from repro.data.table import Table
+from repro.datasets.stream import chunk_table, take
+from repro.exceptions import ValidationError
+
+
+class TestChunkTable:
+    def test_even_split(self):
+        table = Table({"a": np.arange(6)})
+        chunks = chunk_table(table, 2)
+        assert [c.num_rows for c in chunks] == [2, 2, 2]
+        assert np.array_equal(chunks[1]["a"], [2, 3])
+
+    def test_ragged_tail(self):
+        table = Table({"a": np.arange(5)})
+        chunks = chunk_table(table, 2)
+        assert [c.num_rows for c in chunks] == [2, 2, 1]
+
+    def test_chunk_larger_than_table(self):
+        table = Table({"a": np.arange(3)})
+        chunks = chunk_table(table, 100)
+        assert len(chunks) == 1
+        assert chunks[0].num_rows == 3
+
+    def test_empty_table(self):
+        assert chunk_table(Table({"a": np.array([])}), 4) == []
+
+    def test_invalid_size(self):
+        with pytest.raises(ValidationError):
+            chunk_table(Table({"a": [1]}), 0)
+
+
+class TestTake:
+    def test_limits_stream(self):
+        stream = (Table({"a": [i]}) for i in range(100))
+        taken = list(take(stream, 3))
+        assert len(taken) == 3
+        assert taken[2]["a"][0] == 2
+
+    def test_short_stream(self):
+        stream = (Table({"a": [i]}) for i in range(2))
+        assert len(list(take(stream, 10))) == 2
+
+    def test_zero(self):
+        assert list(take(iter([]), 0)) == []
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValidationError):
+            list(take(iter([]), -1))

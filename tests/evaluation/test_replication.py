@@ -1,0 +1,109 @@
+"""Tests for the multi-seed replication harness."""
+
+import pytest
+
+from repro.core.deployment.base import DeploymentResult
+from repro.evaluation.replication import (
+    Aggregate,
+    format_replicated,
+    replicate,
+    win_rate,
+)
+from repro.exceptions import ValidationError
+from repro.experiments.common import (
+    run_continuous,
+    run_online,
+    url_scenario,
+)
+
+pytestmark = pytest.mark.filterwarnings(
+    "ignore::repro.exceptions.ConvergenceWarning"
+)
+
+
+class TestAggregate:
+    def test_mean_and_std(self):
+        aggregate = Aggregate.of([1.0, 2.0, 3.0])
+        assert aggregate.mean == pytest.approx(2.0)
+        assert aggregate.std == pytest.approx(1.0)
+        assert aggregate.values == (1.0, 2.0, 3.0)
+
+    def test_single_value_zero_std(self):
+        aggregate = Aggregate.of([5.0])
+        assert aggregate.std == 0.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValidationError):
+            Aggregate.of([])
+
+    def test_str(self):
+        assert "±" in str(Aggregate.of([1.0, 2.0]))
+
+
+class TestReplicateFake:
+    """Replication plumbing on fake runners (no deployments)."""
+
+    @staticmethod
+    def _fake_result(error, cost):
+        return DeploymentResult(
+            approach="fake",
+            error_history=[error],
+            cost_history=[cost],
+        )
+
+    def test_aggregates_per_runner(self):
+        def build(seed):
+            return seed  # the "scenario" is just the seed
+
+        runners = {
+            "low": lambda s: self._fake_result(0.1 + s * 0.01, 1.0),
+            "high": lambda s: self._fake_result(0.5 + s * 0.01, 2.0),
+        }
+        replicated = replicate(build, runners, seeds=[0, 1, 2])
+        assert replicated["low"].average_error.mean == pytest.approx(
+            0.11
+        )
+        assert replicated["high"].total_cost.mean == 2.0
+        assert len(replicated["low"].results) == 3
+
+    def test_win_rate_paired(self):
+        def build(seed):
+            return seed
+
+        runners = {
+            "a": lambda s: self._fake_result(0.1 if s < 2 else 0.9, 1),
+            "b": lambda s: self._fake_result(0.5, 1),
+        }
+        replicated = replicate(build, runners, seeds=[0, 1, 2])
+        assert win_rate(replicated, "a", "b") == pytest.approx(2 / 3)
+
+    def test_validation(self):
+        with pytest.raises(ValidationError):
+            replicate(lambda s: s, {}, seeds=[0])
+        with pytest.raises(ValidationError):
+            replicate(lambda s: s, {"a": lambda s: None}, seeds=[])
+
+    def test_format(self):
+        replicated = replicate(
+            lambda s: s,
+            {"only": lambda s: self._fake_result(0.2, 3.0)},
+            seeds=[0, 1],
+        )
+        text = format_replicated(replicated)
+        assert "only" in text
+        assert "±" in text
+
+
+class TestReplicateRealScenario:
+    def test_two_seed_url_replication(self):
+        replicated = replicate(
+            lambda seed: url_scenario("test", seed=seed),
+            {"online": run_online, "continuous": run_continuous},
+            seeds=[1, 2],
+        )
+        assert set(replicated) == {"online", "continuous"}
+        for result in replicated.values():
+            assert len(result.results) == 2
+            assert 0.0 <= result.average_error.mean <= 1.0
+        rate = win_rate(replicated, "continuous", "online")
+        assert 0.0 <= rate <= 1.0

@@ -1,0 +1,79 @@
+"""Unit tests for result reporting."""
+
+import pytest
+
+from repro.core.deployment.base import DeploymentResult
+from repro.evaluation.report import (
+    downsample,
+    format_comparison_table,
+    format_series,
+    summarize_results,
+)
+from repro.exceptions import ValidationError
+
+
+def make_result(name, errors, costs, **counters):
+    return DeploymentResult(
+        approach=name,
+        error_history=list(errors),
+        cost_history=list(costs),
+        counters=dict(counters),
+    )
+
+
+class TestDownsample:
+    def test_short_series_unchanged(self):
+        assert downsample([1.0, 2.0], points=10) == [1.0, 2.0]
+
+    def test_long_series_thinned(self):
+        series = list(range(100))
+        sampled = downsample(series, points=5)
+        assert len(sampled) == 5
+        assert sampled[0] == 0
+        assert sampled[-1] == 99
+
+    def test_invalid_points(self):
+        with pytest.raises(ValidationError):
+            downsample([1.0], points=1)
+
+
+class TestSummarize:
+    def test_rows_contain_key_quantities(self):
+        results = {
+            "online": make_result(
+                "online", [0.2, 0.1], [1.0, 2.0], online_updates=2
+            ),
+        }
+        rows = summarize_results(results)
+        assert rows[0]["approach"] == "online"
+        assert rows[0]["final_error"] == 0.1
+        assert rows[0]["average_error"] == pytest.approx(0.15)
+        assert rows[0]["total_cost"] == 2.0
+        assert rows[0]["count_online_updates"] == 2
+
+
+class TestFormatting:
+    def test_table_renders_aligned(self):
+        rows = [
+            {"approach": "online", "final_error": 0.123456},
+            {"approach": "continuous", "final_error": 0.2},
+        ]
+        text = format_comparison_table(rows)
+        lines = text.splitlines()
+        assert "approach" in lines[0]
+        assert "0.1235" in text
+        assert len(lines) == 4  # header + rule + 2 rows
+
+    def test_table_with_column_subset(self):
+        rows = [{"a": 1.0, "b": 2.0}]
+        text = format_comparison_table(rows, columns=["b"])
+        assert "a" not in text.splitlines()[0]
+
+    def test_empty_rows_rejected(self):
+        with pytest.raises(ValidationError):
+            format_comparison_table([])
+
+    def test_series_row(self):
+        text = format_series("continuous", [0.1] * 50, points=4)
+        assert text.startswith("continuous")
+        assert text.count("0.1000") == 4

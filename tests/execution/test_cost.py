@@ -1,0 +1,93 @@
+"""Unit tests for the cost model and tracker."""
+
+import pytest
+
+from repro.exceptions import ValidationError
+from repro.execution.cost import CostModel, CostTracker
+
+
+class TestCostModel:
+    def test_defaults_non_negative(self):
+        model = CostModel()
+        assert model.transform_cost_per_value >= 0
+        assert model.disk_seek_cost_per_chunk >= 0
+
+    def test_custom_prices(self):
+        model = CostModel(transform_cost_per_value=2.0)
+        assert model.transform_cost_per_value == 2.0
+
+    def test_negative_price_rejected(self):
+        with pytest.raises(ValidationError):
+            CostModel(training_cost_per_value=-1.0)
+
+    def test_frozen(self):
+        model = CostModel()
+        with pytest.raises(AttributeError):
+            model.transform_cost_per_value = 9.0
+
+
+class TestCostTracker:
+    def test_charges_accumulate_by_category(self):
+        tracker = CostTracker(CostModel(transform_cost_per_value=1.0))
+        tracker.charge_transform(3, "scaler")
+        tracker.charge_transform(2, "hasher")
+        assert tracker.category("preprocessing") == 5.0
+        assert tracker.total() == 5.0
+
+    def test_all_categories(self):
+        model = CostModel(
+            transform_cost_per_value=1.0,
+            statistics_cost_per_value=1.0,
+            training_cost_per_value=1.0,
+            prediction_cost_per_value=1.0,
+            disk_read_cost_per_value=1.0,
+            disk_seek_cost_per_chunk=10.0,
+        )
+        tracker = CostTracker(model)
+        tracker.charge_transform(1, "t")
+        tracker.charge_statistics(1, "s")
+        tracker.charge_training(1, "g")
+        tracker.charge_prediction(1, "p")
+        tracker.charge_disk_read(1, chunks=2, label="d")
+        breakdown = tracker.breakdown()
+        assert breakdown.by_category["preprocessing"] == 1.0
+        assert breakdown.by_category["statistics"] == 1.0
+        assert breakdown.by_category["training"] == 1.0
+        assert breakdown.by_category["prediction"] == 1.0
+        assert breakdown.by_category["disk_io"] == 21.0
+        assert breakdown.total == 25.0
+
+    def test_labels_tracked_independently(self):
+        tracker = CostTracker(
+            CostModel(
+                transform_cost_per_value=1.0,
+                statistics_cost_per_value=1.0,
+            )
+        )
+        tracker.charge_transform(1, "a")
+        tracker.charge_statistics(1, "a")
+        assert tracker.breakdown().by_label["a"] == pytest.approx(2.0)
+
+    def test_unknown_category_reads_zero(self):
+        assert CostTracker().category("training") == 0.0
+
+    def test_reset(self):
+        tracker = CostTracker()
+        tracker.charge_transform(100, "x")
+        tracker.reset()
+        assert tracker.total() == 0.0
+
+    def test_breakdown_is_snapshot(self):
+        tracker = CostTracker(CostModel(transform_cost_per_value=1.0))
+        tracker.charge_transform(1, "x")
+        snapshot = tracker.breakdown()
+        tracker.charge_transform(1, "x")
+        assert snapshot.by_category["preprocessing"] == 1.0
+
+    def test_disk_read_seek_component(self):
+        model = CostModel(
+            disk_read_cost_per_value=0.0, disk_seek_cost_per_chunk=0.5
+        )
+        tracker = CostTracker(model)
+        tracker.charge_disk_read(10_000, chunks=4, label="reads")
+        assert tracker.category("disk_io") == pytest.approx(2.0)

@@ -1,0 +1,91 @@
+"""Unit tests for the local execution engine."""
+
+import numpy as np
+import pytest
+
+from repro.data.table import Table
+from repro.execution.cost import CostModel
+from repro.execution.engine import LocalExecutionEngine
+from repro.ml.models import LinearRegression
+from repro.ml.optim import Adam
+from repro.ml.sgd import SGDTrainer
+from repro.pipeline.components.assembler import FeatureAssembler
+from repro.pipeline.components.scaler import StandardScaler
+from repro.pipeline.pipeline import Pipeline
+
+
+@pytest.fixture
+def engine():
+    return LocalExecutionEngine(CostModel(transform_cost_per_value=1.0))
+
+
+@pytest.fixture
+def pipeline():
+    return Pipeline(
+        [
+            StandardScaler(["x"], name="scaler"),
+            FeatureAssembler(["x"], "y", name="assembler"),
+        ]
+    )
+
+
+@pytest.fixture
+def table():
+    return Table({"x": [1.0, 2.0, 3.0], "y": [1.0, 2.0, 3.0]})
+
+
+class TestPipelineExecution:
+    def test_online_pass_returns_features(self, engine, pipeline, table):
+        features = engine.online_pass(pipeline, table)
+        assert features.num_rows == 3
+        assert engine.tracker.category("statistics") > 0
+
+    def test_transform_only_no_statistics(self, engine, pipeline, table):
+        engine.transform_only(pipeline, table)
+        assert engine.tracker.category("statistics") == 0.0
+        assert engine.tracker.category("preprocessing") > 0
+
+    def test_wall_clock_accumulates(self, engine, pipeline, table):
+        engine.online_pass(pipeline, table)
+        assert engine.wall.elapsed > 0
+
+
+class TestTrainingExecution:
+    def test_train_step(self, engine, rng):
+        model = LinearRegression(num_features=2)
+        trainer = SGDTrainer(model, Adam(0.05))
+        x = rng.standard_normal((10, 2))
+        y = rng.standard_normal(10)
+        engine.train_step(trainer, x, y)
+        assert model.updates_applied == 1
+        assert engine.tracker.category("training") > 0
+
+    def test_train_full(self, engine, rng):
+        model = LinearRegression(num_features=2)
+        trainer = SGDTrainer(model, Adam(0.05))
+        x = rng.standard_normal((50, 2))
+        y = x @ np.array([1.0, 2.0])
+        result = engine.train_full(
+            trainer, x, y, max_iterations=2000, tolerance=1e-8, seed=0
+        )
+        assert result.converged
+
+
+class TestPredictionAndIO:
+    def test_predict_charges(self, engine, rng):
+        model = LinearRegression(num_features=2)
+        predictions = engine.predict(model, rng.standard_normal((5, 2)))
+        assert predictions.shape == (5,)
+        assert engine.tracker.category("prediction") > 0
+
+    def test_read_chunk_charges_disk(self, engine):
+        engine.read_chunk(values=100, label="retrain_read")
+        assert engine.tracker.category("disk_io") > 0
+        assert "retrain_read" in engine.tracker.breakdown().by_label
+
+    def test_total_cost_aggregates(self, engine, pipeline, table):
+        engine.online_pass(pipeline, table)
+        engine.read_chunk(10, "x")
+        assert engine.total_cost() == pytest.approx(
+            engine.tracker.total()
+        )

@@ -1,0 +1,107 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+pytestmark = pytest.mark.filterwarnings(
+    "ignore::repro.exceptions.ConvergenceWarning"
+)
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_defaults(self):
+        args = build_parser().parse_args(["exp1"])
+        assert args.dataset == "url"
+        assert args.scale == "test"
+        assert args.seed is None
+
+    def test_scenario_options(self):
+        args = build_parser().parse_args(
+            ["fig6", "--dataset", "taxi", "--scale", "bench",
+             "--seed", "5"]
+        )
+        assert args.dataset == "taxi"
+        assert args.scale == "bench"
+        assert args.seed == 5
+
+    def test_table4_options(self):
+        args = build_parser().parse_args(
+            ["table4", "--chunks", "500", "--sample-size", "10"]
+        )
+        assert args.chunks == 500
+        assert args.sample_size == 10
+
+    def test_unknown_command_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["fig99"])
+
+    def test_invalid_dataset_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["exp1", "--dataset", "mnist"])
+
+
+class TestExecution:
+    """End-to-end CLI runs at test scale (smallest possible)."""
+
+    def test_exp1(self, capsys):
+        assert main(["exp1", "--scale", "test"]) == 0
+        out = capsys.readouterr().out
+        assert "final-cost ratio" in out
+        assert "continuous" in out
+
+    def test_table4(self, capsys):
+        assert main(
+            ["table4", "--chunks", "300", "--sample-size", "10",
+             "--sample-every", "10"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "uniform" in out
+        assert "time" in out
+
+    def test_fig6(self, capsys):
+        assert main(
+            ["fig6", "--dataset", "taxi", "--scale", "test"]
+        ) == 0
+        assert "average error" in capsys.readouterr().out
+
+    def test_fig8(self, capsys):
+        assert main(
+            ["fig8", "--dataset", "taxi", "--scale", "test"]
+        ) == 0
+        assert "cost ratio" in capsys.readouterr().out
+
+    def test_table3(self, capsys):
+        assert main(
+            ["table3", "--dataset", "taxi", "--scale", "test"]
+        ) == 0
+        assert "adadelta" in capsys.readouterr().out
+
+
+class TestExecutionExtended:
+    """The remaining CLI commands, at the smallest usable scale."""
+
+    def test_fig5(self, capsys):
+        assert main(
+            ["fig5", "--dataset", "taxi", "--scale", "test"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "initial-training winner" in out
+
+    def test_fig7(self, capsys):
+        assert main(
+            ["fig7", "--dataset", "taxi", "--scale", "test"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "NoOptimization" in out
+
+    def test_seed_override(self, capsys):
+        assert main(
+            ["fig6", "--dataset", "taxi", "--scale", "test",
+             "--seed", "99"]
+        ) == 0
+        assert "average error" in capsys.readouterr().out

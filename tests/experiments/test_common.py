@@ -1,0 +1,73 @@
+"""Unit tests for scenario builders and helpers."""
+
+import pytest
+
+from repro.exceptions import ValidationError
+from repro.experiments.common import (
+    Scenario,
+    taxi_scenario,
+    url_scenario,
+)
+from repro.ml.optim import RMSProp
+
+
+class TestScenarioBuilders:
+    def test_url_test_scale(self):
+        scenario = url_scenario("test")
+        assert scenario.metric == "classification"
+        assert scenario.num_chunks == 40
+        chunks = list(scenario.make_stream())
+        assert len(chunks) == 40
+
+    def test_taxi_test_scale(self):
+        scenario = taxi_scenario("test")
+        assert scenario.metric == "regression"
+        assert scenario.num_chunks == 30
+
+    def test_bench_scale_larger(self):
+        assert (
+            url_scenario("bench").num_chunks
+            > url_scenario("test").num_chunks
+        )
+
+    def test_invalid_scale(self):
+        with pytest.raises(ValidationError):
+            url_scenario("huge")
+
+    def test_streams_reproducible(self):
+        scenario = url_scenario("test")
+        first = list(scenario.make_stream())
+        second = list(scenario.make_stream())
+        assert first[5] == second[5]
+
+    def test_factories_independent(self):
+        scenario = url_scenario("test")
+        assert scenario.make_model() is not scenario.make_model()
+        assert scenario.make_pipeline() is not scenario.make_pipeline()
+
+
+class TestScenarioHelpers:
+    def test_with_continuous_override(self):
+        scenario = url_scenario("test")
+        adapted = scenario.with_continuous(sample_size_chunks=17)
+        assert adapted.continuous_config.sample_size_chunks == 17
+        # Original untouched.
+        assert scenario.continuous_config.sample_size_chunks != 17
+
+    def test_with_optimizer(self):
+        scenario = url_scenario("test").with_optimizer(
+            "rmsprop", learning_rate=0.2
+        )
+        optimizer = scenario.make_optimizer()
+        assert isinstance(optimizer, RMSProp)
+        assert optimizer.learning_rate == 0.2
+
+    def test_with_regularization(self):
+        scenario = url_scenario("test").with_regularization(0.5)
+        model = scenario.make_model()
+        assert model.regularizer.strength == 0.5
+
+    def test_scenario_is_dataclass_copyable(self):
+        scenario = url_scenario("test")
+        assert isinstance(scenario, Scenario)
+        assert scenario.online_batch_rows == 1

@@ -1,0 +1,145 @@
+"""Unit tests for online k-means."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import NotFittedError, ValidationError
+from repro.ml.models import OnlineKMeans
+
+
+def three_blobs(rng, per_blob=100, spread=0.15):
+    centers = np.array([[0.0, 0.0], [5.0, 5.0], [-5.0, 5.0]])
+    points = np.vstack(
+        [
+            center + spread * rng.standard_normal((per_blob, 2))
+            for center in centers
+        ]
+    )
+    labels = np.repeat(np.arange(3), per_blob)
+    order = rng.permutation(len(points))
+    return points[order], labels[order], centers
+
+
+class TestClustering:
+    def test_recovers_well_separated_blobs(self, rng):
+        points, __, centers = three_blobs(rng)
+        model = OnlineKMeans(num_clusters=3, num_features=2, seed=0)
+        model.partial_fit(points)
+        for center in centers:
+            distances = np.linalg.norm(
+                model.centroids - center, axis=1
+            )
+            assert distances.min() < 0.5
+
+    def test_inertia_reasonable_after_fit(self, rng):
+        points, __, __ = three_blobs(rng, spread=0.1)
+        model = OnlineKMeans(num_clusters=3, num_features=2, seed=0)
+        model.partial_fit(points)
+        # Inertia ~ spread² when clusters are found, ~25 when not.
+        assert model.inertia(points) < 1.0
+
+    def test_predict_assigns_consistent_clusters(self, rng):
+        points, labels, __ = three_blobs(rng)
+        model = OnlineKMeans(num_clusters=3, num_features=2, seed=0)
+        model.partial_fit(points)
+        assigned = model.predict(points)
+        for blob in range(3):
+            blob_assignments = assigned[labels == blob]
+            majority = np.bincount(blob_assignments).max()
+            assert majority / len(blob_assignments) > 0.9
+
+    def test_centroid_is_running_mean(self, rng):
+        """The 1/count step makes each centroid the mean of its
+        assigned points — verify on a single-cluster stream."""
+        points = rng.standard_normal((50, 2)) + 10.0
+        model = OnlineKMeans(num_clusters=1, num_features=2, seed=0)
+        model.partial_fit(points)
+        assert model.centroids[0] == pytest.approx(
+            points.mean(axis=0)
+        )
+
+    def test_incremental_equals_batch(self, rng):
+        points = rng.standard_normal((60, 3))
+        whole = OnlineKMeans(2, 3, seed=7)
+        whole.partial_fit(points)
+        split = OnlineKMeans(2, 3, seed=7)
+        split.partial_fit(points[:25])
+        split.partial_fit(points[25:])
+        assert np.allclose(whole.centroids, split.centroids)
+
+
+class TestSeeding:
+    def test_not_fitted_until_buffer_full(self):
+        model = OnlineKMeans(
+            num_clusters=2, num_features=1, seed_size=5, seed=0
+        )
+        model.partial_fit(np.array([[1.0], [2.0], [3.0]]))
+        assert not model.is_fitted
+        with pytest.raises(NotFittedError):
+            model.predict(np.array([[1.0]]))
+        model.partial_fit(np.array([[4.0], [5.0]]))
+        assert model.is_fitted
+
+    def test_seed_size_floor(self):
+        with pytest.raises(ValidationError):
+            OnlineKMeans(num_clusters=3, num_features=1, seed_size=2)
+
+    def test_degenerate_identical_points(self):
+        model = OnlineKMeans(
+            num_clusters=2, num_features=1, seed_size=4, seed=0
+        )
+        model.partial_fit(np.full((6, 1), 3.0))
+        assert model.is_fitted
+        assert model.inertia(np.full((2, 1), 3.0)) == pytest.approx(0.0)
+
+    def test_kmeans_plus_plus_spreads_centroids(self, rng):
+        """With two distant blobs and k=2, the two centroids must
+        land in different blobs (the failure mode of naive seeding)."""
+        points = np.vstack(
+            [
+                rng.standard_normal((50, 2)) * 0.1,
+                rng.standard_normal((50, 2)) * 0.1 + 100.0,
+            ]
+        )
+        rng.shuffle(points)
+        model = OnlineKMeans(2, 2, seed=1)
+        model.partial_fit(points)
+        gap = np.linalg.norm(model.centroids[0] - model.centroids[1])
+        assert gap > 50.0
+
+
+class TestStateAndValidation:
+    def test_state_roundtrip(self, rng):
+        points, __, __ = three_blobs(rng)
+        model = OnlineKMeans(3, 2, seed=0)
+        model.partial_fit(points)
+        clone = OnlineKMeans(3, 2, seed=9)
+        clone.load_state_dict(model.state_dict())
+        probe = rng.standard_normal((10, 2))
+        assert np.array_equal(
+            model.predict(probe), clone.predict(probe)
+        )
+
+    def test_state_roundtrip_mid_buffer(self):
+        model = OnlineKMeans(2, 1, seed_size=10, seed=0)
+        model.partial_fit(np.array([[1.0], [2.0]]))
+        clone = OnlineKMeans(2, 1, seed_size=10, seed=0)
+        clone.load_state_dict(model.state_dict())
+        remaining = np.arange(8, dtype=np.float64)[:, None]
+        model.partial_fit(remaining)
+        clone.partial_fit(remaining)
+        assert np.allclose(model.centroids, clone.centroids)
+
+    def test_state_shape_checked(self):
+        model = OnlineKMeans(3, 2)
+        other = OnlineKMeans(2, 2, seed_size=2, seed=0)
+        other.partial_fit(np.array([[0.0, 0.0], [1.0, 1.0]]))
+        with pytest.raises(ValidationError):
+            model.load_state_dict(other.state_dict())
+
+    def test_bad_shapes_rejected(self):
+        model = OnlineKMeans(2, 3)
+        with pytest.raises(ValidationError):
+            model.partial_fit(np.zeros((4, 2)))
+        with pytest.raises(ValidationError):
+            OnlineKMeans(0, 1)

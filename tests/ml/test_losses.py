@@ -1,0 +1,143 @@
+"""Unit tests for loss functions and their gradients."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ValidationError
+from repro.ml.losses import (
+    HingeLoss,
+    LogisticLoss,
+    SquaredLoss,
+    sigmoid,
+)
+
+ALL_LOSSES = [SquaredLoss(), HingeLoss(), LogisticLoss()]
+
+
+def numerical_dvalue(loss, decision, targets, eps=1e-6):
+    """Central-difference derivative of the mean loss wrt decision."""
+    grads = np.zeros_like(decision)
+    for i in range(len(decision)):
+        up = decision.copy()
+        up[i] += eps
+        down = decision.copy()
+        down[i] -= eps
+        grads[i] = (
+            (loss.value(up, targets) - loss.value(down, targets))
+            / (2 * eps)
+            * len(decision)
+        )
+    return grads
+
+
+class TestSquaredLoss:
+    def test_value(self):
+        loss = SquaredLoss()
+        z = np.array([1.0, 2.0])
+        y = np.array([0.0, 2.0])
+        assert loss.value(z, y) == pytest.approx(0.25)
+
+    def test_gradient_matches_numerical(self, rng):
+        loss = SquaredLoss()
+        z = rng.standard_normal(10)
+        y = rng.standard_normal(10)
+        assert loss.dvalue(z, y) == pytest.approx(
+            numerical_dvalue(loss, z, y), abs=1e-4
+        )
+
+    def test_zero_at_perfect_fit(self):
+        loss = SquaredLoss()
+        y = np.array([1.0, -2.0])
+        assert loss.value(y, y) == 0.0
+
+
+class TestHingeLoss:
+    def test_zero_beyond_margin(self):
+        loss = HingeLoss()
+        z = np.array([2.0, -2.0])
+        y = np.array([1.0, -1.0])
+        assert loss.value(z, y) == 0.0
+        assert np.all(loss.dvalue(z, y) == 0.0)
+
+    def test_linear_inside_margin(self):
+        loss = HingeLoss()
+        z = np.array([0.0])
+        y = np.array([1.0])
+        assert loss.value(z, y) == pytest.approx(1.0)
+        assert loss.dvalue(z, y)[0] == -1.0
+
+    def test_misclassified_grows(self):
+        loss = HingeLoss()
+        y = np.array([1.0])
+        assert loss.value(np.array([-3.0]), y) == pytest.approx(4.0)
+
+    def test_gradient_matches_numerical_off_kink(self, rng):
+        loss = HingeLoss()
+        y = rng.choice([-1.0, 1.0], 10)
+        # Stay away from the hinge kink at margin == 1.
+        z = y * (1.0 + rng.uniform(0.1, 2.0, 10) * rng.choice([-1, 1], 10))
+        z = np.where(np.abs(1 - y * z) < 0.05, z + 0.2, z)
+        assert loss.dvalue(z, y) == pytest.approx(
+            numerical_dvalue(loss, z, y), abs=1e-4
+        )
+
+
+class TestLogisticLoss:
+    def test_value_at_zero_decision(self):
+        loss = LogisticLoss()
+        z = np.array([0.0])
+        y = np.array([1.0])
+        assert loss.value(z, y) == pytest.approx(np.log(2.0))
+
+    def test_gradient_matches_numerical(self, rng):
+        loss = LogisticLoss()
+        z = rng.standard_normal(10) * 2
+        y = rng.choice([-1.0, 1.0], 10)
+        assert loss.dvalue(z, y) == pytest.approx(
+            numerical_dvalue(loss, z, y), abs=1e-4
+        )
+
+    def test_extreme_margins_stable(self):
+        loss = LogisticLoss()
+        z = np.array([1000.0, -1000.0])
+        y = np.array([1.0, -1.0])
+        assert loss.value(z, y) == pytest.approx(0.0, abs=1e-9)
+        assert np.all(np.isfinite(loss.dvalue(z, y)))
+
+    def test_extreme_wrong_margins_stable(self):
+        loss = LogisticLoss()
+        z = np.array([-1000.0])
+        y = np.array([1.0])
+        assert np.isfinite(loss.value(z, y))
+        assert loss.dvalue(z, y)[0] == pytest.approx(-1.0)
+
+
+class TestSigmoid:
+    def test_midpoint(self):
+        assert sigmoid(np.array([0.0]))[0] == 0.5
+
+    def test_extremes(self):
+        values = sigmoid(np.array([-800.0, 800.0]))
+        assert values[0] == pytest.approx(0.0, abs=1e-12)
+        assert values[1] == pytest.approx(1.0, abs=1e-12)
+
+    def test_symmetry(self, rng):
+        x = rng.standard_normal(20)
+        assert sigmoid(x) + sigmoid(-x) == pytest.approx(np.ones(20))
+
+
+class TestValidation:
+    @pytest.mark.parametrize("loss", ALL_LOSSES, ids=lambda l: l.name)
+    def test_shape_mismatch(self, loss):
+        with pytest.raises(ValidationError):
+            loss.value(np.ones(3), np.ones(2))
+
+    @pytest.mark.parametrize("loss", ALL_LOSSES, ids=lambda l: l.name)
+    def test_empty_batch(self, loss):
+        with pytest.raises(ValidationError):
+            loss.value(np.array([]), np.array([]))
+
+    def test_classification_flags(self):
+        assert not SquaredLoss.is_classification
+        assert HingeLoss.is_classification
+        assert LogisticLoss.is_classification

@@ -1,0 +1,131 @@
+"""Unit tests for SGD matrix factorization."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ValidationError
+from repro.ml.models import MatrixFactorization
+
+
+def synthetic_ratings(rng, num_users=30, num_items=20, factors=3,
+                      observed=400):
+    true_p = rng.normal(0, 1, (num_users, factors))
+    true_q = rng.normal(0, 1, (num_items, factors))
+    users = rng.integers(0, num_users, observed)
+    items = rng.integers(0, num_items, observed)
+    ratings = (
+        3.0
+        + np.sum(true_p[users] * true_q[items], axis=1)
+        + 0.05 * rng.standard_normal(observed)
+    )
+    return users, items, ratings
+
+
+class TestTraining:
+    def test_fit_reduces_mse(self, rng):
+        users, items, ratings = synthetic_ratings(rng)
+        model = MatrixFactorization(
+            num_users=30, num_items=20, num_factors=3,
+            learning_rate=0.02, seed=0,
+        )
+        before = model.mse(users, items, ratings)
+        history = model.fit(
+            users, items, ratings, epochs=40, shuffle_seed=1
+        )
+        after = model.mse(users, items, ratings)
+        assert after < before * 0.2
+        # Per-epoch training error trends downward.
+        assert history[-1] < history[0]
+
+    def test_learns_global_bias(self, rng):
+        """All-constant ratings: the global bias must absorb them."""
+        users = rng.integers(0, 10, 200)
+        items = rng.integers(0, 10, 200)
+        ratings = np.full(200, 4.0)
+        model = MatrixFactorization(
+            10, 10, num_factors=2, learning_rate=0.05,
+            init_scale=0.01, seed=0,
+        )
+        model.fit(users, items, ratings, epochs=30, shuffle_seed=0)
+        assert model.mse(users, items, ratings) < 0.01
+
+    def test_step_returns_pre_update_mse(self, rng):
+        users, items, ratings = synthetic_ratings(rng, observed=50)
+        model = MatrixFactorization(30, 20, num_factors=3, seed=0)
+        reported = model.step(users, items, ratings)
+        assert reported > 0
+        assert model.updates_applied == 50
+
+    def test_incremental_training_continues(self, rng):
+        """Training in two halves matches one pass over both halves
+        (same order): the update is purely sequential."""
+        users, items, ratings = synthetic_ratings(rng, observed=100)
+        whole = MatrixFactorization(30, 20, num_factors=3, seed=5)
+        whole.step(users, items, ratings)
+        split = MatrixFactorization(30, 20, num_factors=3, seed=5)
+        split.step(users[:50], items[:50], ratings[:50])
+        split.step(users[50:], items[50:], ratings[50:])
+        assert np.allclose(whole.user_factors, split.user_factors)
+        assert whole.global_bias == pytest.approx(split.global_bias)
+
+
+class TestPrediction:
+    def test_prediction_shape(self, rng):
+        model = MatrixFactorization(5, 5, num_factors=2, seed=0)
+        predictions = model.predict(
+            np.array([0, 1, 2]), np.array([4, 3, 2])
+        )
+        assert predictions.shape == (3,)
+
+    def test_out_of_range_ids_rejected(self):
+        model = MatrixFactorization(5, 5)
+        with pytest.raises(ValidationError):
+            model.predict(np.array([5]), np.array([0]))
+        with pytest.raises(ValidationError):
+            model.predict(np.array([0]), np.array([-1]))
+
+
+class TestStateAndValidation:
+    def test_state_roundtrip(self, rng):
+        users, items, ratings = synthetic_ratings(rng, observed=80)
+        model = MatrixFactorization(30, 20, num_factors=3, seed=2)
+        model.step(users, items, ratings)
+        clone = MatrixFactorization(30, 20, num_factors=3, seed=99)
+        clone.load_state_dict(model.state_dict())
+        probe_u = np.array([1, 2, 3])
+        probe_i = np.array([4, 5, 6])
+        assert np.allclose(
+            model.predict(probe_u, probe_i),
+            clone.predict(probe_u, probe_i),
+        )
+
+    def test_state_shape_checked(self):
+        small = MatrixFactorization(3, 3, num_factors=2)
+        large = MatrixFactorization(4, 3, num_factors=2)
+        with pytest.raises(ValidationError):
+            large.load_state_dict(small.state_dict())
+
+    def test_invalid_inputs(self, rng):
+        model = MatrixFactorization(5, 5)
+        with pytest.raises(ValidationError):
+            model.step(np.array([0]), np.array([0, 1]), np.array([1.0]))
+        with pytest.raises(ValidationError):
+            model.step(
+                np.array([0]), np.array([0]), np.array([1.0, 2.0])
+            )
+        with pytest.raises(ValidationError):
+            model.step(np.array([], dtype=int),
+                       np.array([], dtype=int), np.array([]))
+        with pytest.raises(ValidationError):
+            model.fit(
+                np.array([0]), np.array([0]), np.array([1.0]),
+                epochs=0,
+            )
+
+    def test_invalid_hyperparameters(self):
+        with pytest.raises(ValidationError):
+            MatrixFactorization(0, 5)
+        with pytest.raises(ValidationError):
+            MatrixFactorization(5, 5, learning_rate=0.0)
+        with pytest.raises(ValidationError):
+            MatrixFactorization(5, 5, regularization=-1.0)

@@ -1,0 +1,108 @@
+"""Unit tests for metrics and the prequential tracker."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ValidationError
+from repro.ml.metrics import (
+    PrequentialTracker,
+    accuracy,
+    mean_absolute_error,
+    mean_squared_error,
+    misclassification_rate,
+    rmsle,
+    rmsle_from_log,
+)
+
+
+class TestPointMetrics:
+    def test_misclassification_rate(self):
+        y = np.array([1.0, -1.0, 1.0, 1.0])
+        p = np.array([1.0, 1.0, 1.0, -1.0])
+        assert misclassification_rate(y, p) == 0.5
+        assert accuracy(y, p) == 0.5
+
+    def test_perfect_predictions(self):
+        y = np.array([1.0, -1.0])
+        assert misclassification_rate(y, y) == 0.0
+        assert accuracy(y, y) == 1.0
+
+    def test_mse_and_mae(self):
+        y = np.array([0.0, 2.0])
+        p = np.array([1.0, 0.0])
+        assert mean_squared_error(y, p) == pytest.approx(2.5)
+        assert mean_absolute_error(y, p) == pytest.approx(1.5)
+
+    def test_rmsle_basics(self):
+        y = np.array([np.e - 1.0])
+        p = np.array([0.0])
+        assert rmsle(y, p) == pytest.approx(1.0)
+
+    def test_rmsle_clips_negative_predictions(self):
+        y = np.array([0.0])
+        p = np.array([-5.0])
+        assert rmsle(y, p) == 0.0
+
+    def test_rmsle_rejects_negative_targets(self):
+        with pytest.raises(ValidationError):
+            rmsle(np.array([-1.0]), np.array([1.0]))
+
+    def test_rmsle_from_log_is_rmse(self):
+        log_y = np.array([1.0, 2.0])
+        log_p = np.array([2.0, 2.0])
+        assert rmsle_from_log(log_y, log_p) == pytest.approx(
+            np.sqrt(0.5)
+        )
+
+    def test_consistency_between_rmsle_forms(self, rng):
+        y = np.abs(rng.standard_normal(30)) * 100
+        p = np.abs(rng.standard_normal(30)) * 100
+        assert rmsle(y, p) == pytest.approx(
+            rmsle_from_log(np.log1p(y), np.log1p(p))
+        )
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValidationError):
+            misclassification_rate(np.ones(2), np.ones(3))
+
+    def test_empty_arrays(self):
+        with pytest.raises(ValidationError):
+            mean_squared_error(np.array([]), np.array([]))
+
+
+class TestPrequentialTracker:
+    def test_rate_accumulates(self):
+        tracker = PrequentialTracker(kind="rate")
+        tracker.add_chunk(error_sum=2, count=10)   # 0.2
+        tracker.add_chunk(error_sum=0, count=10)   # 2/20
+        assert tracker.value() == pytest.approx(0.1)
+        assert tracker.history == pytest.approx([0.2, 0.1])
+
+    def test_rmse_accumulates(self):
+        tracker = PrequentialTracker(kind="rmse")
+        tracker.add_chunk(error_sum=4.0, count=4)  # mse 1
+        assert tracker.value() == pytest.approx(1.0)
+        tracker.add_chunk(error_sum=0.0, count=4)  # mse 0.5
+        assert tracker.value() == pytest.approx(np.sqrt(0.5))
+
+    def test_average_over_time(self):
+        tracker = PrequentialTracker()
+        tracker.add_chunk(2, 10)
+        tracker.add_chunk(0, 10)
+        assert tracker.average_over_time() == pytest.approx(0.15)
+
+    def test_empty_values(self):
+        tracker = PrequentialTracker()
+        assert tracker.value() == 0.0
+        assert tracker.average_over_time() == 0.0
+
+    def test_invalid_kind(self):
+        with pytest.raises(ValidationError):
+            PrequentialTracker(kind="auc")
+
+    def test_invalid_chunks(self):
+        tracker = PrequentialTracker()
+        with pytest.raises(ValidationError):
+            tracker.add_chunk(1, 0)
+        with pytest.raises(ValidationError):
+            tracker.add_chunk(-1, 5)

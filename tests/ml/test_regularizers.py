@@ -1,0 +1,51 @@
+"""Unit tests for regularizers."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ValidationError
+from repro.ml.regularizers import L1, L2, NoRegularizer
+
+
+class TestL2:
+    def test_penalty(self):
+        reg = L2(0.1)
+        w = np.array([3.0, 4.0])
+        assert reg.penalty(w) == pytest.approx(0.5 * 0.1 * 25.0)
+
+    def test_gradient(self):
+        reg = L2(0.5)
+        w = np.array([2.0, -2.0])
+        assert np.array_equal(reg.gradient(w), [1.0, -1.0])
+
+    def test_zero_strength(self):
+        reg = L2(0.0)
+        assert reg.penalty(np.ones(3)) == 0.0
+
+    def test_negative_strength_rejected(self):
+        with pytest.raises(ValidationError):
+            L2(-0.1)
+
+
+class TestL1:
+    def test_penalty(self):
+        reg = L1(0.1)
+        assert reg.penalty(np.array([3.0, -4.0])) == pytest.approx(0.7)
+
+    def test_subgradient_sign(self):
+        reg = L1(1.0)
+        grad = reg.gradient(np.array([2.0, -3.0, 0.0]))
+        assert np.array_equal(grad, [1.0, -1.0, 0.0])
+
+    def test_negative_strength_rejected(self):
+        with pytest.raises(ValidationError):
+            L1(-1.0)
+
+
+class TestNoRegularizer:
+    def test_penalty_zero(self):
+        assert NoRegularizer().penalty(np.ones(5)) == 0.0
+
+    def test_gradient_zero(self):
+        grad = NoRegularizer().gradient(np.ones(5))
+        assert np.array_equal(grad, np.zeros(5))

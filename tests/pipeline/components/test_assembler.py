@@ -1,0 +1,59 @@
+"""Unit tests for the terminal feature assembler."""
+
+import numpy as np
+import pytest
+
+from repro.data.table import Table
+from repro.exceptions import PipelineError, ValidationError
+from repro.pipeline.component import Features
+from repro.pipeline.components.assembler import FeatureAssembler
+
+
+class TestFeatureAssembler:
+    def test_stacks_columns_in_order(self):
+        assembler = FeatureAssembler(
+            feature_columns=["b", "a"], label_column="y"
+        )
+        table = Table({"a": [1.0], "b": [2.0], "y": [5.0]})
+        result = assembler.transform(table)
+        assert isinstance(result, Features)
+        assert result.matrix.tolist() == [[2.0, 1.0]]
+        assert result.labels.tolist() == [5.0]
+
+    def test_label_transform(self):
+        assembler = FeatureAssembler(
+            feature_columns=["a"],
+            label_column="y",
+            label_transform=np.log1p,
+        )
+        table = Table({"a": [1.0], "y": [np.e - 1.0]})
+        result = assembler.transform(table)
+        assert result.labels[0] == pytest.approx(1.0)
+
+    def test_empty_table_produces_empty_features(self):
+        assembler = FeatureAssembler(["a"], "y")
+        table = Table({"a": np.array([]), "y": np.array([])})
+        result = assembler.transform(table)
+        assert result.num_rows == 0
+        assert result.num_features == 1
+
+    def test_dtype_is_float(self):
+        assembler = FeatureAssembler(["a"], "y")
+        table = Table({"a": [1, 2], "y": [0, 1]})
+        result = assembler.transform(table)
+        assert result.matrix.dtype == np.float64
+        assert result.labels.dtype == np.float64
+
+    def test_no_feature_columns_rejected(self):
+        with pytest.raises(ValidationError):
+            FeatureAssembler([], "y")
+
+    def test_requires_table(self):
+        assembler = FeatureAssembler(["a"], "y")
+        with pytest.raises(PipelineError):
+            assembler.transform(
+                Features(matrix=np.ones((1, 1)), labels=np.ones(1))
+            )
+
+    def test_is_stateless(self):
+        assert not FeatureAssembler(["a"], "y").is_stateful

@@ -1,0 +1,99 @@
+"""Unit tests for feature extraction components."""
+
+import numpy as np
+import pytest
+
+from repro.data.table import Table
+from repro.exceptions import PipelineError, ValidationError
+from repro.pipeline.components.extractor import (
+    ColumnDifference,
+    ColumnExtractor,
+    DayOfWeekExtractor,
+    HourOfDayExtractor,
+)
+
+
+class TestColumnExtractor:
+    def test_single_input(self):
+        component = ColumnExtractor(
+            inputs=["x"], function=lambda x: x * 2, output="doubled"
+        )
+        result = component.transform(Table({"x": [1.0, 2.0]}))
+        assert np.array_equal(result["doubled"], [2.0, 4.0])
+
+    def test_multiple_inputs(self):
+        component = ColumnExtractor(
+            inputs=["a", "b"],
+            function=lambda a, b: a + b,
+            output="sum",
+        )
+        result = component.transform(Table({"a": [1.0], "b": [2.0]}))
+        assert result["sum"][0] == 3.0
+
+    def test_replaces_existing_column(self):
+        component = ColumnExtractor(
+            inputs=["x"], function=lambda x: x + 1, output="x"
+        )
+        result = component.transform(Table({"x": [1.0]}))
+        assert result["x"][0] == 2.0
+
+    def test_wrong_output_shape_rejected(self):
+        component = ColumnExtractor(
+            inputs=["x"], function=lambda x: np.array([[1.0]]), output="y"
+        )
+        with pytest.raises(PipelineError, match="shape"):
+            component.transform(Table({"x": [1.0]}))
+
+    def test_missing_input_column(self):
+        component = ColumnExtractor(
+            inputs=["zz"], function=lambda x: x, output="y"
+        )
+        from repro.exceptions import SchemaError
+
+        with pytest.raises(SchemaError):
+            component.transform(Table({"x": [1.0]}))
+
+    def test_empty_inputs_rejected(self):
+        with pytest.raises(ValidationError):
+            ColumnExtractor(inputs=[], function=lambda: None, output="y")
+
+
+class TestColumnDifference:
+    def test_difference(self):
+        component = ColumnDifference(
+            minuend="end", subtrahend="start", output="duration"
+        )
+        result = component.transform(
+            Table({"end": [100.0, 50.0], "start": [40.0, 50.0]})
+        )
+        assert np.array_equal(result["duration"], [60.0, 0.0])
+
+
+class TestCalendarExtractors:
+    def test_hour_of_day(self):
+        component = HourOfDayExtractor("ts")
+        # 1970-01-01 00:30, 13:15
+        table = Table({"ts": [1800.0, 13 * 3600 + 900.0]})
+        result = component.transform(table)
+        assert result["hour_of_day"].tolist() == [0.0, 13.0]
+
+    def test_hour_wraps_across_days(self):
+        component = HourOfDayExtractor("ts")
+        table = Table({"ts": [86_400.0 + 3 * 3600]})
+        assert component.transform(table)["hour_of_day"][0] == 3.0
+
+    def test_day_of_week_epoch_is_thursday(self):
+        component = DayOfWeekExtractor("ts")
+        # 1970-01-01 was a Thursday = weekday 3 (Monday = 0).
+        assert component.transform(Table({"ts": [0.0]}))[
+            "day_of_week"
+        ][0] == 3.0
+
+    def test_day_of_week_cycles(self):
+        component = DayOfWeekExtractor("ts")
+        table = Table({"ts": [4 * 86_400.0]})  # Thursday + 4 = Monday
+        assert component.transform(table)["day_of_week"][0] == 0.0
+
+    def test_custom_output_name(self):
+        component = HourOfDayExtractor("ts", output="h")
+        assert "h" in component.transform(Table({"ts": [0.0]}))

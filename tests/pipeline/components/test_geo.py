@@ -1,0 +1,116 @@
+"""Unit tests for the geospatial feature math."""
+
+import numpy as np
+import pytest
+
+from repro.data.table import Table
+from repro.pipeline.components.geo import (
+    EARTH_RADIUS_KM,
+    bearing,
+    bearing_component,
+    haversine_component,
+    haversine_distance,
+)
+
+
+class TestHaversine:
+    def test_zero_distance(self):
+        assert haversine_distance(
+            np.array([40.0]), np.array([-74.0]),
+            np.array([40.0]), np.array([-74.0]),
+        )[0] == pytest.approx(0.0)
+
+    def test_known_distance_equator_degree(self):
+        """One degree of longitude at the equator ≈ 111.19 km."""
+        distance = haversine_distance(
+            np.array([0.0]), np.array([0.0]),
+            np.array([0.0]), np.array([1.0]),
+        )[0]
+        expected = EARTH_RADIUS_KM * np.pi / 180.0
+        assert distance == pytest.approx(expected, rel=1e-6)
+
+    def test_symmetry(self):
+        forward = haversine_distance(
+            np.array([40.7]), np.array([-74.0]),
+            np.array([41.0]), np.array([-73.5]),
+        )
+        backward = haversine_distance(
+            np.array([41.0]), np.array([-73.5]),
+            np.array([40.7]), np.array([-74.0]),
+        )
+        assert forward[0] == pytest.approx(backward[0])
+
+    def test_antipodal_is_half_circumference(self):
+        distance = haversine_distance(
+            np.array([0.0]), np.array([0.0]),
+            np.array([0.0]), np.array([180.0]),
+        )[0]
+        assert distance == pytest.approx(
+            EARTH_RADIUS_KM * np.pi, rel=1e-6
+        )
+
+    def test_vectorized(self):
+        distances = haversine_distance(
+            np.zeros(5), np.zeros(5), np.zeros(5), np.arange(5.0)
+        )
+        assert distances.shape == (5,)
+        assert np.all(np.diff(distances) > 0)
+
+
+class TestBearing:
+    def test_due_north(self):
+        value = bearing(
+            np.array([0.0]), np.array([0.0]),
+            np.array([1.0]), np.array([0.0]),
+        )[0]
+        assert value == pytest.approx(0.0, abs=1e-9)
+
+    def test_due_east(self):
+        value = bearing(
+            np.array([0.0]), np.array([0.0]),
+            np.array([0.0]), np.array([1.0]),
+        )[0]
+        assert value == pytest.approx(90.0)
+
+    def test_due_south(self):
+        value = bearing(
+            np.array([1.0]), np.array([0.0]),
+            np.array([0.0]), np.array([0.0]),
+        )[0]
+        assert value == pytest.approx(180.0)
+
+    def test_due_west_wraps_to_270(self):
+        value = bearing(
+            np.array([0.0]), np.array([1.0]),
+            np.array([0.0]), np.array([0.0]),
+        )[0]
+        assert value == pytest.approx(270.0)
+
+    def test_range(self, rng):
+        values = bearing(
+            rng.uniform(-60, 60, 100),
+            rng.uniform(-179, 179, 100),
+            rng.uniform(-60, 60, 100),
+            rng.uniform(-179, 179, 100),
+        )
+        assert np.all((values >= 0.0) & (values < 360.0))
+
+
+class TestComponents:
+    def _table(self):
+        return Table(
+            {
+                "plat": [40.75], "plon": [-73.98],
+                "dlat": [40.80], "dlon": [-73.90],
+            }
+        )
+
+    def test_haversine_component(self):
+        component = haversine_component("plat", "plon", "dlat", "dlon")
+        result = component.transform(self._table())
+        assert result["distance_km"][0] > 0
+
+    def test_bearing_component(self):
+        component = bearing_component("plat", "plon", "dlat", "dlon")
+        result = component.transform(self._table())
+        assert 0 <= result["bearing_deg"][0] < 360

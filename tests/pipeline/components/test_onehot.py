@@ -1,0 +1,115 @@
+"""Unit tests for the incremental one-hot encoder."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.data.table import Table
+from repro.exceptions import PipelineError, ValidationError
+from repro.pipeline.component import Features
+from repro.pipeline.components.onehot import OneHotEncoder
+
+
+def categorical_table(colors, sizes=None, label=None):
+    columns = {"color": np.array(colors, dtype=object)}
+    if sizes is not None:
+        columns["size"] = np.array(sizes, dtype=np.float64)
+    columns["label"] = np.array(
+        label if label is not None else np.ones(len(colors))
+    )
+    return Table(columns)
+
+
+class TestOneHotEncoder:
+    def test_basic_encoding(self):
+        encoder = OneHotEncoder(
+            categorical_columns=["color"], label_column="label"
+        )
+        table = categorical_table(["red", "blue", "red"])
+        encoder.update(table)
+        result = encoder.transform(table)
+        assert isinstance(result, Features)
+        dense = result.matrix.toarray()
+        assert dense.shape == (3, 2)
+        assert np.array_equal(dense[0], dense[2])
+        assert not np.array_equal(dense[0], dense[1])
+        assert dense.sum(axis=1).tolist() == [1.0, 1.0, 1.0]
+
+    def test_sparse_output(self):
+        encoder = OneHotEncoder(["color"], "label")
+        table = categorical_table(["a", "b"])
+        encoder.update(table)
+        assert sp.issparse(encoder.transform(table).matrix)
+
+    def test_unseen_category_encodes_to_zero(self):
+        encoder = OneHotEncoder(["color"], "label")
+        encoder.update(categorical_table(["red"]))
+        result = encoder.transform(categorical_table(["green"]))
+        assert result.matrix.nnz == 0
+
+    def test_vocabulary_grows_incrementally(self):
+        encoder = OneHotEncoder(["color"], "label")
+        encoder.update(categorical_table(["red"]))
+        assert encoder.output_width == 1
+        encoder.update(categorical_table(["blue"]))
+        assert encoder.output_width == 2
+        assert encoder.vocabulary("color") == ["red", "blue"]
+
+    def test_numeric_passthrough_columns(self):
+        encoder = OneHotEncoder(
+            ["color"], "label", numeric_columns=["size"]
+        )
+        table = categorical_table(["red", "blue"], sizes=[1.5, 0.0])
+        encoder.update(table)
+        dense = encoder.transform(table).matrix.toarray()
+        assert dense.shape == (2, 3)
+        assert dense[0, 0] == 1.5
+        assert dense[1, 0] == 0.0
+
+    def test_max_categories_fixed_width(self):
+        encoder = OneHotEncoder(
+            ["color"], "label", max_categories=3
+        )
+        table = categorical_table(["a", "b", "c", "d"])
+        encoder.update(table)
+        result = encoder.transform(table)
+        assert result.matrix.shape == (4, 3)
+        # The overflow category "d" maps to the zero vector.
+        assert result.matrix.toarray()[3].sum() == 0.0
+
+    def test_labels_extracted(self):
+        encoder = OneHotEncoder(["color"], "label")
+        table = categorical_table(["x"], label=[-1.0])
+        encoder.update(table)
+        assert encoder.transform(table).labels.tolist() == [-1.0]
+
+    def test_multiple_categorical_columns(self):
+        encoder = OneHotEncoder(["c1", "c2"], "label")
+        table = Table(
+            {
+                "c1": np.array(["a", "b"], dtype=object),
+                "c2": np.array(["x", "x"], dtype=object),
+                "label": np.ones(2),
+            }
+        )
+        encoder.update(table)
+        dense = encoder.transform(table).matrix.toarray()
+        assert dense.shape == (2, 3)  # {a, b} + {x}
+        assert dense.sum(axis=1).tolist() == [2.0, 2.0]
+
+    def test_reset(self):
+        encoder = OneHotEncoder(["color"], "label")
+        encoder.update(categorical_table(["red"]))
+        encoder.reset()
+        assert encoder.output_width == 0
+
+    def test_vocabulary_unknown_column(self):
+        encoder = OneHotEncoder(["color"], "label")
+        with pytest.raises(PipelineError):
+            encoder.vocabulary("shape")
+
+    def test_validation(self):
+        with pytest.raises(ValidationError):
+            OneHotEncoder([], "label")
+        with pytest.raises(ValidationError):
+            OneHotEncoder(["c"], "label", max_categories=0)

@@ -1,0 +1,90 @@
+"""Unit tests for the svmlight input parser."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.data.table import Table
+from repro.exceptions import PipelineError
+from repro.pipeline.component import ComponentKind
+from repro.pipeline.components.parser import SvmLightParser
+
+
+def lines_table(*lines: str) -> Table:
+    return Table({"line": np.array(lines, dtype=object)})
+
+
+class TestSvmLightParser:
+    def test_parses_labels_and_features(self):
+        parser = SvmLightParser()
+        table = parser.transform(
+            lines_table("1 0:1.5 3:2.0", "-1 1:0.25")
+        )
+        assert np.array_equal(table["label"], [1.0, -1.0])
+        assert table["features"][0] == {0: 1.5, 3: 2.0}
+        assert table["features"][1] == {1: 0.25}
+
+    def test_line_column_removed(self):
+        table = SvmLightParser().transform(lines_table("1 0:1.0"))
+        assert "line" not in table
+
+    def test_nan_values_parsed(self):
+        table = SvmLightParser().transform(lines_table("1 2:nan"))
+        assert math.isnan(table["features"][0][2])
+
+    def test_label_only_line(self):
+        table = SvmLightParser().transform(lines_table("-1"))
+        assert table["features"][0] == {}
+
+    def test_empty_line_rejected(self):
+        with pytest.raises(PipelineError, match="empty"):
+            SvmLightParser().transform(lines_table(""))
+
+    def test_bad_label_rejected(self):
+        with pytest.raises(PipelineError, match="bad label"):
+            SvmLightParser().transform(lines_table("spam 0:1"))
+
+    def test_bad_token_rejected(self):
+        with pytest.raises(PipelineError, match="bad token"):
+            SvmLightParser().transform(lines_table("1 nocolon"))
+        with pytest.raises(PipelineError, match="bad token"):
+            SvmLightParser().transform(lines_table("1 a:b"))
+
+    def test_custom_column_names(self):
+        parser = SvmLightParser(
+            line_column="raw", label_column="y", features_column="x"
+        )
+        table = parser.transform(
+            Table({"raw": np.array(["1 0:2.0"], dtype=object)})
+        )
+        assert "y" in table and "x" in table
+
+    def test_is_stateless(self):
+        parser = SvmLightParser()
+        assert not parser.is_stateful
+        parser.update(lines_table("1 0:1.0"))  # no-op, must not raise
+
+    def test_kind(self):
+        assert (
+            SvmLightParser.kind is ComponentKind.DATA_TRANSFORMATION
+        )
+
+    def test_requires_table(self):
+        from repro.pipeline.component import Features
+
+        with pytest.raises(PipelineError, match="expects a Table"):
+            SvmLightParser().transform(
+                Features(matrix=np.ones((1, 1)), labels=np.ones(1))
+            )
+
+    def test_roundtrip_with_generator_format(self):
+        """The URL generator's lines must parse cleanly."""
+        from repro.datasets.url import URLStreamGenerator
+
+        generator = URLStreamGenerator(
+            num_chunks=2, rows_per_chunk=5, seed=1
+        )
+        table = SvmLightParser().transform(generator.chunk(0))
+        assert table.num_rows == 5
+        assert set(np.unique(table["label"])) <= {-1.0, 1.0}

@@ -1,0 +1,79 @@
+"""Unit tests for polynomial interaction features."""
+
+import numpy as np
+import pytest
+
+from repro.data.table import Table
+from repro.exceptions import PipelineError, ValidationError
+from repro.pipeline.components.polynomial import PolynomialInteractions
+
+
+def table():
+    return Table({"a": [1.0, 2.0], "b": [3.0, 4.0], "c": [5.0, 6.0]})
+
+
+class TestPolynomialInteractions:
+    def test_pairwise_products(self):
+        component = PolynomialInteractions(columns=["a", "b"])
+        result = component.transform(table())
+        assert np.array_equal(result["a*b"], [3.0, 8.0])
+        assert result.num_columns == 4
+
+    def test_three_columns_produce_three_pairs(self):
+        component = PolynomialInteractions(columns=["a", "b", "c"])
+        result = component.transform(table())
+        assert component.output_columns() == ["a*b", "a*c", "b*c"]
+        assert np.array_equal(result["b*c"], [15.0, 24.0])
+
+    def test_include_squares(self):
+        component = PolynomialInteractions(
+            columns=["a", "b"], include_squares=True
+        )
+        result = component.transform(table())
+        assert np.array_equal(result["a*a"], [1.0, 4.0])
+        assert np.array_equal(result["b*b"], [9.0, 16.0])
+        assert "a*b" in result
+
+    def test_single_column_squares_only(self):
+        component = PolynomialInteractions(
+            columns=["a"], include_squares=True
+        )
+        result = component.transform(table())
+        assert component.output_columns() == ["a*a"]
+        assert np.array_equal(result["a*a"], [1.0, 4.0])
+
+    def test_original_columns_untouched(self):
+        component = PolynomialInteractions(columns=["a", "b"])
+        result = component.transform(table())
+        assert np.array_equal(result["a"], [1.0, 2.0])
+
+    def test_custom_separator(self):
+        component = PolynomialInteractions(
+            columns=["a", "b"], separator="_x_"
+        )
+        assert component.output_columns() == ["a_x_b"]
+
+    def test_linear_size_growth(self):
+        """Interaction output is O(p): pairs of k columns, not rows²."""
+        component = PolynomialInteractions(columns=["a", "b", "c"])
+        result = component.transform(table())
+        assert result.num_columns == 3 + 3
+
+    def test_is_stateless(self):
+        assert not PolynomialInteractions(["a", "b"]).is_stateful
+
+    def test_validation(self):
+        with pytest.raises(ValidationError):
+            PolynomialInteractions(columns=[])
+        with pytest.raises(ValidationError):
+            PolynomialInteractions(columns=["a"])
+        with pytest.raises(ValidationError):
+            PolynomialInteractions(columns=["a", "a"])
+
+    def test_requires_table(self):
+        from repro.pipeline.component import Features
+
+        with pytest.raises(PipelineError):
+            PolynomialInteractions(["a", "b"]).transform(
+                Features(matrix=np.ones((1, 1)), labels=np.ones(1))
+            )

@@ -1,0 +1,67 @@
+"""Unit tests for variance-threshold feature selection."""
+
+import numpy as np
+import pytest
+
+from repro.data.table import Table
+from repro.exceptions import ValidationError
+from repro.pipeline.component import ComponentKind
+from repro.pipeline.components.selector import VarianceThreshold
+
+
+class TestVarianceThreshold:
+    def test_drops_constant_column(self):
+        selector = VarianceThreshold(columns=["a", "b"])
+        table = Table({"a": [1.0, 1.0, 1.0], "b": [1.0, 2.0, 3.0]})
+        selector.update(table)
+        result = selector.transform(table)
+        assert "a" not in result
+        assert "b" in result
+
+    def test_keeps_all_before_update(self):
+        selector = VarianceThreshold(columns=["a"])
+        table = Table({"a": [1.0, 1.0]})
+        assert "a" in selector.transform(table)
+
+    def test_threshold(self):
+        selector = VarianceThreshold(columns=["a"], threshold=0.5)
+        table = Table({"a": [1.0, 1.5, 1.0, 1.5]})  # variance 0.0625
+        selector.update(table)
+        assert selector.dropped_columns() == ["a"]
+
+    def test_kept_and_dropped_partition(self):
+        selector = VarianceThreshold(columns=["a", "b"])
+        table = Table({"a": [2.0, 2.0], "b": [0.0, 9.0]})
+        selector.update(table)
+        assert selector.dropped_columns() == ["a"]
+        assert selector.kept_columns() == ["b"]
+
+    def test_adapts_as_stream_evolves(self):
+        selector = VarianceThreshold(columns=["a"])
+        selector.update(Table({"a": [5.0, 5.0]}))
+        assert selector.dropped_columns() == ["a"]
+        selector.update(Table({"a": [0.0, 10.0]}))
+        assert selector.dropped_columns() == []
+
+    def test_transform_tolerates_already_missing_column(self):
+        selector = VarianceThreshold(columns=["a", "b"])
+        selector.update(Table({"a": [1.0, 1.0], "b": [0.0, 1.0]}))
+        result = selector.transform(Table({"b": [0.5]}))
+        assert result.column_names == ["b"]
+
+    def test_reset(self):
+        selector = VarianceThreshold(columns=["a"])
+        selector.update(Table({"a": [1.0, 1.0]}))
+        selector.reset()
+        assert selector.dropped_columns() == []
+
+    def test_kind_is_feature_selection(self):
+        assert (
+            VarianceThreshold.kind is ComponentKind.FEATURE_SELECTION
+        )
+
+    def test_validation(self):
+        with pytest.raises(ValidationError):
+            VarianceThreshold(columns=[])
+        with pytest.raises(ValidationError):
+            VarianceThreshold(columns=["a"], threshold=-1.0)

@@ -1,0 +1,75 @@
+"""Unit tests for elementwise column transformers."""
+
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.data.table import Table
+from repro.exceptions import PipelineError, ValidationError
+from repro.pipeline.components.transformer import (
+    ColumnTransformer,
+    absolute_transformer,
+    log1p_transformer,
+    sqrt_transformer,
+)
+
+
+class TestColumnTransformer:
+    def test_applies_function(self):
+        component = ColumnTransformer(["x"], np.negative)
+        result = component.transform(Table({"x": [1.0, -2.0]}))
+        assert np.array_equal(result["x"], [-1.0, 2.0])
+
+    def test_multiple_columns(self):
+        component = ColumnTransformer(["a", "b"], np.abs)
+        result = component.transform(
+            Table({"a": [-1.0], "b": [-2.0], "c": [-3.0]})
+        )
+        assert result["a"][0] == 1.0
+        assert result["b"][0] == 2.0
+        assert result["c"][0] == -3.0  # untouched
+
+    def test_shape_change_rejected(self):
+        component = ColumnTransformer(["x"], lambda v: v[:1])
+        with pytest.raises(PipelineError, match="shape"):
+            component.transform(Table({"x": [1.0, 2.0]}))
+
+    def test_empty_columns_rejected(self):
+        with pytest.raises(ValidationError):
+            ColumnTransformer([], np.abs)
+
+    def test_requires_table(self):
+        from repro.pipeline.component import Features
+
+        with pytest.raises(PipelineError):
+            ColumnTransformer(["x"], np.abs).transform(
+                Features(matrix=np.ones((1, 1)), labels=np.ones(1))
+            )
+
+
+class TestFactories:
+    def test_log1p(self):
+        component = log1p_transformer(["x"])
+        result = component.transform(Table({"x": [np.e - 1.0]}))
+        assert result["x"][0] == pytest.approx(1.0)
+
+    def test_sqrt(self):
+        component = sqrt_transformer(["x"])
+        result = component.transform(Table({"x": [9.0]}))
+        assert result["x"][0] == 3.0
+
+    def test_abs(self):
+        component = absolute_transformer(["x"])
+        result = component.transform(Table({"x": [-4.0]}))
+        assert result["x"][0] == 4.0
+
+    @pytest.mark.parametrize(
+        "factory",
+        [log1p_transformer, sqrt_transformer, absolute_transformer],
+    )
+    def test_factories_picklable(self, factory):
+        component = factory(["x"])
+        clone = pickle.loads(pickle.dumps(component))
+        result = clone.transform(Table({"x": [4.0]}))
+        assert np.isfinite(result["x"][0])

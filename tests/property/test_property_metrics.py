@@ -1,0 +1,168 @@
+"""Property-based tests for metrics, losses, and prequential tracking."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as npst
+
+from repro.ml.losses import HingeLoss, LogisticLoss, SquaredLoss
+from repro.ml.metrics import (
+    PrequentialTracker,
+    accuracy,
+    mean_squared_error,
+    misclassification_rate,
+    rmsle,
+)
+
+bounded = st.floats(
+    min_value=-1e3, max_value=1e3, allow_nan=False, width=64
+)
+non_negative = st.floats(
+    min_value=0.0, max_value=1e6, allow_nan=False, width=64
+)
+
+
+@st.composite
+def prediction_pairs(draw, max_size=40):
+    size = draw(st.integers(1, max_size))
+    y_true = draw(npst.arrays(np.float64, size, elements=bounded))
+    y_pred = draw(npst.arrays(np.float64, size, elements=bounded))
+    return y_true, y_pred
+
+
+class TestMetricProperties:
+    @given(prediction_pairs())
+    @settings(max_examples=80, deadline=None)
+    def test_mse_non_negative_and_zero_iff_equal(self, pair):
+        y_true, y_pred = pair
+        value = mean_squared_error(y_true, y_pred)
+        assert value >= 0.0
+        assert mean_squared_error(y_true, y_true) == 0.0
+
+    @given(prediction_pairs())
+    @settings(max_examples=80, deadline=None)
+    def test_accuracy_complements_misclassification(self, pair):
+        y_true, y_pred = pair
+        assert accuracy(y_true, y_pred) + misclassification_rate(
+            y_true, y_pred
+        ) == 1.0
+
+    @given(
+        npst.arrays(
+            np.float64, st.integers(1, 30), elements=non_negative
+        ),
+        npst.arrays(
+            np.float64, st.integers(1, 30), elements=bounded
+        ),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_rmsle_bounds(self, y_true, y_pred):
+        if len(y_true) != len(y_pred):
+            y_pred = np.resize(y_pred, len(y_true))
+        value = rmsle(y_true, y_pred)
+        assert value >= 0.0
+        assert np.isfinite(value)
+        assert rmsle(y_true, y_true) == 0.0
+
+    @given(
+        st.lists(
+            st.tuples(
+                st.floats(0.0, 100.0, allow_nan=False),
+                st.integers(1, 50),
+            ),
+            min_size=1,
+            max_size=30,
+        ).filter(
+            lambda chunks: all(e <= c for e, c in chunks)
+        )
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_prequential_rate_equals_direct_computation(self, chunks):
+        tracker = PrequentialTracker(kind="rate")
+        for error_sum, count in chunks:
+            tracker.add_chunk(error_sum, count)
+        total_errors = sum(e for e, __ in chunks)
+        total_rows = sum(c for __, c in chunks)
+        assert tracker.value() == total_errors / total_rows
+        assert len(tracker.history) == len(chunks)
+
+    @given(
+        st.lists(
+            st.tuples(
+                st.floats(0.0, 1e4, allow_nan=False),
+                st.integers(1, 50),
+            ),
+            min_size=1,
+            max_size=30,
+        )
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_prequential_rmse_equals_direct_computation(self, chunks):
+        tracker = PrequentialTracker(kind="rmse")
+        for error_sum, count in chunks:
+            tracker.add_chunk(error_sum, count)
+        total = sum(e for e, __ in chunks)
+        rows = sum(c for __, c in chunks)
+        assert tracker.value() == np.sqrt(total / rows)
+
+
+class TestLossProperties:
+    @given(
+        npst.arrays(np.float64, 12, elements=bounded),
+        npst.arrays(np.float64, 12, elements=bounded),
+        npst.arrays(np.float64, 12, elements=bounded),
+        st.floats(0.0, 1.0),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_squared_loss_convex_in_decision(self, z1, z2, y, t):
+        loss = SquaredLoss()
+        mid = t * z1 + (1 - t) * z2
+        assert loss.value(mid, y) <= (
+            t * loss.value(z1, y)
+            + (1 - t) * loss.value(z2, y)
+            + 1e-8
+        )
+
+    @given(
+        npst.arrays(np.float64, 12, elements=bounded),
+        npst.arrays(np.float64, 12, elements=bounded),
+        st.floats(0.0, 1.0),
+        st.data(),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_classification_losses_convex_in_decision(
+        self, z1, z2, t, data
+    ):
+        signs = np.array(
+            data.draw(
+                st.lists(
+                    st.sampled_from([-1.0, 1.0]),
+                    min_size=12, max_size=12,
+                )
+            )
+        )
+        mid = t * z1 + (1 - t) * z2
+        for loss in (HingeLoss(), LogisticLoss()):
+            assert loss.value(mid, signs) <= (
+                t * loss.value(z1, signs)
+                + (1 - t) * loss.value(z2, signs)
+                + 1e-8
+            )
+
+    @given(
+        npst.arrays(np.float64, 10, elements=bounded),
+        st.data(),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_losses_non_negative(self, z, data):
+        signs = np.array(
+            data.draw(
+                st.lists(
+                    st.sampled_from([-1.0, 1.0]),
+                    min_size=10, max_size=10,
+                )
+            )
+        )
+        assert SquaredLoss().value(z, signs) >= 0.0
+        assert HingeLoss().value(z, signs) >= 0.0
+        assert LogisticLoss().value(z, signs) >= 0.0

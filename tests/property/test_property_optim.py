@@ -1,0 +1,105 @@
+"""Property-based tests for optimizers: state persistence is what
+makes proactive training's "conditionally independent iterations"
+argument valid, so it must hold for arbitrary gradient sequences."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as npst
+
+from repro.ml.optim import (
+    AdaDelta,
+    AdaGrad,
+    Adam,
+    ConstantLR,
+    InverseScalingLR,
+    Momentum,
+    RMSProp,
+)
+
+OPTIMIZER_FACTORIES = [
+    lambda: ConstantLR(0.05),
+    lambda: InverseScalingLR(0.05),
+    lambda: Momentum(0.05),
+    lambda: AdaGrad(0.05),
+    lambda: RMSProp(0.05),
+    lambda: AdaDelta(),
+    lambda: Adam(0.05),
+]
+
+bounded_floats = st.floats(
+    min_value=-100.0, max_value=100.0, allow_nan=False, width=64
+)
+
+
+@st.composite
+def gradient_sequences(draw, max_steps=8, max_dim=5):
+    dim = draw(st.integers(1, max_dim))
+    steps = draw(st.integers(1, max_steps))
+    return [
+        draw(npst.arrays(np.float64, dim, elements=bounded_floats))
+        for __ in range(steps)
+    ]
+
+
+class TestOptimizerProperties:
+    @given(
+        st.integers(0, len(OPTIMIZER_FACTORIES) - 1),
+        gradient_sequences(),
+        st.integers(1, 7),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_state_roundtrip_mid_sequence(
+        self, which, grads, raw_cut
+    ):
+        """Saving/restoring state mid-run must not change the result
+        — the §3.3 conditional-independence property."""
+        factory = OPTIMIZER_FACTORIES[which]
+        cut = min(raw_cut, len(grads))
+        dim = len(grads[0])
+
+        straight = factory()
+        params_a = np.zeros(dim)
+        for grad in grads:
+            params_a = straight.step(params_a, grad)
+
+        first = factory()
+        params_b = np.zeros(dim)
+        for grad in grads[:cut]:
+            params_b = first.step(params_b, grad)
+        resumed = factory()
+        resumed.load_state_dict(first.state_dict())
+        for grad in grads[cut:]:
+            params_b = resumed.step(params_b, grad)
+
+        assert np.allclose(params_a, params_b, atol=1e-12)
+
+    @given(
+        st.integers(0, len(OPTIMIZER_FACTORIES) - 1),
+        gradient_sequences(),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_outputs_finite_and_shaped(self, which, grads):
+        optimizer = OPTIMIZER_FACTORIES[which]()
+        params = np.zeros(len(grads[0]))
+        for grad in grads:
+            params = optimizer.step(params, grad)
+            assert params.shape == grad.shape
+            assert np.all(np.isfinite(params))
+
+    @given(
+        st.integers(0, len(OPTIMIZER_FACTORIES) - 1),
+        gradient_sequences(),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_zero_gradient_coordinates_frozen(self, which, grads):
+        """Per-coordinate rules must not move coordinates whose
+        gradient was always zero."""
+        optimizer = OPTIMIZER_FACTORIES[which]()
+        dim = len(grads[0])
+        params = np.ones(dim)
+        for grad in grads:
+            masked = grad.copy()
+            masked[0] = 0.0
+            params = optimizer.step(params, masked)
+        assert params[0] == 1.0

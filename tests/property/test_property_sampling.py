@@ -1,0 +1,120 @@
+"""Property-based tests for samplers and the μ analysis."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.data.materialization import (
+    expected_materialized,
+    harmonic_number,
+    utilization_random,
+    utilization_window,
+)
+from repro.data.sampling import (
+    TimeBasedSampler,
+    UniformSampler,
+    WindowBasedSampler,
+)
+
+
+@st.composite
+def population_and_size(draw):
+    count = draw(st.integers(1, 60))
+    start = draw(st.integers(0, 100))
+    timestamps = list(range(start, start + count))
+    size = draw(st.integers(1, 70))
+    seed = draw(st.integers(0, 2**20))
+    return timestamps, size, seed
+
+
+SAMPLERS = [
+    UniformSampler(),
+    WindowBasedSampler(window_size=7),
+    TimeBasedSampler(half_life=5.0),
+]
+
+
+class TestSamplerProperties:
+    @given(population_and_size(), st.sampled_from(SAMPLERS))
+    @settings(max_examples=120, deadline=None)
+    def test_subset_unique_sorted_bounded(self, case, sampler):
+        timestamps, size, seed = case
+        chosen = sampler.sample(
+            timestamps, size, np.random.default_rng(seed)
+        )
+        assert set(chosen) <= set(timestamps)
+        assert len(set(chosen)) == len(chosen)
+        assert chosen == sorted(chosen)
+        assert len(chosen) <= size
+
+    @given(population_and_size())
+    @settings(max_examples=80, deadline=None)
+    def test_uniform_exact_size_when_possible(self, case):
+        timestamps, size, seed = case
+        chosen = UniformSampler().sample(
+            timestamps, size, np.random.default_rng(seed)
+        )
+        assert len(chosen) == min(size, len(timestamps))
+
+    @given(population_and_size(), st.integers(1, 20))
+    @settings(max_examples=80, deadline=None)
+    def test_window_sampler_stays_in_window(self, case, window):
+        timestamps, size, seed = case
+        sampler = WindowBasedSampler(window_size=window)
+        chosen = sampler.sample(
+            timestamps, size, np.random.default_rng(seed)
+        )
+        window_start = timestamps[max(0, len(timestamps) - window)]
+        assert all(t >= window_start for t in chosen)
+
+    @given(st.integers(2, 200), st.floats(0.5, 50.0))
+    @settings(max_examples=60)
+    def test_time_weights_monotone(self, count, half_life):
+        weights = TimeBasedSampler(half_life).weights(list(range(count)))
+        assert np.all(np.diff(weights) > 0)
+        assert np.all(weights > 0)
+
+
+class TestUtilizationProperties:
+    @given(st.integers(1, 5000))
+    @settings(max_examples=60)
+    def test_harmonic_monotone(self, t):
+        assert harmonic_number(t + 1) > harmonic_number(t)
+
+    @given(st.integers(1, 2000), st.integers(0, 2500))
+    @settings(max_examples=100)
+    def test_random_utilization_in_unit_interval(self, big_n, m):
+        value = utilization_random(big_n, m)
+        assert 0.0 <= value <= 1.0
+
+    @given(st.integers(2, 1000), st.integers(0, 1200), st.integers(1, 1200))
+    @settings(max_examples=100)
+    def test_window_utilization_in_unit_interval(self, big_n, m, w):
+        value = utilization_window(big_n, m, w)
+        assert 0.0 <= value <= 1.0
+
+    @given(st.integers(2, 500), st.integers(0, 498))
+    @settings(max_examples=60)
+    def test_random_utilization_monotone_in_budget(self, big_n, m):
+        assert utilization_random(big_n, m + 1) >= utilization_random(
+            big_n, m
+        )
+
+    @given(st.integers(2, 500), st.integers(1, 499), st.integers(1, 500))
+    @settings(max_examples=60)
+    def test_window_at_least_random(self, big_n, m, w):
+        """Restricting sampling to a recent window can only raise μ."""
+        assert (
+            utilization_window(big_n, m, w)
+            >= utilization_random(big_n, m) - 1e-12
+        )
+
+    @given(
+        st.integers(1, 300),
+        st.integers(0, 300),
+        st.integers(1, 50),
+    )
+    @settings(max_examples=60)
+    def test_expected_materialized_bounds(self, n, m, s):
+        value = expected_materialized(n, m, s)
+        assert 0.0 <= value <= s

@@ -1,0 +1,70 @@
+"""Property-based tests for the storage layer's eviction invariants."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.data.chunk import FeatureChunk
+from repro.data.storage import ChunkStorage
+
+
+def make_chunk(timestamp: int) -> FeatureChunk:
+    return FeatureChunk(
+        timestamp=timestamp,
+        raw_reference=timestamp,
+        features=np.ones((2, 2)),
+        labels=np.ones(2),
+    )
+
+
+class TestStorageInvariants:
+    @given(st.integers(0, 12), st.integers(1, 30))
+    @settings(max_examples=80, deadline=None)
+    def test_budget_never_exceeded(self, budget, inserts):
+        storage = ChunkStorage(max_materialized=budget)
+        for t in range(inserts):
+            storage.put_features(make_chunk(t))
+            assert storage.num_materialized <= budget
+        assert len(storage.feature_timestamps) == inserts
+
+    @given(st.integers(1, 12), st.integers(1, 30))
+    @settings(max_examples=80, deadline=None)
+    def test_materialized_set_is_newest_suffix(self, budget, inserts):
+        """Oldest-first eviction keeps exactly the newest chunks —
+        the regime the closed-form μ analysis assumes."""
+        storage = ChunkStorage(max_materialized=budget)
+        for t in range(inserts):
+            storage.put_features(make_chunk(t))
+        expected = list(range(max(0, inserts - budget), inserts))
+        assert storage.materialized_timestamps == expected
+
+    @given(st.integers(0, 10), st.integers(1, 25))
+    @settings(max_examples=60, deadline=None)
+    def test_accounting_consistency(self, budget, inserts):
+        storage = ChunkStorage(max_materialized=budget)
+        for t in range(inserts):
+            storage.put_features(make_chunk(t))
+        stats = storage.stats
+        assert stats.features_inserted == inserts
+        assert (
+            stats.features_inserted - stats.features_evicted
+            == storage.num_materialized
+        )
+        assert storage.materialized_bytes >= 0
+
+    @given(
+        st.integers(1, 8),
+        st.lists(st.integers(0, 19), min_size=1, max_size=30),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_eviction_then_rematerialization_roundtrip(
+        self, budget, accesses
+    ):
+        storage = ChunkStorage(max_materialized=budget)
+        for t in range(20):
+            storage.put_features(make_chunk(t))
+        for t in accesses:
+            entry = storage.get_features(t)
+            if not storage.is_materialized(t):
+                storage.put_features(make_chunk(t))
+                assert storage.num_materialized <= budget

@@ -1,0 +1,46 @@
+"""The examples must at least import cleanly (full runs are manual).
+
+Each example guards its work behind ``if __name__ == "__main__"``, so
+importing it exercises every import statement and module-level
+definition without paying for a deployment run.
+"""
+
+import importlib.util
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parent.parent / "examples"
+EXAMPLE_FILES = sorted(EXAMPLES_DIR.glob("*.py"))
+
+
+@pytest.mark.parametrize(
+    "path", EXAMPLE_FILES, ids=lambda p: p.stem
+)
+def test_example_imports(path):
+    spec = importlib.util.spec_from_file_location(
+        f"example_{path.stem}", path
+    )
+    module = importlib.util.module_from_spec(spec)
+    sys.modules[spec.name] = module
+    try:
+        spec.loader.exec_module(module)
+        assert hasattr(module, "main"), (
+            f"{path.name} must expose a main() entry point"
+        )
+    finally:
+        sys.modules.pop(spec.name, None)
+
+
+def test_expected_examples_present():
+    names = {path.stem for path in EXAMPLE_FILES}
+    assert {
+        "quickstart",
+        "compare_deployment_approaches",
+        "url_classification",
+        "custom_pipeline_component",
+        "materialization_analysis",
+        "drift_detection",
+        "persistence_and_resume",
+    } <= names
