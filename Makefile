@@ -1,6 +1,6 @@
 # Convenience targets for the repro library.
 
-.PHONY: install test bench bench-results examples clean
+.PHONY: install test lint bench bench-results examples clean
 
 install:
 	pip install -e . || python setup.py develop
@@ -10,6 +10,17 @@ test:
 
 test-output:
 	pytest tests/ 2>&1 | tee test_output.txt
+
+# Uses ruff when available (what CI installs), falling back to
+# pyflakes; fails loudly when neither linter is installed.
+lint:
+	@if command -v ruff >/dev/null 2>&1; then \
+		ruff check src tests benchmarks examples; \
+	elif command -v pyflakes >/dev/null 2>&1; then \
+		pyflakes src tests benchmarks examples; \
+	else \
+		echo "error: no linter found (pip install ruff)"; exit 1; \
+	fi
 
 bench:
 	pytest benchmarks/ --benchmark-only

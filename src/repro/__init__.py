@@ -77,6 +77,14 @@ from repro.ml import (
     RMSProp,
     SGDTrainer,
 )
+from repro.obs import (
+    JsonlSink,
+    MetricsRegistry,
+    Telemetry,
+    Tracer,
+    format_summary,
+    summarize_trace,
+)
 from repro.pipeline import Pipeline, PipelineComponent
 
 __version__ = "1.0.0"
@@ -129,6 +137,13 @@ __all__ = [
     "CostModel",
     "CostTracker",
     "LocalExecutionEngine",
+    # observability
+    "Telemetry",
+    "Tracer",
+    "MetricsRegistry",
+    "JsonlSink",
+    "format_summary",
+    "summarize_trace",
     # datasets
     "URLStreamGenerator",
     "TaxiStreamGenerator",

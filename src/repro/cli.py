@@ -12,6 +12,14 @@ Regenerate any paper artifact from a shell::
 ``--scale test`` runs a seconds-long miniature; ``--scale bench`` the
 scale EXPERIMENTS.md records (minutes). Output is the same row/series
 rendering the benchmark suite prints.
+
+Observability: ``exp1 --trace run.jsonl`` records the continuous run
+as a structured JSONL event trace, and ``repro obs`` works with such
+traces offline::
+
+    python -m repro exp1 --dataset url --scale test --trace run.jsonl
+    python -m repro obs summary run.jsonl
+    python -m repro obs tail run.jsonl --limit 30
 """
 
 from __future__ import annotations
@@ -68,6 +76,13 @@ def build_parser() -> argparse.ArgumentParser:
         "exp1", help="Figure 4: online vs periodical vs continuous"
     )
     add_scenario_options(exp1)
+    exp1.add_argument(
+        "--trace",
+        metavar="PATH",
+        default=None,
+        help="record the continuous run as a JSONL event trace and "
+        "print its telemetry summary (see 'repro obs')",
+    )
 
     table3 = commands.add_parser(
         "table3", help="Table 3: hyperparameter grid"
@@ -104,6 +119,21 @@ def build_parser() -> argparse.ArgumentParser:
     )
     add_scenario_options(fig8)
 
+    obs = commands.add_parser(
+        "obs", help="summarize or tail a JSONL telemetry trace"
+    )
+    obs.add_argument(
+        "action",
+        choices=("summary", "tail"),
+        help="summary = per-span percentile table + counters; "
+        "tail = the last events, one line each",
+    )
+    obs.add_argument("trace", help="path to a .jsonl trace file")
+    obs.add_argument(
+        "--limit", type=int, default=20,
+        help="number of events shown by 'tail' (default: 20)",
+    )
+
     return parser
 
 
@@ -120,7 +150,12 @@ def _command_exp1(args: argparse.Namespace) -> None:
         run_experiment1,
     )
 
-    results = run_experiment1(_scenario(args))
+    telemetry = None
+    if args.trace is not None:
+        from repro.obs import JsonlSink, Telemetry
+
+        telemetry = Telemetry(sink=JsonlSink(args.trace))
+    results = run_experiment1(_scenario(args), telemetry=telemetry)
     print("cumulative error over time:")
     for name, result in results.items():
         print(format_series(name, result.error_history, points=12))
@@ -147,6 +182,23 @@ def _command_exp1(args: argparse.Namespace) -> None:
         "\nfinal-cost ratio vs continuous: "
         + ", ".join(f"{k}={v:.2f}x" for k, v in sorted(ratios.items()))
     )
+    if telemetry is not None:
+        from repro.obs import format_summary
+
+        telemetry.close()
+        print(f"\ntrace written to {args.trace}")
+        print(format_summary(telemetry.summary()))
+
+
+def _command_obs(args: argparse.Namespace) -> None:
+    from repro.obs import format_summary, format_tail, load_jsonl
+    from repro.obs.summary import summarize_events
+
+    events = load_jsonl(args.trace)
+    if args.action == "summary":
+        print(format_summary(summarize_events(events)))
+    else:
+        print(format_tail(events, limit=args.limit))
 
 
 def _command_table3(args: argparse.Namespace) -> None:
@@ -285,6 +337,7 @@ _COMMANDS = {
     "table4": _command_table4,
     "fig7": _command_fig7,
     "fig8": _command_fig8,
+    "obs": _command_obs,
 }
 
 

@@ -28,6 +28,7 @@ from repro.execution.cost import CostBreakdown
 from repro.ml.metrics import PrequentialTracker
 from repro.ml.models.base import LinearSGDModel
 from repro.ml.sgd import TrainingResult
+from repro.obs.telemetry import NULL_TELEMETRY, Telemetry
 
 
 @dataclass
@@ -51,6 +52,9 @@ class DeploymentResult:
     #: paper compares these: long retrainings leave the served model
     #: stale, sub-second proactive trainings do not.
     training_durations: List[float] = field(default_factory=list)
+    #: The run's telemetry bundle (``None`` when telemetry was not
+    #: enabled): structured events, metrics, and ``.summary()``.
+    telemetry: Optional[Telemetry] = None
 
     @property
     def chunks_processed(self) -> int:
@@ -106,18 +110,29 @@ class Deployment(ABC):
         ``"classification"`` — prequential misclassification rate
         (URL); or ``"regression"`` — prequential RMSE in the model's
         (log) target space, i.e. RMSLE for the Taxi setup.
+    telemetry:
+        Optional observability bundle; subclasses thread it through
+        their engines and platforms. The finished
+        :class:`DeploymentResult` carries it back to the caller.
     """
 
     #: Set by subclasses; used in reports and figures.
     approach: str = "base"
 
-    def __init__(self, metric: str = "classification") -> None:
+    def __init__(
+        self,
+        metric: str = "classification",
+        telemetry: Optional[Telemetry] = None,
+    ) -> None:
         if metric not in ("classification", "regression"):
             raise ValidationError(
                 f"metric must be 'classification' or 'regression', "
                 f"got {metric!r}"
             )
         self.metric = metric
+        self.telemetry = (
+            telemetry if telemetry is not None else NULL_TELEMETRY
+        )
         self.prequential = PrequentialTracker(
             kind="rate" if metric == "classification" else "rmse"
         )
@@ -172,6 +187,9 @@ class Deployment(ABC):
             self._observe(table, chunk_index)
             result.cost_history.append(self._current_cost())
         self._finalize(result)
+        if self.telemetry.enabled:
+            self.telemetry.flush_metrics()
+            result.telemetry = self.telemetry
         return result
 
     def _chunk_error(

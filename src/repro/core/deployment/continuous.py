@@ -21,6 +21,7 @@ from repro.execution.cost import CostModel
 from repro.ml.models.base import LinearSGDModel
 from repro.ml.optim.base import Optimizer
 from repro.ml.sgd import TrainingResult
+from repro.obs.telemetry import Telemetry
 from repro.pipeline.pipeline import Pipeline
 from repro.utils.rng import SeedLike
 
@@ -39,8 +40,9 @@ class ContinuousDeployment(Deployment):
         metric: str = "classification",
         cost_model: Optional[CostModel] = None,
         seed: SeedLike = None,
+        telemetry: Optional[Telemetry] = None,
     ) -> None:
-        super().__init__(metric)
+        super().__init__(metric, telemetry=telemetry)
         self.platform = ContinuousDeploymentPlatform(
             pipeline=pipeline,
             model=model,
@@ -48,6 +50,7 @@ class ContinuousDeployment(Deployment):
             config=config,
             cost_model=cost_model,
             seed=seed,
+            telemetry=self.telemetry,
         )
 
     @property

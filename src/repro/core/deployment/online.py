@@ -21,6 +21,7 @@ from repro.exceptions import PipelineError
 from repro.ml.models.base import LinearSGDModel
 from repro.ml.optim.base import Optimizer
 from repro.ml.sgd import SGDTrainer, TrainingResult
+from repro.obs.telemetry import Telemetry
 from repro.pipeline.component import Features, union_features
 from repro.pipeline.pipeline import Pipeline
 
@@ -38,13 +39,16 @@ class OnlineDeployment(Deployment):
         metric: str = "classification",
         cost_model: Optional[CostModel] = None,
         online_batch_rows: Optional[int] = None,
+        telemetry: Optional[Telemetry] = None,
     ) -> None:
-        super().__init__(metric)
+        super().__init__(metric, telemetry=telemetry)
         self.online_batch_rows = online_batch_rows
         self.pipeline = pipeline
         self._model = model
         self.optimizer = optimizer
-        self.engine = LocalExecutionEngine(cost_model)
+        self.engine = LocalExecutionEngine(
+            cost_model, telemetry=self.telemetry
+        )
         self.trainer = SGDTrainer(model, optimizer)
         self.online_updates = 0
 

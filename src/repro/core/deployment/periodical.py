@@ -28,6 +28,7 @@ from repro.execution.engine import LocalExecutionEngine
 from repro.ml.models.base import LinearSGDModel
 from repro.ml.optim.base import Optimizer
 from repro.ml.sgd import TrainingResult
+from repro.obs.telemetry import Telemetry
 from repro.pipeline.pipeline import Pipeline
 from repro.utils.rng import SeedLike
 
@@ -47,14 +48,17 @@ class PeriodicalDeployment(Deployment):
         cost_model: Optional[CostModel] = None,
         seed: SeedLike = None,
         online_batch_rows: Optional[int] = None,
+        telemetry: Optional[Telemetry] = None,
     ) -> None:
-        super().__init__(metric)
+        super().__init__(metric, telemetry=telemetry)
         self.config = config if config is not None else PeriodicalConfig()
         self.online_batch_rows = online_batch_rows
-        self.engine = LocalExecutionEngine(cost_model)
+        self.engine = LocalExecutionEngine(
+            cost_model, telemetry=self.telemetry
+        )
         # Periodical deployment stores raw history only (it retrains
         # from raw data); no feature materialization budget applies.
-        self.data_manager = DataManager(seed=seed)
+        self.data_manager = DataManager(seed=seed, telemetry=self.telemetry)
         self.manager = PipelineManager(
             pipeline=pipeline,
             model=model,
@@ -90,18 +94,22 @@ class PeriodicalDeployment(Deployment):
             self._retrain()
 
     def _retrain(self) -> None:
-        started_at = self.engine.total_cost()
-        result = self.manager.full_retrain(
-            batch_size=self.config.batch_size,
-            max_iterations=self.config.max_epoch_iterations,
-            tolerance=self.config.tolerance,
-            warm_start=self.config.warm_start,
-            seed=self._seed,
-        )
-        self.retrainings.append(result)
-        self.retrain_durations.append(
-            self.engine.total_cost() - started_at
-        )
+        with self.telemetry.tracer.span("platform.full_retrain") as span:
+            started_at = self.engine.total_cost()
+            result = self.manager.full_retrain(
+                batch_size=self.config.batch_size,
+                max_iterations=self.config.max_epoch_iterations,
+                tolerance=self.config.tolerance,
+                warm_start=self.config.warm_start,
+                seed=self._seed,
+            )
+            self.retrainings.append(result)
+            self.retrain_durations.append(
+                self.engine.total_cost() - started_at
+            )
+            span.set(
+                iterations=result.iterations, converged=result.converged
+            )
 
     def _current_cost(self) -> float:
         return self.engine.total_cost()

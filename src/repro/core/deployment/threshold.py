@@ -32,6 +32,7 @@ from repro.exceptions import ValidationError
 from repro.ml.models.base import LinearSGDModel
 from repro.ml.optim.base import Optimizer
 from repro.ml.sgd import TrainingResult
+from repro.obs.telemetry import Telemetry
 from repro.pipeline.pipeline import Pipeline
 from repro.utils.rng import SeedLike
 
@@ -75,8 +76,9 @@ class ThresholdRetrainingDeployment(Deployment):
         cost_model: Optional[CostModel] = None,
         seed: SeedLike = None,
         online_batch_rows: Optional[int] = None,
+        telemetry: Optional[Telemetry] = None,
     ) -> None:
-        super().__init__(metric)
+        super().__init__(metric, telemetry=telemetry)
         if tolerance_ratio <= 0:
             raise ValidationError(
                 f"tolerance_ratio must be > 0, got {tolerance_ratio}"
@@ -100,8 +102,10 @@ class ThresholdRetrainingDeployment(Deployment):
         self.min_absolute_delta = float(min_absolute_delta)
         self.config = config if config is not None else PeriodicalConfig()
         self.online_batch_rows = online_batch_rows
-        self.engine = LocalExecutionEngine(cost_model)
-        self.data_manager = DataManager(seed=seed)
+        self.engine = LocalExecutionEngine(
+            cost_model, telemetry=self.telemetry
+        )
+        self.data_manager = DataManager(seed=seed, telemetry=self.telemetry)
         self.manager = PipelineManager(
             pipeline=pipeline,
             model=model,
@@ -166,19 +170,25 @@ class ThresholdRetrainingDeployment(Deployment):
         return degraded_relative and degraded_absolute
 
     def _retrain(self, chunk_index: int) -> None:
-        started_at = self.engine.total_cost()
-        result = self.manager.full_retrain(
-            batch_size=self.config.batch_size,
-            max_iterations=self.config.max_epoch_iterations,
-            tolerance=self.config.tolerance,
-            warm_start=self.config.warm_start,
-            seed=self._seed,
-        )
-        self.retrainings.append(result)
-        self.retrain_durations.append(
-            self.engine.total_cost() - started_at
-        )
-        self.retrain_chunks.append(chunk_index)
+        with self.telemetry.tracer.span(
+            "platform.full_retrain", chunk=chunk_index
+        ) as span:
+            started_at = self.engine.total_cost()
+            result = self.manager.full_retrain(
+                batch_size=self.config.batch_size,
+                max_iterations=self.config.max_epoch_iterations,
+                tolerance=self.config.tolerance,
+                warm_start=self.config.warm_start,
+                seed=self._seed,
+            )
+            self.retrainings.append(result)
+            self.retrain_durations.append(
+                self.engine.total_cost() - started_at
+            )
+            self.retrain_chunks.append(chunk_index)
+            span.set(
+                iterations=result.iterations, converged=result.converged
+            )
         self._chunks_since_retrain = 0
         self._window.clear()
         self._baseline = None  # re-measured from the next full window

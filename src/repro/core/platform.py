@@ -34,6 +34,7 @@ from repro.execution.engine import LocalExecutionEngine
 from repro.ml.models.base import LinearSGDModel
 from repro.ml.optim.base import Optimizer
 from repro.ml.sgd import TrainingResult
+from repro.obs.telemetry import NULL_TELEMETRY, Telemetry
 from repro.pipeline.pipeline import Pipeline
 from repro.utils.rng import SeedLike
 
@@ -61,6 +62,11 @@ class ContinuousDeploymentPlatform:
         Optional cost-model prices for the execution engine.
     seed:
         Controls the sampling randomness.
+    telemetry:
+        Optional observability bundle, threaded through the engine
+        (operation spans), storage (eviction counters), data manager
+        (cache/sampler telemetry), and this platform (observe and
+        proactive-training spans, scheduler decision events).
     """
 
     def __init__(
@@ -71,19 +77,31 @@ class ContinuousDeploymentPlatform:
         config: Optional[ContinuousConfig] = None,
         cost_model: Optional[CostModel] = None,
         seed: SeedLike = None,
+        telemetry: Optional[Telemetry] = None,
     ) -> None:
         self.config = config if config is not None else ContinuousConfig()
+        self.telemetry = (
+            telemetry if telemetry is not None else NULL_TELEMETRY
+        )
         sampler = make_sampler(
             self.config.sampler,
             window_size=self.config.window_size,
             half_life=self.config.half_life,
         )
         storage = ChunkStorage(
-            max_materialized=self.config.max_materialized_chunks
+            max_materialized=self.config.max_materialized_chunks,
+            metrics=(
+                self.telemetry.metrics if self.telemetry.enabled else None
+            ),
         )
-        self.engine = LocalExecutionEngine(cost_model)
+        self.engine = LocalExecutionEngine(
+            cost_model, telemetry=self.telemetry
+        )
         self.data_manager = DataManager(
-            storage=storage, sampler=sampler, seed=seed
+            storage=storage,
+            sampler=sampler,
+            seed=seed,
+            telemetry=self.telemetry,
         )
         self.manager = PipelineManager(
             pipeline=pipeline,
@@ -147,41 +165,71 @@ class ContinuousDeploymentPlatform:
         fired for this chunk, else ``None``.
         """
         self._chunk_index += 1
-        __, features = self.manager.process_training_chunk(
-            table,
-            online_statistics=self.config.online_statistics,
-            store=True,
-        )
-        if self.config.online_update and features.num_rows:
-            self.manager.online_step(
-                features, self.config.online_batch_rows
+        tracer = self.telemetry.tracer
+        with tracer.span(
+            "platform.observe",
+            chunk=self._chunk_index,
+            rows=table.num_rows,
+        ):
+            __, features = self.manager.process_training_chunk(
+                table,
+                online_statistics=self.config.online_statistics,
+                store=True,
             )
-        now = self.engine.total_cost()
-        if not self.scheduler.should_train(self._chunk_index, now):
-            return None
-        return self._run_proactive_training()
+            if self.config.online_update and features.num_rows:
+                self.manager.online_step(
+                    features, self.config.online_batch_rows
+                )
+            now = self.engine.total_cost()
+            fired = self.scheduler.should_train(self._chunk_index, now)
+            tracer.point(
+                "scheduler.decision",
+                chunk=self._chunk_index,
+                fired=fired,
+                now=now,
+            )
+            if self.telemetry.enabled:
+                self.telemetry.metrics.counter(
+                    "scheduler.fired" if fired else "scheduler.skipped"
+                ).inc()
+            if not fired:
+                return None
+            return self._run_proactive_training()
 
     def _run_proactive_training(self) -> ProactiveOutcome:
-        started_at = self.engine.total_cost()
-        samples = self.manager.sample_for_training(
-            self.config.sample_size_chunks,
-            recompute_statistics=not self.config.online_statistics,
-        )
-        outcome = self.proactive.run(samples)
-        duration = self.engine.total_cost() - started_at
-        # Report the *full* duration (sampling + re-materialization +
-        # SGD) to the scheduler — that is the T of formula (6).
-        self.scheduler.record_training(started_at, duration)
-        full_outcome = ProactiveOutcome(
-            objective=outcome.objective,
-            rows=outcome.rows,
-            chunks=outcome.chunks,
-            chunks_materialized=outcome.chunks_materialized,
-            started_at=started_at,
-            duration=duration,
-        )
-        self.proactive_outcomes.append(full_outcome)
-        return full_outcome
+        with self.telemetry.tracer.span(
+            "platform.proactive_training", chunk=self._chunk_index
+        ) as span:
+            started_at = self.engine.total_cost()
+            samples = self.manager.sample_for_training(
+                self.config.sample_size_chunks,
+                recompute_statistics=not self.config.online_statistics,
+            )
+            outcome = self.proactive.run(samples)
+            duration = self.engine.total_cost() - started_at
+            # Report the *full* duration (sampling + re-materialization
+            # + SGD) to the scheduler — that is the T of formula (6).
+            self.scheduler.record_training(started_at, duration)
+            full_outcome = ProactiveOutcome(
+                objective=outcome.objective,
+                rows=outcome.rows,
+                chunks=outcome.chunks,
+                chunks_materialized=outcome.chunks_materialized,
+                started_at=started_at,
+                duration=duration,
+            )
+            self.proactive_outcomes.append(full_outcome)
+            span.set(
+                chunks=outcome.chunks,
+                materialized=outcome.chunks_materialized,
+                rows=outcome.rows,
+                objective=outcome.objective,
+            )
+            if self.telemetry.enabled:
+                self.telemetry.metrics.observe(
+                    "proactive.duration", duration
+                )
+            return full_outcome
 
     def __repr__(self) -> str:
         return (

@@ -29,6 +29,7 @@ from repro.data.sampling import Sampler, UniformSampler
 from repro.data.storage import ChunkStorage
 from repro.data.table import Table
 from repro.exceptions import SamplingError, StorageError
+from repro.obs.telemetry import NULL_TELEMETRY, Telemetry
 from repro.utils.rng import SeedLike, ensure_rng
 
 #: Callback that re-runs the deployed pipeline's transform path on a raw
@@ -81,6 +82,13 @@ class DataManager:
         When true, chunks rebuilt during sampling are written back into
         storage (and may evict newer payloads). Default false; see the
         module docstring.
+    telemetry:
+        Optional observability bundle. When enabled, every sampling
+        operation updates live ``cache.hits`` / ``cache.misses`` /
+        ``cache.rematerializations`` counters, feeds the
+        ``sampler.chunk_age`` coverage histogram (age in chunks of
+        each selected timestamp), and emits a ``cache.sample`` point
+        event.
     """
 
     def __init__(
@@ -89,11 +97,15 @@ class DataManager:
         sampler: Optional[Sampler] = None,
         seed: SeedLike = None,
         keep_rematerialized: bool = False,
+        telemetry: Optional[Telemetry] = None,
     ) -> None:
         self.storage = storage if storage is not None else ChunkStorage()
         self.sampler = sampler if sampler is not None else UniformSampler()
         self.keep_rematerialized = keep_rematerialized
         self.stats = MaterializationStats()
+        self.telemetry = (
+            telemetry if telemetry is not None else NULL_TELEMETRY
+        )
         self._rng = ensure_rng(seed)
         self._next_timestamp = 0
 
@@ -160,7 +172,29 @@ class DataManager:
                 SampledChunk(chunk=rebuilt, was_materialized=False)
             )
         self.stats.record(sampled=len(chosen), materialized=hits)
+        if self.telemetry.enabled:
+            self._record_sample_telemetry(population, chosen, hits)
         return results
+
+    def _record_sample_telemetry(
+        self, population: List[int], chosen: List[int], hits: int
+    ) -> None:
+        metrics = self.telemetry.metrics
+        misses = len(chosen) - hits
+        metrics.counter("cache.hits").inc(hits)
+        metrics.counter("cache.misses").inc(misses)
+        metrics.counter("cache.rematerializations").inc(misses)
+        newest = max(population)
+        age_histogram = metrics.histogram("sampler.chunk_age")
+        for timestamp in chosen:
+            age_histogram.add(newest - timestamp)
+        self.telemetry.tracer.point(
+            "cache.sample",
+            sampled=len(chosen),
+            hits=hits,
+            misses=misses,
+            population=len(population),
+        )
 
     def _rematerialize(
         self, stub: ChunkStub, materializer: Materializer

@@ -20,6 +20,7 @@ from typing import List, Optional, Union
 
 from repro.data.chunk import ChunkStub, FeatureChunk, RawChunk
 from repro.exceptions import StorageError
+from repro.obs.metrics import MetricsRegistry
 
 
 @dataclass
@@ -56,6 +57,13 @@ class ChunkStorage:
         assumption. When set, the oldest raw chunks are dropped together
         with their feature chunks/stubs, and the sampler simply never
         sees them (§3.2: "the platform ignores these chunks").
+    metrics:
+        Optional live metrics registry. When given, evictions bump the
+        ``cache.evictions`` counter and the materialized chunk/byte
+        levels are mirrored to ``cache.materialized_chunks`` /
+        ``cache.materialized_bytes`` gauges — live visibility into the
+        numbers :mod:`repro.data.materialization` only derives after
+        the fact.
     """
 
     def __init__(
@@ -63,6 +71,7 @@ class ChunkStorage:
         max_materialized: Optional[int] = None,
         max_bytes: Optional[int] = None,
         raw_capacity: Optional[int] = None,
+        metrics: Optional[MetricsRegistry] = None,
     ) -> None:
         if max_materialized is not None and max_materialized < 0:
             raise StorageError(
@@ -84,6 +93,7 @@ class ChunkStorage:
         self._materialized_count = 0
         self._materialized_bytes = 0
         self.stats = StorageStats()
+        self._metrics = metrics
 
     # ------------------------------------------------------------------
     # Raw chunks
@@ -158,6 +168,8 @@ class ChunkStorage:
         self.stats.features_inserted += 1
         self.stats.bytes_materialized = self._materialized_bytes
         self._evict_over_budget()
+        if self._metrics is not None:
+            self._update_level_gauges()
 
     def get_features(
         self, timestamp: int
@@ -276,6 +288,17 @@ class ChunkStorage:
         self._materialized_bytes -= chunk.nbytes()
         self.stats.features_evicted += 1
         self.stats.bytes_materialized = self._materialized_bytes
+        if self._metrics is not None:
+            self._metrics.counter("cache.evictions").inc()
+            self._update_level_gauges()
+
+    def _update_level_gauges(self) -> None:
+        self._metrics.gauge("cache.materialized_chunks").set(
+            self._materialized_count
+        )
+        self._metrics.gauge("cache.materialized_bytes").set(
+            self._materialized_bytes
+        )
 
     def clear_features(self) -> None:
         """Evict every materialized payload (used by ablation benches)."""

@@ -22,6 +22,7 @@ from repro.driftdetect.base import DriftDetector, DriftState
 from repro.execution.cost import CostModel
 from repro.ml.models.base import LinearSGDModel
 from repro.ml.optim.base import Optimizer
+from repro.obs.telemetry import Telemetry
 from repro.pipeline.pipeline import Pipeline
 from repro.utils.rng import SeedLike
 
@@ -66,6 +67,7 @@ class DriftAwareContinuousDeployment(ContinuousDeployment):
         metric: str = "classification",
         cost_model: Optional[CostModel] = None,
         seed: SeedLike = None,
+        telemetry: Optional[Telemetry] = None,
     ) -> None:
         super().__init__(
             pipeline,
@@ -75,6 +77,7 @@ class DriftAwareContinuousDeployment(ContinuousDeployment):
             metric=metric,
             cost_model=cost_model,
             seed=seed,
+            telemetry=telemetry,
         )
         if bursts_per_drift < 1:
             raise ValueError(
@@ -105,6 +108,8 @@ class DriftAwareContinuousDeployment(ContinuousDeployment):
             state = self.detector.update_many(
                 self._row_errors(predictions, labels)
             )
+            if state is not DriftState.STABLE and self.telemetry.enabled:
+                self._record_drift_telemetry(state)
             if (
                 state is DriftState.DRIFT
                 and self._burst_countdown is None
@@ -112,6 +117,16 @@ class DriftAwareContinuousDeployment(ContinuousDeployment):
                 self.drift_chunks.append(self._chunk_index + 1)
                 self._burst_countdown = self.burst_delay_chunks
         return predictions, labels
+
+    def _record_drift_telemetry(self, state: DriftState) -> None:
+        """Emit a ``drift.signal`` / ``drift.warning`` point event."""
+        name = (
+            "drift.signal" if state is DriftState.DRIFT else "drift.warning"
+        )
+        self.telemetry.tracer.point(
+            name, chunk=self._chunk_index + 1, state=state.name
+        )
+        self.telemetry.metrics.counter(f"{name}s").inc()
 
     def _observe(self, table, chunk_index: int) -> None:
         self._chunk_index = chunk_index

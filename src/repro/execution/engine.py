@@ -7,6 +7,12 @@ every pipeline transform, statistics update, gradient step, and
 prediction flows through it so that cost-model charges and wall-clock
 timers are applied uniformly, whichever deployment approach is
 running.
+
+When a :class:`~repro.obs.telemetry.Telemetry` bundle is attached,
+every operation additionally becomes a traced span carrying the
+values-scanned count; the disabled default costs a single attribute
+check per call (``self._obs is None``), guarded by
+``benchmarks/bench_obs_overhead.py``.
 """
 
 from __future__ import annotations
@@ -14,14 +20,23 @@ from __future__ import annotations
 from typing import Optional
 
 import numpy as np
+import scipy.sparse as sp
 
 from repro.execution.cost import CostModel, CostTracker
 from repro.ml.models.base import LinearSGDModel, Matrix
 from repro.ml.sgd import SGDTrainer, TrainingResult
-from repro.pipeline.component import Batch, Features
+from repro.obs.telemetry import NULL_TELEMETRY, Telemetry
+from repro.pipeline.component import Batch, Features, PipelineComponent
 from repro.pipeline.pipeline import Pipeline
 from repro.utils.rng import SeedLike
 from repro.utils.timer import Timer
+
+
+def _matrix_values(features: Matrix) -> int:
+    """Value count of a feature matrix (nnz for sparse, size dense)."""
+    if sp.issparse(features):
+        return int(features.nnz)
+    return int(np.asarray(features).size)
 
 
 class LocalExecutionEngine:
@@ -31,32 +46,70 @@ class LocalExecutionEngine:
     ----------
     cost_model:
         Prices for the deterministic cost tracker; defaults apply.
+    telemetry:
+        Optional observability bundle; when enabled, the engine binds
+        the run's virtual clock to it and emits one span per
+        executed operation.
     """
 
-    def __init__(self, cost_model: Optional[CostModel] = None) -> None:
+    def __init__(
+        self,
+        cost_model: Optional[CostModel] = None,
+        telemetry: Optional[Telemetry] = None,
+    ) -> None:
         self.tracker = CostTracker(cost_model)
         self.wall = Timer()
+        self.telemetry = (
+            telemetry if telemetry is not None else NULL_TELEMETRY
+        )
+        #: Fast-path guard: ``None`` when telemetry is disabled.
+        self._obs = self.telemetry if self.telemetry.enabled else None
+        if self._obs is not None:
+            self._obs.bind_clock(self.total_cost)
 
     # ------------------------------------------------------------------
     # Pipeline execution
     # ------------------------------------------------------------------
     def online_pass(self, pipeline: Pipeline, batch: Batch) -> Features:
         """Online path: update statistics then transform (training data)."""
-        with self.wall:
-            return pipeline.update_transform_to_features(
-                batch, self.tracker
-            )
+        if self._obs is None:
+            with self.wall:
+                return pipeline.update_transform_to_features(
+                    batch, self.tracker
+                )
+        with self._obs.tracer.span(
+            "engine.online_pass",
+            values=PipelineComponent.batch_num_values(batch),
+        ):
+            with self.wall:
+                return pipeline.update_transform_to_features(
+                    batch, self.tracker
+                )
 
     def transform_only(self, pipeline: Pipeline, batch: Batch) -> Features:
         """Serving / re-materialization path (no statistics writes)."""
-        with self.wall:
-            return pipeline.transform_to_features(batch, self.tracker)
+        if self._obs is None:
+            with self.wall:
+                return pipeline.transform_to_features(batch, self.tracker)
+        with self._obs.tracer.span(
+            "engine.transform_only",
+            values=PipelineComponent.batch_num_values(batch),
+        ):
+            with self.wall:
+                return pipeline.transform_to_features(batch, self.tracker)
 
     def serve_transform(self, pipeline: Pipeline, batch: Batch) -> Batch:
         """Transform a prediction-query batch (may stop mid-pipeline
         for pipelines whose terminal stage needs labels)."""
-        with self.wall:
-            return pipeline.transform(batch, self.tracker)
+        if self._obs is None:
+            with self.wall:
+                return pipeline.transform(batch, self.tracker)
+        with self._obs.tracer.span(
+            "engine.serve_transform",
+            values=PipelineComponent.batch_num_values(batch),
+        ):
+            with self.wall:
+                return pipeline.transform(batch, self.tracker)
 
     # ------------------------------------------------------------------
     # Training execution
@@ -68,8 +121,14 @@ class LocalExecutionEngine:
         targets: np.ndarray,
     ) -> float:
         """One SGD iteration (online update or proactive training)."""
-        with self.wall:
-            return trainer.step(features, targets, self.tracker)
+        if self._obs is None:
+            with self.wall:
+                return trainer.step(features, targets, self.tracker)
+        with self._obs.tracer.span(
+            "engine.train_step", values=_matrix_values(features)
+        ):
+            with self.wall:
+                return trainer.step(features, targets, self.tracker)
 
     def train_full(
         self,
@@ -82,16 +141,34 @@ class LocalExecutionEngine:
         seed: SeedLike = None,
     ) -> TrainingResult:
         """A complete (re)training run — the periodical baseline."""
-        with self.wall:
-            return trainer.train(
-                features,
-                targets,
-                batch_size=batch_size,
-                max_iterations=max_iterations,
-                tolerance=tolerance,
-                seed=seed,
-                tracker=self.tracker,
+        if self._obs is None:
+            with self.wall:
+                return trainer.train(
+                    features,
+                    targets,
+                    batch_size=batch_size,
+                    max_iterations=max_iterations,
+                    tolerance=tolerance,
+                    seed=seed,
+                    tracker=self.tracker,
+                )
+        with self._obs.tracer.span(
+            "engine.train_full", values=_matrix_values(features)
+        ) as span:
+            with self.wall:
+                result = trainer.train(
+                    features,
+                    targets,
+                    batch_size=batch_size,
+                    max_iterations=max_iterations,
+                    tolerance=tolerance,
+                    seed=seed,
+                    tracker=self.tracker,
+                )
+            span.set(
+                iterations=result.iterations, converged=result.converged
             )
+            return result
 
     # ------------------------------------------------------------------
     # Prediction
@@ -99,15 +176,22 @@ class LocalExecutionEngine:
     def predict(
         self, model: LinearSGDModel, features: Matrix
     ) -> np.ndarray:
-        """Score a batch, charging prediction cost."""
-        with self.wall:
-            predictions = model.predict(features)
-        values = (
-            int(features.nnz)
-            if hasattr(features, "nnz")
-            else int(np.asarray(features).size)
-        )
-        self.tracker.charge_prediction(values, "predict")
+        """Score a batch, charging prediction cost.
+
+        The charge happens inside the timed block, like every other
+        engine operation, so wall-clock and cost accounting stay
+        aligned (see ``tests/execution/test_engine.py``).
+        """
+        values = _matrix_values(features)
+        if self._obs is None:
+            with self.wall:
+                predictions = model.predict(features)
+                self.tracker.charge_prediction(values, "predict")
+            return predictions
+        with self._obs.tracer.span("engine.predict", values=values):
+            with self.wall:
+                predictions = model.predict(features)
+                self.tracker.charge_prediction(values, "predict")
         return predictions
 
     # ------------------------------------------------------------------
@@ -116,10 +200,24 @@ class LocalExecutionEngine:
     def read_chunk(self, values: int, label: str) -> None:
         """Charge a simulated disk read of one chunk of ``values``."""
         self.tracker.charge_disk_read(values, chunks=1, label=label)
+        if self._obs is not None:
+            self._obs.tracer.point(
+                "engine.read_chunk", values=values, label=label
+            )
 
     def total_cost(self) -> float:
         """Virtual-clock total in cost units."""
         return self.tracker.total()
+
+    def reset(self) -> None:
+        """Zero both accounting clocks (cost tracker and wall timer).
+
+        Lets a caller reuse one engine across runs without carrying
+        charges over — the counterpart of :meth:`CostTracker.reset`
+        that previously left the wall clock running its old total.
+        """
+        self.tracker.reset()
+        self.wall.reset()
 
     def __repr__(self) -> str:
         return (

@@ -48,6 +48,7 @@ from repro.ml.models.linear_regression import LinearRegression
 from repro.ml.models.svm import LinearSVM
 from repro.ml.optim import Optimizer, make_optimizer
 from repro.ml.regularizers import L2
+from repro.obs.telemetry import Telemetry
 from repro.pipeline.pipeline import Pipeline
 
 
@@ -238,7 +239,10 @@ def _check_scale(scale: str) -> None:
 # ----------------------------------------------------------------------
 # Runners
 # ----------------------------------------------------------------------
-def run_online(scenario: Scenario) -> DeploymentResult:
+def run_online(
+    scenario: Scenario,
+    telemetry: Optional[Telemetry] = None,
+) -> DeploymentResult:
     """Run the online baseline on the scenario."""
     deployment = OnlineDeployment(
         scenario.make_pipeline(),
@@ -246,6 +250,7 @@ def run_online(scenario: Scenario) -> DeploymentResult:
         scenario.make_optimizer(),
         metric=scenario.metric,
         online_batch_rows=scenario.online_batch_rows,
+        telemetry=telemetry,
     )
     deployment.initial_fit(
         scenario.make_initial_data(),
@@ -255,7 +260,10 @@ def run_online(scenario: Scenario) -> DeploymentResult:
     return deployment.run(scenario.make_stream())
 
 
-def run_periodical(scenario: Scenario) -> DeploymentResult:
+def run_periodical(
+    scenario: Scenario,
+    telemetry: Optional[Telemetry] = None,
+) -> DeploymentResult:
     """Run the periodical baseline on the scenario."""
     deployment = PeriodicalDeployment(
         scenario.make_pipeline(),
@@ -265,6 +273,7 @@ def run_periodical(scenario: Scenario) -> DeploymentResult:
         metric=scenario.metric,
         seed=scenario.seed,
         online_batch_rows=scenario.online_batch_rows,
+        telemetry=telemetry,
     )
     deployment.initial_fit(
         scenario.make_initial_data(),
@@ -277,6 +286,7 @@ def run_periodical(scenario: Scenario) -> DeploymentResult:
 def run_continuous(
     scenario: Scenario,
     config: Optional[ContinuousConfig] = None,
+    telemetry: Optional[Telemetry] = None,
 ) -> DeploymentResult:
     """Run the continuous approach (optionally overriding its config)."""
     deployment = ContinuousDeployment(
@@ -286,6 +296,7 @@ def run_continuous(
         config=config if config is not None else scenario.continuous_config,
         metric=scenario.metric,
         seed=scenario.seed,
+        telemetry=telemetry,
     )
     deployment.initial_fit(
         scenario.make_initial_data(),

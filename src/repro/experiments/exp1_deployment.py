@@ -17,7 +17,7 @@ The paper's claims to reproduce in shape:
 
 from __future__ import annotations
 
-from typing import Dict, List, Mapping
+from typing import Dict, List, Mapping, Optional
 
 from repro.core.deployment.base import DeploymentResult
 from repro.experiments.common import (
@@ -26,16 +26,26 @@ from repro.experiments.common import (
     run_online,
     run_periodical,
 )
+from repro.obs.telemetry import Telemetry
 
 APPROACHES = ("online", "periodical", "continuous")
 
 
-def run_experiment1(scenario: Scenario) -> Dict[str, DeploymentResult]:
-    """Run all three approaches on the scenario."""
+def run_experiment1(
+    scenario: Scenario,
+    telemetry: Optional[Telemetry] = None,
+) -> Dict[str, DeploymentResult]:
+    """Run all three approaches on the scenario.
+
+    ``telemetry`` (when given) instruments the *continuous* run — the
+    paper's contribution and the interesting trace; the baselines
+    stay untraced so their cost accounting is byte-identical with and
+    without observability.
+    """
     return {
         "online": run_online(scenario),
         "periodical": run_periodical(scenario),
-        "continuous": run_continuous(scenario),
+        "continuous": run_continuous(scenario, telemetry=telemetry),
     }
 
 

@@ -112,14 +112,19 @@ def _type_column(raw: List[str]) -> np.ndarray:
     """Float column when the first value parses as float, else object.
 
     Empty fields in a float column become NaN (missing values for the
-    imputer); in a string column they stay empty strings.
+    imputer); in a string column they stay empty strings. The float
+    probe additionally requires a digit in the value: ``float()``
+    accepts words like ``"inf"`` or ``"nan"``, but a column whose
+    first value is such a bare word is a text column (a numeric CSV
+    writer emits digits).
     """
     first = next((value for value in raw if value != ""), "")
-    try:
-        float(first)
-        is_float = True
-    except ValueError:
-        is_float = False
+    is_float = any(c.isdigit() for c in first)
+    if is_float:
+        try:
+            float(first)
+        except ValueError:
+            is_float = False
     if is_float:
         values = np.empty(len(raw), dtype=np.float64)
         for position, value in enumerate(raw):

@@ -1,0 +1,87 @@
+"""``repro.obs`` — structured telemetry for the deployment platform.
+
+A cross-cutting observability layer with three primitives:
+
+* :class:`MetricsRegistry` — counters, gauges, and streaming
+  histograms (p50/p95/p99 without storing samples), cheap enough to
+  leave attached to a production run;
+* :class:`Tracer` — span-based event tracing on the platform's two
+  clocks (deterministic cost units and wall seconds), with a no-op
+  :class:`NullTracer` so disabled tracing costs one attribute check;
+* sinks and exporters — an in-memory ring buffer, a JSONL file sink,
+  and summary rendering (``repro obs summary`` / ``repro obs tail``).
+
+Enable telemetry on any deployment by passing a bundle::
+
+    from repro.obs import JsonlSink, Telemetry
+
+    telemetry = Telemetry(sink=JsonlSink("run.jsonl"))
+    deployment = ContinuousDeployment(..., telemetry=telemetry)
+    result = deployment.run(stream)
+    print(format_summary(result.telemetry.summary()))
+    telemetry.close()
+"""
+
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    MetricsRegistry,
+    StreamingHistogram,
+)
+from repro.obs.sink import (
+    EventSink,
+    JsonlSink,
+    MultiSink,
+    RingBufferSink,
+    iter_jsonl,
+    load_jsonl,
+)
+from repro.obs.summary import (
+    SpanSummary,
+    TraceSummary,
+    format_summary,
+    format_tail,
+    summarize_events,
+    summarize_trace,
+)
+from repro.obs.telemetry import NULL_TELEMETRY, Telemetry
+from repro.obs.trace import (
+    EVENT_FIELDS,
+    NULL_TRACER,
+    NullTracer,
+    Span,
+    TraceEvent,
+    Tracer,
+)
+
+__all__ = [
+    # metrics
+    "Counter",
+    "Gauge",
+    "MetricsRegistry",
+    "StreamingHistogram",
+    # tracing
+    "EVENT_FIELDS",
+    "NULL_TRACER",
+    "NullTracer",
+    "Span",
+    "TraceEvent",
+    "Tracer",
+    # sinks
+    "EventSink",
+    "JsonlSink",
+    "MultiSink",
+    "RingBufferSink",
+    "iter_jsonl",
+    "load_jsonl",
+    # bundle
+    "NULL_TELEMETRY",
+    "Telemetry",
+    # summaries
+    "SpanSummary",
+    "TraceSummary",
+    "format_summary",
+    "format_tail",
+    "summarize_events",
+    "summarize_trace",
+]

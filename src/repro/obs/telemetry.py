@@ -1,0 +1,103 @@
+"""The telemetry bundle a deployment run carries.
+
+:class:`Telemetry` wires the three observability primitives together —
+a :class:`~repro.obs.metrics.MetricsRegistry`, a
+:class:`~repro.obs.trace.Tracer`, and an event sink chain (an
+in-memory ring buffer, plus an optional user sink such as a
+:class:`~repro.obs.sink.JsonlSink`). One bundle instruments one run:
+the execution engine binds its virtual clock at construction, and
+every component reads instruments out of the shared registry.
+
+The disabled singleton :data:`NULL_TELEMETRY` is what every component
+holds by default; its tracer is the no-op :class:`NullTracer` and code
+on hot paths guards metric writes with ``telemetry.enabled``, so the
+default configuration stays byte-identical (and almost free) relative
+to an un-instrumented build.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional
+
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.sink import EventSink, MultiSink, RingBufferSink
+from repro.obs.trace import NULL_TRACER, Tracer
+
+
+class Telemetry:
+    """Metrics + tracer + sinks for one deployment run.
+
+    Parameters
+    ----------
+    sink:
+        Optional extra sink (e.g. a JSONL file); events always also
+        land in the internal ring buffer.
+    ring_capacity:
+        Bound on the in-memory event buffer.
+    enabled:
+        ``False`` builds a disabled bundle (used for the shared
+        :data:`NULL_TELEMETRY` singleton).
+    """
+
+    def __init__(
+        self,
+        sink: Optional[EventSink] = None,
+        ring_capacity: int = 65536,
+        enabled: bool = True,
+    ) -> None:
+        self.enabled = enabled
+        self.metrics = MetricsRegistry()
+        self.ring = RingBufferSink(ring_capacity)
+        self._extra_sink = sink
+        chain: EventSink = (
+            MultiSink([self.ring, sink]) if sink is not None else self.ring
+        )
+        self.sink = chain
+        self.tracer = (
+            Tracer(chain, metrics=self.metrics) if enabled else NULL_TRACER
+        )
+
+    # ------------------------------------------------------------------
+    def bind_clock(self, clock: Callable[[], float]) -> None:
+        """Bind the run's virtual clock (the engine's ``total_cost``)."""
+        self.tracer.bind_clock(clock)
+
+    @property
+    def events(self) -> List[Dict[str, object]]:
+        """Buffered events, oldest first."""
+        return self.ring.events
+
+    def flush_metrics(self) -> None:
+        """Emit the current metrics snapshot as a ``metrics`` event.
+
+        Called at the end of a run so JSONL traces are self-contained:
+        offline consumers get final counter/gauge/histogram state
+        without access to the in-process registry.
+        """
+        if self.enabled:
+            self.tracer.emit_metrics(self.metrics.snapshot())
+
+    def summary(self):
+        """Summarize the buffered events (see :mod:`repro.obs.summary`)."""
+        from repro.obs.summary import summarize_events
+
+        return summarize_events(self.events, self.metrics.snapshot())
+
+    def close(self) -> None:
+        """Close the sink chain (flushes JSONL files)."""
+        self.sink.close()
+
+    def __enter__(self) -> "Telemetry":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        state = "enabled" if self.enabled else "disabled"
+        return f"Telemetry({state}, buffered={len(self.ring)})"
+
+
+#: Shared disabled bundle; what components hold when no telemetry was
+#: requested. Never written to — all writers check ``enabled`` first.
+NULL_TELEMETRY = Telemetry(enabled=False)

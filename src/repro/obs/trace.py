@@ -1,0 +1,244 @@
+"""Span-based tracing over the platform's two clocks.
+
+A :class:`Tracer` produces structured :class:`TraceEvent` records.
+Spans measure both clocks at once:
+
+* the **virtual clock** — cumulative cost units from the deployment's
+  :class:`~repro.execution.cost.CostTracker`, the deterministic time
+  base every experiment reports;
+* the **wall clock** — real elapsed seconds, for sanity checks and
+  hardware-level profiling.
+
+Usage::
+
+    with tracer.span("proactive_training", chunk=i) as span:
+        outcome = run_training()
+        span.set(rows=outcome.rows)
+
+    tracer.point("scheduler.decision", chunk=i, fired=True)
+
+Disabled tracing is a first-class mode: :class:`NullTracer` returns a
+shared no-op span, so an un-instrumented run pays one attribute check
+and one no-op call per span site (``benchmarks/bench_obs_overhead.py``
+guards that this stays cheap).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Optional
+
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.sink import EventSink
+
+#: JSONL event schema, shared by every sink and the ``repro obs`` CLI:
+#: ``seq``  — monotonically increasing event number within the trace;
+#: ``kind`` — ``"span"`` | ``"point"`` | ``"metrics"``;
+#: ``name`` — dotted event name (``engine.predict``, ``drift.signal``);
+#: ``t``    — virtual-clock timestamp (cost units) at span start /
+#:            point emission;
+#: ``dur``  — virtual-clock duration of the span (0 for points);
+#: ``wall_s`` — wall-clock duration in seconds (0 for points);
+#: ``attrs``  — free-form attributes (chunk index, values scanned, …).
+EVENT_FIELDS = ("seq", "kind", "name", "t", "dur", "wall_s", "attrs")
+
+
+@dataclass
+class TraceEvent:
+    """One structured telemetry event (see :data:`EVENT_FIELDS`)."""
+
+    seq: int
+    kind: str
+    name: str
+    t: float
+    dur: float = 0.0
+    wall_s: float = 0.0
+    attrs: Dict[str, object] = field(default_factory=dict)
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "seq": self.seq,
+            "kind": self.kind,
+            "name": self.name,
+            "t": self.t,
+            "dur": self.dur,
+            "wall_s": self.wall_s,
+            "attrs": self.attrs,
+        }
+
+
+class Span:
+    """Context manager measuring one traced operation."""
+
+    __slots__ = ("_tracer", "name", "attrs", "_t0", "_w0")
+
+    def __init__(self, tracer: "Tracer", name: str, attrs: Dict) -> None:
+        self._tracer = tracer
+        self.name = name
+        self.attrs = attrs
+        self._t0 = 0.0
+        self._w0 = 0.0
+
+    def set(self, **attrs: object) -> None:
+        """Attach attributes discovered while the span is open."""
+        self.attrs.update(attrs)
+
+    def __enter__(self) -> "Span":
+        self._t0 = self._tracer.clock()
+        self._w0 = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self._tracer.finish_span(
+            self.name,
+            self.attrs,
+            started_at=self._t0,
+            dur=self._tracer.clock() - self._t0,
+            wall_s=time.perf_counter() - self._w0,
+        )
+
+
+class _NullSpan:
+    """Shared do-nothing span returned by :class:`NullTracer`."""
+
+    __slots__ = ()
+
+    def set(self, **attrs: object) -> None:
+        pass
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        pass
+
+
+NULL_SPAN = _NullSpan()
+
+
+class Tracer:
+    """Emits span and point events against a virtual clock.
+
+    Parameters
+    ----------
+    clock:
+        Zero-argument callable returning the current virtual time
+        (typically the engine's ``total_cost``); defaults to a
+        constant 0 until a real clock is bound.
+    sink:
+        Destination for serialized events.
+    metrics:
+        Optional registry; span durations additionally feed a
+        streaming histogram named ``span.<name>`` so quantiles are
+        available live, without replaying events.
+    """
+
+    enabled = True
+
+    def __init__(
+        self,
+        sink: EventSink,
+        clock: Optional[Callable[[], float]] = None,
+        metrics: Optional[MetricsRegistry] = None,
+    ) -> None:
+        self.clock = clock if clock is not None else (lambda: 0.0)
+        self.sink = sink
+        self.metrics = metrics
+        self._seq = 0
+
+    def bind_clock(self, clock: Callable[[], float]) -> None:
+        """Point the tracer at a run's virtual clock."""
+        self.clock = clock
+
+    # ------------------------------------------------------------------
+    def span(self, name: str, **attrs: object) -> Span:
+        """Open a span; use as a context manager."""
+        return Span(self, name, attrs)
+
+    def point(self, name: str, **attrs: object) -> None:
+        """Emit an instantaneous event."""
+        self._emit(
+            TraceEvent(
+                seq=self._next_seq(),
+                kind="point",
+                name=name,
+                t=self.clock(),
+                attrs=attrs,
+            )
+        )
+
+    def finish_span(
+        self,
+        name: str,
+        attrs: Dict,
+        started_at: float,
+        dur: float,
+        wall_s: float,
+    ) -> None:
+        """Record a completed span (called by :class:`Span`)."""
+        self._emit(
+            TraceEvent(
+                seq=self._next_seq(),
+                kind="span",
+                name=name,
+                t=started_at,
+                dur=dur,
+                wall_s=wall_s,
+                attrs=attrs,
+            )
+        )
+        if self.metrics is not None:
+            self.metrics.histogram(f"span.{name}").add(dur)
+
+    def emit_metrics(self, snapshot: Dict[str, object]) -> None:
+        """Emit a ``metrics`` event carrying a registry snapshot."""
+        self._emit(
+            TraceEvent(
+                seq=self._next_seq(),
+                kind="metrics",
+                name="metrics.snapshot",
+                t=self.clock(),
+                attrs=snapshot,
+            )
+        )
+
+    # ------------------------------------------------------------------
+    def _next_seq(self) -> int:
+        self._seq += 1
+        return self._seq
+
+    def _emit(self, event: TraceEvent) -> None:
+        self.sink.emit(event.to_dict())
+
+    def __repr__(self) -> str:
+        return f"Tracer(events={self._seq}, sink={self.sink!r})"
+
+
+class NullTracer:
+    """Disabled tracer: every operation is a no-op.
+
+    ``span`` returns a single shared no-op context manager, so a
+    disabled span site costs one method call and the ``with`` protocol
+    — no allocation, no clock reads.
+    """
+
+    enabled = False
+
+    def bind_clock(self, clock: Callable[[], float]) -> None:
+        pass
+
+    def span(self, name: str, **attrs: object) -> _NullSpan:
+        return NULL_SPAN
+
+    def point(self, name: str, **attrs: object) -> None:
+        pass
+
+    def emit_metrics(self, snapshot: Dict[str, object]) -> None:
+        pass
+
+    def __repr__(self) -> str:
+        return "NullTracer()"
+
+
+NULL_TRACER = NullTracer()

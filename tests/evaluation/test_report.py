@@ -36,6 +36,19 @@ class TestDownsample:
         with pytest.raises(ValidationError):
             downsample([1.0], points=1)
 
+    def test_series_exactly_points_long(self):
+        series = [1.0, 2.0, 3.0]
+        assert downsample(series, points=3) == series
+
+    def test_single_element_series(self):
+        assert downsample([4.2], points=5) == [4.2]
+
+    def test_empty_series(self):
+        assert downsample([], points=5) == []
+
+    def test_accepts_any_sequence(self):
+        assert downsample((1.0, 2.0), points=2) == [1.0, 2.0]
+
 
 class TestSummarize:
     def test_rows_contain_key_quantities(self):
@@ -77,3 +90,18 @@ class TestFormatting:
         text = format_series("continuous", [0.1] * 50, points=4)
         assert text.startswith("continuous")
         assert text.count("0.1000") == 4
+
+    def test_summary_of_result_without_cost_breakdown(self):
+        """A result whose cost_breakdown is None (e.g. built by hand or
+        from a partial run) must still summarize and format."""
+        result = make_result("online", [0.2, 0.1], [1.0, 2.0])
+        assert result.cost_breakdown is None
+        rows = summarize_results({"online": result})
+        text = format_comparison_table(rows)
+        assert "online" in text
+        assert "0.1000" in text
+
+    def test_missing_column_renders_empty(self):
+        rows = [{"a": 1.0}]
+        text = format_comparison_table(rows, columns=["a", "absent"])
+        assert "absent" in text.splitlines()[0]

@@ -89,3 +89,67 @@ class TestPredictionAndIO:
         assert engine.total_cost() == pytest.approx(
             engine.tracker.total()
         )
+
+
+class TestAccountingConsistency:
+    """Wall-clock and cost accounting must cover the same work.
+
+    Regression guard: ``predict`` used to charge its prediction cost
+    *outside* the wall-timer block, so wall-vs-cost comparisons saw
+    prediction work in one clock but not the other. Every compute
+    method must issue its tracker charges while the wall timer runs.
+    """
+
+    @pytest.mark.filterwarnings(
+        "ignore::repro.exceptions.ConvergenceWarning"
+    )
+    def test_charges_issued_inside_wall_timer(
+        self, engine, pipeline, table, rng
+    ):
+        observed = []
+        tracker = engine.tracker
+        for name in (
+            "charge_transform",
+            "charge_statistics",
+            "charge_training",
+            "charge_prediction",
+        ):
+            original = getattr(tracker, name)
+
+            def wrapper(*args, _original=original, _name=name, **kwargs):
+                observed.append((_name, engine.wall.running))
+                return _original(*args, **kwargs)
+
+            setattr(tracker, name, wrapper)
+
+        model = LinearRegression(num_features=2)
+        trainer = SGDTrainer(model, Adam(0.05))
+        x = rng.standard_normal((10, 2))
+        y = rng.standard_normal(10)
+        engine.online_pass(pipeline, table)
+        engine.transform_only(pipeline, table)
+        engine.serve_transform(pipeline, table)
+        engine.train_step(trainer, x, y)
+        engine.train_full(trainer, x, y, max_iterations=3, seed=0)
+        engine.predict(model, x)
+
+        charged = {name for name, __ in observed}
+        assert {
+            "charge_transform",
+            "charge_statistics",
+            "charge_training",
+            "charge_prediction",
+        } <= charged
+        outside = [name for name, running in observed if not running]
+        assert outside == []
+
+    def test_reset_zeroes_both_clocks(self, engine, pipeline, table):
+        engine.online_pass(pipeline, table)
+        assert engine.total_cost() > 0
+        assert engine.wall.elapsed > 0
+        engine.reset()
+        assert engine.total_cost() == 0.0
+        assert engine.wall.elapsed == 0.0
+        # The engine stays usable after a reset.
+        engine.online_pass(pipeline, table)
+        assert engine.total_cost() > 0

@@ -44,6 +44,25 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["exp1", "--dataset", "mnist"])
 
+    def test_exp1_trace_option(self):
+        args = build_parser().parse_args(
+            ["exp1", "--trace", "run.jsonl"]
+        )
+        assert args.trace == "run.jsonl"
+        assert build_parser().parse_args(["exp1"]).trace is None
+
+    def test_obs_options(self):
+        args = build_parser().parse_args(
+            ["obs", "tail", "run.jsonl", "--limit", "7"]
+        )
+        assert args.action == "tail"
+        assert args.trace == "run.jsonl"
+        assert args.limit == 7
+
+    def test_obs_invalid_action_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["obs", "explode", "run.jsonl"])
+
 
 class TestExecution:
     """End-to-end CLI runs at test scale (smallest possible)."""
@@ -105,3 +124,37 @@ class TestExecutionExtended:
              "--seed", "99"]
         ) == 0
         assert "average error" in capsys.readouterr().out
+
+
+class TestObservabilityCommands:
+    """exp1 --trace plus the obs summary/tail subcommands."""
+
+    def test_exp1_trace_then_summarize_and_tail(self, capsys, tmp_path):
+        trace = tmp_path / "run.jsonl"
+        assert main(
+            ["exp1", "--scale", "test", "--trace", str(trace)]
+        ) == 0
+        out = capsys.readouterr().out
+        assert f"trace written to {trace}" in out
+        assert "spans (virtual-clock durations" in out
+        assert trace.exists()
+
+        assert main(["obs", "summary", str(trace)]) == 0
+        out = capsys.readouterr().out
+        # The trace must cover engine, platform, scheduler, cache,
+        # and sampler instrumentation.
+        assert "engine.online_pass" in out
+        assert "platform.proactive_training" in out
+        assert "scheduler.decision" in out
+        assert "cache.hits" in out
+        assert "sampler.chunk_age" in out
+
+        assert main(["obs", "tail", str(trace), "--limit", "5"]) == 0
+        out = capsys.readouterr().out
+        assert len(out.strip().splitlines()) == 5
+
+    def test_obs_summary_missing_file_raises(self, tmp_path):
+        from repro.exceptions import ValidationError
+
+        with pytest.raises(ValidationError):
+            main(["obs", "summary", str(tmp_path / "absent.jsonl")])

@@ -1,0 +1,112 @@
+"""Unit tests for the metrics primitives."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ValidationError
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    MetricsRegistry,
+    StreamingHistogram,
+)
+
+
+class TestCounter:
+    def test_starts_at_zero_and_accumulates(self):
+        counter = Counter("hits")
+        counter.inc()
+        counter.inc(2.5)
+        assert counter.value == pytest.approx(3.5)
+
+    def test_rejects_decrease(self):
+        with pytest.raises(ValidationError):
+            Counter("hits").inc(-1)
+
+
+class TestGauge:
+    def test_last_write_wins(self):
+        gauge = Gauge("level")
+        gauge.set(10)
+        gauge.set(3)
+        assert gauge.value == 3.0
+
+
+class TestStreamingHistogram:
+    def test_empty_quantile_is_zero(self):
+        assert StreamingHistogram("h").quantile(0.5) == 0.0
+
+    def test_tracks_count_mean_min_max(self):
+        hist = StreamingHistogram("h")
+        for value in (1.0, 2.0, 3.0):
+            hist.add(value)
+        assert hist.count == 3
+        assert hist.mean == pytest.approx(2.0)
+        assert hist.min == 1.0
+        assert hist.max == 3.0
+
+    def test_quantiles_within_bucket_error(self):
+        """Relative error of the sketch is bounded by the bucket base."""
+        rng = np.random.default_rng(0)
+        values = rng.lognormal(mean=0.0, sigma=1.5, size=5000)
+        hist = StreamingHistogram("h")
+        for value in values:
+            hist.add(value)
+        for q in (0.5, 0.95, 0.99):
+            exact = float(np.quantile(values, q))
+            estimate = hist.quantile(q)
+            assert estimate == pytest.approx(exact, rel=0.15)
+
+    def test_zero_and_negative_values_bucketed(self):
+        hist = StreamingHistogram("h")
+        for value in (0.0, -1.0, 0.0, 5.0):
+            hist.add(value)
+        assert hist.quantile(0.5) <= 0.0
+        assert hist.quantile(1.0) == pytest.approx(5.0, rel=0.06)
+
+    def test_quantile_clamped_to_observed_range(self):
+        hist = StreamingHistogram("h")
+        hist.add(7.0)
+        assert hist.quantile(0.5) == 7.0
+        assert hist.quantile(0.99) == 7.0
+
+    def test_invalid_quantile_and_base(self):
+        with pytest.raises(ValidationError):
+            StreamingHistogram("h").quantile(1.5)
+        with pytest.raises(ValidationError):
+            StreamingHistogram("h", base=1.0)
+
+    def test_percentiles_trio(self):
+        hist = StreamingHistogram("h")
+        hist.add(1.0)
+        assert set(hist.percentiles()) == {"p50", "p95", "p99"}
+
+
+class TestMetricsRegistry:
+    def test_get_or_create_returns_same_instrument(self):
+        registry = MetricsRegistry()
+        assert registry.counter("a") is registry.counter("a")
+        assert registry.gauge("g") is registry.gauge("g")
+        assert registry.histogram("h") is registry.histogram("h")
+
+    def test_observe_shorthand(self):
+        registry = MetricsRegistry()
+        registry.observe("latency", 2.0)
+        assert registry.histogram("latency").count == 1
+
+    def test_snapshot_shape(self):
+        registry = MetricsRegistry()
+        registry.counter("c").inc(3)
+        registry.gauge("g").set(7)
+        registry.observe("h", 1.5)
+        snapshot = registry.snapshot()
+        assert snapshot["counters"] == {"c": 3.0}
+        assert snapshot["gauges"] == {"g": 7.0}
+        assert snapshot["histograms"]["h"]["count"] == 1
+        assert snapshot["histograms"]["h"]["p50"] == pytest.approx(1.5)
+
+    def test_reset_clears_instruments(self):
+        registry = MetricsRegistry()
+        registry.counter("c").inc()
+        registry.reset()
+        assert registry.snapshot()["counters"] == {}

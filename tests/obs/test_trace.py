@@ -1,0 +1,204 @@
+"""Unit tests for the tracer, spans, and event sinks."""
+
+import json
+
+import pytest
+
+from repro.exceptions import ValidationError
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.sink import (
+    JsonlSink,
+    MultiSink,
+    RingBufferSink,
+    load_jsonl,
+)
+from repro.obs.telemetry import NULL_TELEMETRY, Telemetry
+from repro.obs.trace import (
+    EVENT_FIELDS,
+    NULL_SPAN,
+    NULL_TRACER,
+    NullTracer,
+    Tracer,
+)
+
+
+class FakeClock:
+    """A settable virtual clock."""
+
+    def __init__(self) -> None:
+        self.now = 0.0
+
+    def __call__(self) -> float:
+        return self.now
+
+
+@pytest.fixture
+def ring():
+    return RingBufferSink(capacity=16)
+
+
+@pytest.fixture
+def clock():
+    return FakeClock()
+
+
+@pytest.fixture
+def tracer(ring, clock):
+    return Tracer(ring, clock=clock)
+
+
+class TestTracer:
+    def test_span_measures_virtual_clock(self, tracer, ring, clock):
+        with tracer.span("work", chunk=3):
+            clock.now = 2.5
+        (event,) = ring.events
+        assert event["kind"] == "span"
+        assert event["name"] == "work"
+        assert event["t"] == 0.0
+        assert event["dur"] == pytest.approx(2.5)
+        assert event["wall_s"] >= 0.0
+        assert event["attrs"] == {"chunk": 3}
+
+    def test_span_set_attaches_attrs(self, tracer, ring):
+        with tracer.span("work") as span:
+            span.set(rows=10)
+        assert ring.events[0]["attrs"] == {"rows": 10}
+
+    def test_point_event(self, tracer, ring, clock):
+        clock.now = 1.0
+        tracer.point("decision", fired=True)
+        (event,) = ring.events
+        assert event["kind"] == "point"
+        assert event["t"] == 1.0
+        assert event["dur"] == 0.0
+
+    def test_events_follow_schema(self, tracer, ring, clock):
+        with tracer.span("a"):
+            pass
+        tracer.point("b")
+        tracer.emit_metrics({"counters": {}})
+        for event in ring.events:
+            assert tuple(event.keys()) == EVENT_FIELDS
+
+    def test_seq_monotonic(self, tracer, ring):
+        for _ in range(3):
+            tracer.point("tick")
+        assert [e["seq"] for e in ring.events] == [1, 2, 3]
+
+    def test_span_durations_feed_metrics(self, ring, clock):
+        metrics = MetricsRegistry()
+        tracer = Tracer(ring, clock=clock, metrics=metrics)
+        with tracer.span("work"):
+            clock.now = 4.0
+        assert metrics.histogram("span.work").count == 1
+
+
+class TestNullTracer:
+    def test_shared_noop_span(self):
+        tracer = NullTracer()
+        span = tracer.span("anything", chunk=1)
+        assert span is NULL_SPAN
+        with span as entered:
+            entered.set(rows=1)
+
+    def test_disabled_flags(self):
+        assert NULL_TRACER.enabled is False
+        assert Tracer(RingBufferSink()).enabled is True
+
+    def test_point_and_metrics_are_noops(self):
+        NULL_TRACER.point("x", a=1)
+        NULL_TRACER.emit_metrics({})
+        NULL_TRACER.bind_clock(lambda: 1.0)
+
+
+class TestRingBufferSink:
+    def test_bounded(self):
+        ring = RingBufferSink(capacity=2)
+        for index in range(5):
+            ring.emit({"seq": index})
+        assert len(ring) == 2
+        assert ring.emitted == 5
+        assert ring.dropped == 3
+        assert [e["seq"] for e in ring.events] == [3, 4]
+
+    def test_invalid_capacity(self):
+        with pytest.raises(ValidationError):
+            RingBufferSink(capacity=0)
+
+
+class TestJsonlSink:
+    def test_roundtrip(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        sink = JsonlSink(path)
+        sink.emit({"seq": 1, "name": "a"})
+        sink.emit({"seq": 2, "name": "b"})
+        sink.close()
+        events = load_jsonl(path)
+        assert [e["seq"] for e in events] == [1, 2]
+
+    def test_lazy_open(self, tmp_path):
+        path = tmp_path / "never.jsonl"
+        JsonlSink(path).close()
+        assert not path.exists()
+
+    def test_load_limit(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        sink = JsonlSink(path)
+        for index in range(5):
+            sink.emit({"seq": index})
+        sink.close()
+        assert [e["seq"] for e in load_jsonl(path, limit=2)] == [3, 4]
+
+    def test_missing_file_rejected(self, tmp_path):
+        with pytest.raises(ValidationError):
+            load_jsonl(tmp_path / "absent.jsonl")
+
+    def test_corrupt_line_rejected(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"seq": 1}\nnot json\n')
+        with pytest.raises(ValidationError):
+            load_jsonl(path)
+
+
+class TestMultiSink:
+    def test_fans_out(self):
+        first, second = RingBufferSink(), RingBufferSink()
+        multi = MultiSink([first, second])
+        multi.emit({"seq": 1})
+        assert len(first) == 1 and len(second) == 1
+
+    def test_needs_sinks(self):
+        with pytest.raises(ValidationError):
+            MultiSink([])
+
+
+class TestTelemetry:
+    def test_events_land_in_ring_and_extra_sink(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        telemetry = Telemetry(sink=JsonlSink(path))
+        telemetry.tracer.point("tick")
+        telemetry.close()
+        assert len(telemetry.events) == 1
+        assert len(load_jsonl(path)) == 1
+
+    def test_flush_metrics_appends_snapshot(self):
+        telemetry = Telemetry()
+        telemetry.metrics.counter("c").inc()
+        telemetry.flush_metrics()
+        (event,) = telemetry.events
+        assert event["kind"] == "metrics"
+        assert event["attrs"]["counters"] == {"c": 1.0}
+
+    def test_null_telemetry_disabled_and_silent(self):
+        assert NULL_TELEMETRY.enabled is False
+        NULL_TELEMETRY.tracer.point("ignored")
+        NULL_TELEMETRY.flush_metrics()
+        assert NULL_TELEMETRY.events == []
+
+    def test_events_are_json_serializable(self):
+        telemetry = Telemetry()
+        with telemetry.tracer.span("work", chunk=1):
+            pass
+        telemetry.flush_metrics()
+        for event in telemetry.events:
+            json.dumps(event)

@@ -9,7 +9,6 @@ from repro.execution.cost import CostTracker
 from repro.pipeline.component import (
     Batch,
     Features,
-    PipelineComponent,
     StatelessComponent,
 )
 from repro.pipeline.components.assembler import FeatureAssembler
