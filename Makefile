@@ -36,6 +36,7 @@ examples:
 	python examples/drift_detection.py
 	python examples/persistence_and_resume.py
 	python examples/url_classification.py
+	python examples/serving_rollout.py
 
 clean:
 	rm -rf build dist *.egg-info src/*.egg-info .pytest_cache

@@ -86,6 +86,15 @@ from repro.obs import (
     summarize_trace,
 )
 from repro.pipeline import Pipeline, PipelineComponent
+from repro.serving import (
+    GateConfig,
+    ModelRegistry,
+    QualityGate,
+    RolloutController,
+    ServedBatch,
+    ServingEndpoint,
+    VersionInfo,
+)
 
 __version__ = "1.0.0"
 
@@ -144,6 +153,14 @@ __all__ = [
     "JsonlSink",
     "format_summary",
     "summarize_trace",
+    # serving
+    "ModelRegistry",
+    "VersionInfo",
+    "ServingEndpoint",
+    "ServedBatch",
+    "QualityGate",
+    "GateConfig",
+    "RolloutController",
     # datasets
     "URLStreamGenerator",
     "TaxiStreamGenerator",

@@ -20,6 +20,17 @@ traces offline::
     python -m repro exp1 --dataset url --scale test --trace run.jsonl
     python -m repro obs summary run.jsonl
     python -m repro obs tail run.jsonl --limit 30
+
+Serving: ``repro serve`` runs a full train-register-canary-serve loop
+against a model registry directory, and ``repro registry`` inspects
+and operates one offline::
+
+    python -m repro serve --registry ./reg --dataset url --scale test
+    python -m repro registry list --registry ./reg
+    python -m repro registry show v0002 --registry ./reg
+    python -m repro registry promote v0002 --registry ./reg
+    python -m repro registry rollback --registry ./reg
+    python -m repro exp5 --dataset taxi --scale test
 """
 
 from __future__ import annotations
@@ -132,6 +143,74 @@ def build_parser() -> argparse.ArgumentParser:
     obs.add_argument(
         "--limit", type=int, default=20,
         help="number of events shown by 'tail' (default: 20)",
+    )
+
+    exp5 = commands.add_parser(
+        "exp5", help="gated canary rollout vs blind promotion"
+    )
+    add_scenario_options(exp5)
+
+    serve = commands.add_parser(
+        "serve",
+        help="run a continuous deployment with a model registry and "
+        "gated canary rollouts",
+    )
+    add_scenario_options(serve)
+    serve.add_argument(
+        "--registry",
+        metavar="DIR",
+        default=None,
+        help="registry directory (default: a temporary one); an "
+        "existing registry with a live version is reused, an empty "
+        "one is bootstrapped from the scenario's initial data",
+    )
+    serve.add_argument(
+        "--mode",
+        choices=("shadow", "canary"),
+        default="canary",
+        help="staging mode for fresh candidates (default: canary)",
+    )
+    serve.add_argument(
+        "--fraction", type=float, default=0.2,
+        help="canary traffic fraction (default: 0.2)",
+    )
+    serve.add_argument(
+        "--trace",
+        metavar="PATH",
+        default=None,
+        help="record the run as a JSONL event trace",
+    )
+
+    registry = commands.add_parser(
+        "registry", help="inspect or operate a model registry"
+    )
+    registry.add_argument(
+        "action",
+        choices=("list", "show", "promote", "rollback", "gc"),
+        help="list = one line per version; show = full detail for "
+        "VERSION; promote = VERSION goes live; rollback = reinstate "
+        "the previous live version; gc = drop finished bundles",
+    )
+    registry.add_argument(
+        "version",
+        nargs="?",
+        default=None,
+        help="version id (required by show/promote)",
+    )
+    registry.add_argument(
+        "--registry",
+        metavar="DIR",
+        required=True,
+        dest="registry_dir",
+        help="registry directory",
+    )
+    registry.add_argument(
+        "--keep", type=int, default=3,
+        help="finished versions whose bundles 'gc' keeps (default: 3)",
+    )
+    registry.add_argument(
+        "--reason", default="cli",
+        help="reason recorded with promote/rollback (default: cli)",
     )
 
     return parser
@@ -329,6 +408,244 @@ def _command_fig8(args: argparse.Namespace) -> None:
     )
 
 
+def _command_exp5(args: argparse.Namespace) -> None:
+    from repro.experiments.exp5_serving import (
+        POLICIES,
+        headline_claims,
+        run_serving_experiment,
+    )
+
+    results = run_serving_experiment(_scenario(args))
+    print("prequential serving error over time:")
+    for policy in POLICIES:
+        print(
+            format_series(
+                policy, results[policy].error_history, points=12
+            )
+        )
+    print(f"\n{'policy':<8} {'avg error':>10} {'final':>8} transitions")
+    for policy in POLICIES:
+        point = results[policy]
+        moves = ", ".join(
+            f"{k}={v}" for k, v in sorted(point.transitions.items())
+        )
+        print(
+            f"{policy:<8} {point.average_error:>10.4f} "
+            f"{point.final_error:>8.4f} {moves or '-'}"
+        )
+    claims = headline_claims(results)
+    print(
+        f"gated vs blind improvement: "
+        f"{claims['gated_vs_blind_improvement']:+.4f} "
+        f"(promotions={claims['gated_promotions']:.0f}, "
+        f"rejections={claims['gated_rejections']:.0f})"
+    )
+
+
+def _command_serve(args: argparse.Namespace) -> None:
+    import contextlib
+    import tempfile
+
+    import numpy as np
+
+    from repro.core.platform import ContinuousDeploymentPlatform
+    from repro.experiments.exp5_serving import default_gate_config
+    from repro.ml.metrics import PrequentialTracker
+    from repro.serving import (
+        ModelRegistry,
+        RolloutController,
+        ServingEndpoint,
+    )
+
+    scenario = _scenario(args)
+    telemetry = None
+    if args.trace is not None:
+        from repro.obs import JsonlSink, Telemetry
+
+        telemetry = Telemetry(sink=JsonlSink(args.trace))
+
+    with contextlib.ExitStack() as stack:
+        root = args.registry
+        if root is None:
+            root = stack.enter_context(tempfile.TemporaryDirectory())
+            print(f"using a temporary registry at {root}")
+        registry = ModelRegistry(root, telemetry=telemetry)
+
+        if registry.live_version is None:
+            print("empty registry: bootstrapping the initial version…")
+            pipeline = scenario.make_pipeline()
+            model = scenario.make_model()
+            optimizer = scenario.make_optimizer()
+            platform = ContinuousDeploymentPlatform(
+                pipeline,
+                model,
+                optimizer,
+                config=scenario.continuous_config,
+                seed=scenario.seed,
+                telemetry=telemetry,
+                registry=registry,
+            )
+            platform.initial_fit(
+                scenario.make_initial_data(),
+                seed=scenario.seed,
+                store=True,
+                **scenario.initial_fit_kwargs,
+            )
+            first = registry.register(pipeline, model, optimizer)
+            registry.promote(first.version, reason="initial deployment")
+        else:
+            print(f"resuming: {registry.live_version} is live")
+            bundle = registry.load_live()
+            platform = ContinuousDeploymentPlatform(
+                bundle.pipeline,
+                bundle.model,
+                bundle.optimizer,
+                config=scenario.continuous_config,
+                seed=scenario.seed,
+                telemetry=telemetry,
+                registry=registry,
+            )
+
+        endpoint = ServingEndpoint(
+            registry, seed=scenario.seed, telemetry=telemetry
+        )
+        controller = RolloutController(
+            registry,
+            endpoint,
+            metric=scenario.metric,
+            config=default_gate_config(scenario),
+            telemetry=telemetry,
+        )
+        tracker = PrequentialTracker(
+            kind="rate" if scenario.metric == "classification" else "rmse"
+        )
+        history = []
+        staged = 0
+        for chunk_index, table in enumerate(scenario.make_stream()):
+            # Prequential: serve the chunk first, then let the
+            # platform train on it.
+            served = endpoint.predict(table, chunk_index=chunk_index)
+            if len(served.labels):
+                if scenario.metric == "classification":
+                    error_sum = float(
+                        np.sum(served.predictions != served.labels)
+                    )
+                else:
+                    residual = served.predictions - served.labels
+                    error_sum = float(np.sum(residual * residual))
+                tracker.add_chunk(error_sum, len(served.labels))
+            history.append(tracker.value())
+            action = controller.observe(served)
+            if action != "continue":
+                print(
+                    f"  chunk {chunk_index}: {action} "
+                    f"(live={registry.live_version})"
+                )
+            platform.observe(table)
+            if (
+                platform.registered_versions
+                and controller.state in ("idle", "monitoring")
+            ):
+                latest = platform.registered_versions[-1]
+                if latest.status == "candidate":
+                    controller.stage(
+                        latest.version,
+                        mode=args.mode,
+                        fraction=args.fraction,
+                    )
+                    staged += 1
+                    print(
+                        f"  chunk {chunk_index}: staged "
+                        f"{latest.version} as {args.mode}"
+                    )
+
+        print()
+        print(format_series("serving error", history, points=12))
+        print(
+            f"\n{'version':<8} {'status':<12} {'parent':<8} "
+            f"{'chunks':>6} {'cost':>8}"
+        )
+        for info in registry.list_versions():
+            print(
+                f"{info.version:<8} {info.status:<12} "
+                f"{info.parent or '-':<8} {info.chunks_observed:>6} "
+                f"{info.training_cost:>8.2f}"
+            )
+        print(
+            f"\nlive={registry.live_version}  staged={staged}  "
+            + "  ".join(
+                f"{action}s="
+                + str(
+                    sum(
+                        1 for entry in controller.log
+                        if entry["action"] == action
+                    )
+                )
+                for action in ("promote", "reject", "rollback")
+            )
+        )
+        if telemetry is not None:
+            from repro.obs import format_summary
+
+            telemetry.close()
+            print(f"\ntrace written to {args.trace}")
+            print(format_summary(telemetry.summary()))
+
+
+def _command_registry(args: argparse.Namespace) -> None:
+    from repro.serving import ModelRegistry
+
+    from pathlib import Path
+
+    root = Path(args.registry_dir)
+    if not (root / "registry.json").exists():
+        raise SystemExit(f"no registry manifest under {root}")
+    registry = ModelRegistry(root)
+    action = args.action
+    if action in ("show", "promote") and args.version is None:
+        raise SystemExit(f"registry {action} requires a VERSION")
+    if action == "list":
+        print(
+            f"{'version':<8} {'status':<12} {'parent':<8} "
+            f"{'chunks':>6} {'cost':>8}  metrics"
+        )
+        for info in registry.list_versions():
+            metrics = ", ".join(
+                f"{k}={v:.4g}" for k, v in sorted(info.metrics.items())
+            )
+            collected = " [gc]" if info.collected else ""
+            print(
+                f"{info.version:<8} {info.status:<12} "
+                f"{info.parent or '-':<8} {info.chunks_observed:>6} "
+                f"{info.training_cost:>8.2f}  {metrics or '-'}"
+                f"{collected}"
+            )
+        print(f"live: {registry.live_version or '-'}")
+    elif action == "show":
+        info = registry.get(args.version)
+        for name, value in sorted(info.to_dict().items()):
+            print(f"{name:>15}: {value}")
+        related = [
+            entry for entry in registry.transitions
+            if entry.get("version") == args.version
+            or entry.get("failed") == args.version
+        ]
+        for entry in related:
+            print(f"{'transition':>15}: {entry}")
+    elif action == "promote":
+        info = registry.promote(args.version, reason=args.reason)
+        print(f"{info.version} is live")
+    elif action == "rollback":
+        info = registry.rollback(reason=args.reason)
+        print(f"rolled back; {info.version} is live")
+    else:  # gc
+        collected = registry.gc(keep=args.keep)
+        print(
+            f"collected {len(collected)} bundle(s)"
+            + (": " + ", ".join(collected) if collected else "")
+        )
+
+
 _COMMANDS = {
     "exp1": _command_exp1,
     "table3": _command_table3,
@@ -338,6 +655,9 @@ _COMMANDS = {
     "fig7": _command_fig7,
     "fig8": _command_fig8,
     "obs": _command_obs,
+    "exp5": _command_exp5,
+    "serve": _command_serve,
+    "registry": _command_registry,
 }
 
 

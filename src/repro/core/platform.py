@@ -13,7 +13,7 @@ operations a deployment environment needs:
 
 from __future__ import annotations
 
-from typing import List, Optional, Tuple
+from typing import TYPE_CHECKING, List, Optional, Tuple
 
 import numpy as np
 
@@ -37,6 +37,9 @@ from repro.ml.sgd import TrainingResult
 from repro.obs.telemetry import NULL_TELEMETRY, Telemetry
 from repro.pipeline.pipeline import Pipeline
 from repro.utils.rng import SeedLike
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.serving.registry import ModelRegistry, VersionInfo
 
 
 def build_scheduler(config: ScheduleConfig) -> Scheduler:
@@ -67,6 +70,13 @@ class ContinuousDeploymentPlatform:
         (operation spans), storage (eviction counters), data manager
         (cache/sampler telemetry), and this platform (observe and
         proactive-training spans, scheduler decision events).
+    registry:
+        Optional :class:`~repro.serving.registry.ModelRegistry`.
+        When attached, every proactive-training outcome is snapshotted
+        into the registry as a *candidate* version with full lineage
+        (parent = current live version, chunks observed, virtual-clock
+        training cost, final objective) — the feed a staged rollout
+        promotes from.
     """
 
     def __init__(
@@ -78,6 +88,7 @@ class ContinuousDeploymentPlatform:
         cost_model: Optional[CostModel] = None,
         seed: SeedLike = None,
         telemetry: Optional[Telemetry] = None,
+        registry: Optional["ModelRegistry"] = None,
     ) -> None:
         self.config = config if config is not None else ContinuousConfig()
         self.telemetry = (
@@ -113,6 +124,8 @@ class ContinuousDeploymentPlatform:
         self.scheduler = build_scheduler(self.config.schedule)
         self.proactive = ProactiveTrainer(self.manager.trainer, self.engine)
         self.proactive_outcomes: List[ProactiveOutcome] = []
+        self.registry = registry
+        self.registered_versions: List["VersionInfo"] = []
         self._chunk_index = -1
 
     # ------------------------------------------------------------------
@@ -229,7 +242,30 @@ class ContinuousDeploymentPlatform:
                 self.telemetry.metrics.observe(
                     "proactive.duration", duration
                 )
+            if self.registry is not None:
+                self._register_candidate(full_outcome)
             return full_outcome
+
+    def _register_candidate(self, outcome: ProactiveOutcome) -> None:
+        """Snapshot the freshly-trained state as a registry candidate."""
+        info = self.registry.register(
+            self.manager.pipeline,
+            self.manager.model,
+            self.manager.optimizer,
+            chunks_observed=self.chunks_observed,
+            training_cost=outcome.duration,
+            metrics={
+                "objective": outcome.objective,
+                "rows_trained": outcome.rows,
+            },
+        )
+        self.registered_versions.append(info)
+        self.telemetry.tracer.point(
+            "platform.register_candidate",
+            version=info.version,
+            parent=info.parent,
+            chunk=self._chunk_index,
+        )
 
     def __repr__(self) -> str:
         return (

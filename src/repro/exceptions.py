@@ -53,5 +53,14 @@ class SchedulingError(ReproError):
     """The proactive-training scheduler was configured incorrectly."""
 
 
+class ServingError(ReproError):
+    """The model registry or serving layer was used incorrectly.
+
+    Raised for unknown versions, illegal promotion/rollback
+    transitions, corrupt registry manifests, and misconfigured
+    shadow/canary rollouts.
+    """
+
+
 class ConvergenceWarning(UserWarning):
     """Training stopped at the iteration cap before converging."""

@@ -13,6 +13,12 @@ version, and a SHA-256 checksum. Loading verifies the checksum and tag
 before unpickling, so truncated or foreign files fail loudly instead
 of deserialising garbage.
 
+Writes are crash-safe: the blob is staged in a temporary file in the
+destination directory, fsynced, and moved into place with
+``os.replace`` — a process killed mid-write can never leave a
+truncated bundle at the destination path (at worst a stray ``*.tmp``
+file the next save ignores).
+
 Security note — pickle executes code on load; only load bundles you
 wrote. This mirrors every mainstream Python model store.
 """
@@ -21,7 +27,9 @@ from __future__ import annotations
 
 import hashlib
 import io
+import os
 import pickle
+import tempfile
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Union
@@ -30,6 +38,9 @@ from repro.exceptions import ReproError
 from repro.ml.models.base import LinearSGDModel
 from repro.ml.optim.base import Optimizer
 from repro.pipeline.pipeline import Pipeline
+
+#: Anything the filesystem accepts as a path.
+PathLike = Union[str, "os.PathLike[str]"]
 
 #: File magic identifying a deployment bundle.
 MAGIC = b"REPRO-BUNDLE-1\n"
@@ -65,20 +76,55 @@ class DeploymentBundle:
             )
 
 
+def atomic_write_bytes(path: PathLike, blob: bytes) -> Path:
+    """Write ``blob`` to ``path`` atomically (temp file + rename).
+
+    The bytes are staged in a temporary file in the destination
+    directory, flushed and fsynced, then moved over ``path`` with
+    ``os.replace`` — on POSIX an atomic rename. A crash at any point
+    leaves either the previous file or no file, never a truncation.
+    """
+    path = Path(path)
+    fd, tmp_name = tempfile.mkstemp(
+        dir=path.parent, prefix=path.name + ".", suffix=".tmp"
+    )
+    try:
+        with os.fdopen(fd, "wb") as handle:
+            handle.write(blob)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp_name, path)
+    except BaseException:
+        try:
+            os.unlink(tmp_name)
+        except OSError:
+            pass
+        raise
+    return path
+
+
 def save_bundle(
-    path: Union[str, Path],
+    path: PathLike,
     pipeline: Pipeline,
     model: LinearSGDModel,
     optimizer: Optimizer,
 ) -> Path:
     """Write a deployment bundle to ``path`` and return the path.
 
-    The write is atomic-ish: the payload is fully serialised in memory
-    first, so a serialisation failure never leaves a partial file.
+    The payload is fully serialised in memory first (a serialisation
+    failure never touches the filesystem) and lands on disk through
+    :func:`atomic_write_bytes`, so a crash mid-write can never leave a
+    truncated file that fails its checksum on restart.
     """
     bundle = DeploymentBundle(
         pipeline=pipeline, model=model, optimizer=optimizer
     )
+    path = Path(path)
+    return atomic_write_bytes(path, serialize_bundle(bundle))
+
+
+def serialize_bundle(bundle: DeploymentBundle) -> bytes:
+    """Serialise a bundle to the on-disk blob (magic + digest + pickle)."""
     buffer = io.BytesIO()
     pickle.dump(
         {
@@ -90,13 +136,12 @@ def save_bundle(
     )
     payload = buffer.getvalue()
     digest = hashlib.sha256(payload).digest()
-    path = Path(path)
-    path.write_bytes(MAGIC + digest + payload)
-    return path
+    return MAGIC + digest + payload
 
 
-def load_bundle(path: Union[str, Path]) -> DeploymentBundle:
-    """Read a deployment bundle, verifying magic and checksum."""
+def load_bundle(path: PathLike) -> DeploymentBundle:
+    """Read a deployment bundle, verifying magic, checksum, and the
+    library version it was written by."""
     path = Path(path)
     try:
         raw = path.read_bytes()
@@ -123,12 +168,42 @@ def load_bundle(path: Union[str, Path]) -> DeploymentBundle:
         raise PersistenceError(
             f"{path} could not be deserialised: {error}"
         ) from error
+    written_by = envelope.get("version")
+    current = _library_version()
+    if written_by != current:
+        raise PersistenceError(
+            f"{path} was written by repro {written_by!r} but this "
+            f"library is repro {current!r}; re-save the bundle with "
+            f"the current version"
+        )
     bundle = envelope.get("bundle")
     if not isinstance(bundle, DeploymentBundle):
         raise PersistenceError(
             f"{path} does not contain a DeploymentBundle"
         )
     return bundle
+
+
+def bundle_checksum(path: PathLike) -> str:
+    """Hex SHA-256 of a bundle's payload, read from the file header.
+
+    Cheap (no unpickling): the digest is stored right after the magic
+    tag. The serving registry records it as the version fingerprint.
+    """
+    path = Path(path)
+    try:
+        with open(path, "rb") as handle:
+            header = handle.read(len(MAGIC) + 32)
+    except OSError as error:
+        raise PersistenceError(
+            f"cannot read bundle {path}: {error}"
+        ) from error
+    if not header.startswith(MAGIC) or len(header) < len(MAGIC) + 32:
+        raise PersistenceError(
+            f"{path} is not a repro deployment bundle "
+            f"(bad magic header)"
+        )
+    return header[len(MAGIC):].hex()
 
 
 def _library_version() -> str:

@@ -1,0 +1,67 @@
+"""``repro.serving`` — model registry and staged serving layer.
+
+The missing half of a continuously-*trained* platform: continuously
+*serving* it safely. The package layers four pieces on top of
+:mod:`repro.persistence` deployment bundles:
+
+* :class:`ModelRegistry` — versioned, checksummed bundle store with
+  lineage metadata and a promote / rollback / gc lifecycle;
+* :class:`ServingEndpoint` — routes prediction batches to the live
+  version, optionally mirroring traffic to a **shadow** candidate or
+  splitting a deterministic hash-routed fraction to a **canary**;
+* :class:`QualityGate` / :class:`BaselineMonitor` — compare candidate
+  vs incumbent on served traffic and watch the newly-live version
+  after promotion;
+* :class:`RolloutController` — the state machine that auto-promotes
+  on a sustained win and auto-rolls-back on regression, emitting
+  every transition as ``rollout.*`` / ``registry.*`` obs events.
+
+Quickstart::
+
+    from repro.serving import (
+        ModelRegistry, RolloutController, ServingEndpoint,
+    )
+
+    registry = ModelRegistry("./registry")
+    v1 = registry.register(pipeline, model, optimizer)
+    registry.promote(v1.version, reason="initial deployment")
+
+    endpoint = ServingEndpoint(registry, seed=7)
+    controller = RolloutController(registry, endpoint)
+    controller.stage("v0002", mode="canary", fraction=0.2)
+    for chunk_index, table in enumerate(stream):
+        served = endpoint.predict(table, chunk_index=chunk_index)
+        controller.observe(served)   # may promote or roll back
+"""
+
+from repro.serving.controller import RolloutController
+from repro.serving.endpoint import ServedBatch, ServingEndpoint
+from repro.serving.gate import (
+    BaselineMonitor,
+    GateConfig,
+    GateDecision,
+    QualityGate,
+)
+from repro.serving.registry import ModelRegistry, VersionInfo
+from repro.serving.routing import (
+    derive_routing_seed,
+    route_mask,
+    row_keys,
+    splitmix64,
+)
+
+__all__ = [
+    "ModelRegistry",
+    "VersionInfo",
+    "ServingEndpoint",
+    "ServedBatch",
+    "QualityGate",
+    "BaselineMonitor",
+    "GateConfig",
+    "GateDecision",
+    "RolloutController",
+    "derive_routing_seed",
+    "route_mask",
+    "row_keys",
+    "splitmix64",
+]

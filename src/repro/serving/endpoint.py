@@ -1,0 +1,326 @@
+"""Prediction serving over registry versions: live, shadow, canary.
+
+:class:`ServingEndpoint` answers prediction batches from the
+registry's live version. A rollout may additionally attach a
+*candidate* version in one of two staging modes:
+
+* **shadow** — every batch is also scored by the candidate; its
+  predictions are recorded for the quality gate but never returned.
+  The primary path is untouched, so the caller-visible predictions
+  are byte-identical to a run without the shadow.
+* **canary** — a configurable fraction of rows is served *by* the
+  candidate. The split is deterministic per-row hash routing
+  (:mod:`repro.serving.routing`): the same logical row always lands
+  on the same side, independent of batch boundaries or replays.
+
+Every batch produces a :class:`ServedBatch` carrying the per-side
+predictions and labels the :class:`~repro.serving.gate.QualityGate`
+compares.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+from repro.data.table import Table
+from repro.exceptions import ServingError
+from repro.execution.cost import CostModel
+from repro.execution.engine import LocalExecutionEngine
+from repro.obs.telemetry import NULL_TELEMETRY, Telemetry
+from repro.persistence import DeploymentBundle
+from repro.serving.registry import ModelRegistry
+from repro.serving.routing import derive_routing_seed, route_mask, row_keys
+from repro.utils.rng import SeedLike
+
+#: Staging modes a candidate can be attached in.
+MODES = ("shadow", "canary")
+
+_EMPTY = np.empty(0, dtype=np.float64)
+
+
+@dataclass
+class ServedBatch:
+    """One served prediction batch, with per-side detail.
+
+    ``predictions``/``labels`` are what the caller consumes — in
+    canary mode the rows served by the primary come first, then the
+    canary rows (pipelines may filter rows per side, so a positional
+    merge back into input order is not defined in general).
+    """
+
+    predictions: np.ndarray
+    labels: np.ndarray
+    primary_version: str
+    mode: str = "solo"
+    candidate_version: Optional[str] = None
+    #: Rows answered by the live version (full batch in solo/shadow).
+    primary_predictions: np.ndarray = field(default_factory=lambda: _EMPTY)
+    primary_labels: np.ndarray = field(default_factory=lambda: _EMPTY)
+    #: Rows scored by the candidate (mirror in shadow, split in canary).
+    candidate_predictions: np.ndarray = field(
+        default_factory=lambda: _EMPTY
+    )
+    candidate_labels: np.ndarray = field(default_factory=lambda: _EMPTY)
+    #: Fraction of input rows routed to the canary (0 outside canary).
+    canary_share: float = 0.0
+
+
+class ServingEndpoint:
+    """Routes prediction batches to registry versions.
+
+    Parameters
+    ----------
+    registry:
+        The version store; the endpoint serves its live version.
+    cost_model:
+        Prices for the endpoint's execution engine.
+    seed:
+        Seeds the deterministic canary routing salt (via
+        :mod:`repro.utils.rng`), so a restart reproduces the split.
+    telemetry:
+        Optional observability bundle (``serving.predict`` spans,
+        shadow/canary row counters).
+    """
+
+    def __init__(
+        self,
+        registry: ModelRegistry,
+        cost_model: Optional[CostModel] = None,
+        seed: SeedLike = None,
+        telemetry: Optional[Telemetry] = None,
+    ) -> None:
+        self.registry = registry
+        self.telemetry = (
+            telemetry if telemetry is not None else NULL_TELEMETRY
+        )
+        self.engine = LocalExecutionEngine(
+            cost_model, telemetry=self.telemetry
+        )
+        self._routing_salt = derive_routing_seed(seed)
+        self._primary_version: Optional[str] = None
+        self._primary: Optional[DeploymentBundle] = None
+        self._candidate_version: Optional[str] = None
+        self._candidate: Optional[DeploymentBundle] = None
+        self._mode: Optional[str] = None
+        self._fraction = 0.0
+        self._batch_index = -1
+        if registry.live_version is not None:
+            self.reload_live()
+
+    # ------------------------------------------------------------------
+    @property
+    def primary_version(self) -> Optional[str]:
+        return self._primary_version
+
+    @property
+    def candidate_version(self) -> Optional[str]:
+        return self._candidate_version
+
+    @property
+    def mode(self) -> str:
+        """``"solo"`` when no candidate is attached, else the stage mode."""
+        return self._mode if self._mode is not None else "solo"
+
+    @property
+    def primary_bundle(self) -> Optional[DeploymentBundle]:
+        """The in-memory artifacts currently serving primary traffic."""
+        return self._primary
+
+    # ------------------------------------------------------------------
+    # Version management
+    # ------------------------------------------------------------------
+    def reload_live(self) -> str:
+        """(Re)load the registry's live version as the primary."""
+        version = self.registry.live_version
+        if version is None:
+            raise ServingError(
+                "registry has no live version to serve; promote one "
+                "first"
+            )
+        self._primary = self.registry.load(version)
+        self._primary_version = version
+        return version
+
+    def attach_candidate(
+        self, version: str, mode: str = "shadow", fraction: float = 0.1
+    ) -> None:
+        """Stage a candidate next to the live version.
+
+        ``fraction`` only applies to canary mode; shadow always
+        mirrors the full batch.
+        """
+        if self._primary is None:
+            raise ServingError(
+                "attach_candidate: endpoint has no live version"
+            )
+        if mode not in MODES:
+            raise ServingError(
+                f"mode must be one of {MODES}, got {mode!r}"
+            )
+        if self._candidate is not None:
+            raise ServingError(
+                f"a candidate ({self._candidate_version}) is already "
+                f"attached; detach it first"
+            )
+        if version == self._primary_version:
+            raise ServingError(
+                f"candidate {version} is already the live version"
+            )
+        if mode == "canary" and not 0.0 < fraction <= 1.0:
+            raise ServingError(
+                f"canary fraction must be in (0, 1], got {fraction}"
+            )
+        self._candidate = self.registry.load(version)
+        self._candidate_version = version
+        self._mode = mode
+        self._fraction = fraction if mode == "canary" else 0.0
+        if self.telemetry.enabled:
+            self.telemetry.tracer.point(
+                "serving.attach",
+                version=version,
+                mode=mode,
+                fraction=self._fraction,
+            )
+
+    def detach_candidate(self) -> Optional[str]:
+        """Remove the staged candidate; returns its version id."""
+        version = self._candidate_version
+        self._candidate = None
+        self._candidate_version = None
+        self._mode = None
+        self._fraction = 0.0
+        return version
+
+    def promote_candidate(self) -> str:
+        """Make the in-memory candidate the primary (post-promotion).
+
+        Call after :meth:`ModelRegistry.promote`; avoids re-reading
+        the bundle that is already loaded.
+        """
+        if self._candidate is None:
+            raise ServingError("promote_candidate: no candidate attached")
+        self._primary = self._candidate
+        self._primary_version = self._candidate_version
+        self.detach_candidate()
+        return str(self._primary_version)
+
+    # ------------------------------------------------------------------
+    # Serving
+    # ------------------------------------------------------------------
+    def predict(
+        self, table: Table, chunk_index: Optional[int] = None
+    ) -> ServedBatch:
+        """Serve one prediction batch.
+
+        ``chunk_index`` keys the deterministic canary routing; when
+        omitted, an internal batch counter is used (stable within one
+        endpoint lifetime, but not across restarts — pass the
+        deployment chunk index for replay-stable routing).
+        """
+        if self._primary is None:
+            raise ServingError("endpoint has no live version to serve")
+        self._batch_index += 1
+        index = (
+            chunk_index if chunk_index is not None else self._batch_index
+        )
+        if self._mode == "canary":
+            served = self._predict_canary(table, index)
+        elif self._mode == "shadow":
+            served = self._predict_shadow(table)
+        else:
+            predictions, labels = self._score(self._primary, table)
+            served = ServedBatch(
+                predictions=predictions,
+                labels=labels,
+                primary_version=str(self._primary_version),
+                primary_predictions=predictions,
+                primary_labels=labels,
+            )
+        if self.telemetry.enabled:
+            self.telemetry.metrics.counter("serving.batches").inc()
+            self.telemetry.metrics.counter("serving.rows").inc(
+                table.num_rows
+            )
+            if served.mode == "canary":
+                self.telemetry.metrics.counter(
+                    "serving.canary_rows"
+                ).inc(len(served.candidate_predictions))
+            elif served.mode == "shadow":
+                self.telemetry.metrics.counter(
+                    "serving.shadow_rows"
+                ).inc(len(served.candidate_predictions))
+        return served
+
+    # ------------------------------------------------------------------
+    def _predict_shadow(self, table: Table) -> ServedBatch:
+        # The primary path runs first and exactly as in solo mode, so
+        # its predictions stay byte-identical with a shadow attached.
+        predictions, labels = self._score(self._primary, table)
+        shadow_predictions, shadow_labels = self._score(
+            self._candidate, table
+        )
+        return ServedBatch(
+            predictions=predictions,
+            labels=labels,
+            primary_version=str(self._primary_version),
+            mode="shadow",
+            candidate_version=self._candidate_version,
+            primary_predictions=predictions,
+            primary_labels=labels,
+            candidate_predictions=shadow_predictions,
+            candidate_labels=shadow_labels,
+        )
+
+    def _predict_canary(self, table: Table, index: int) -> ServedBatch:
+        keys = row_keys(index, table.num_rows)
+        mask = route_mask(keys, self._fraction, salt=self._routing_salt)
+        canary_rows = int(np.count_nonzero(mask))
+        if canary_rows == 0:
+            primary_predictions, primary_labels = self._score(
+                self._primary, table
+            )
+            candidate_predictions = candidate_labels = _EMPTY
+        elif canary_rows == table.num_rows:
+            candidate_predictions, candidate_labels = self._score(
+                self._candidate, table
+            )
+            primary_predictions = primary_labels = _EMPTY
+        else:
+            primary_predictions, primary_labels = self._score(
+                self._primary, table.filter_rows(~mask)
+            )
+            candidate_predictions, candidate_labels = self._score(
+                self._candidate, table.filter_rows(mask)
+            )
+        return ServedBatch(
+            predictions=np.concatenate(
+                [primary_predictions, candidate_predictions]
+            ),
+            labels=np.concatenate([primary_labels, candidate_labels]),
+            primary_version=str(self._primary_version),
+            mode="canary",
+            candidate_version=self._candidate_version,
+            primary_predictions=primary_predictions,
+            primary_labels=primary_labels,
+            candidate_predictions=candidate_predictions,
+            candidate_labels=candidate_labels,
+            canary_share=canary_rows / max(table.num_rows, 1),
+        )
+
+    def _score(self, bundle: DeploymentBundle, table: Table):
+        if table.num_rows == 0:
+            return _EMPTY, _EMPTY
+        features = self.engine.transform_only(bundle.pipeline, table)
+        if features.num_rows == 0:
+            return _EMPTY, _EMPTY
+        predictions = self.engine.predict(bundle.model, features.matrix)
+        return predictions, np.asarray(features.labels)
+
+    def __repr__(self) -> str:
+        return (
+            f"ServingEndpoint(primary={self._primary_version}, "
+            f"mode={self.mode}, candidate={self._candidate_version})"
+        )

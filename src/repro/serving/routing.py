@@ -1,0 +1,74 @@
+"""Deterministic per-row traffic routing for canary rollouts.
+
+A canary split must be (a) stable — the same logical row always lands
+on the same side, so a retried query cannot flip between models — and
+(b) independent of arrival order, so replays reproduce the routing
+exactly. Both follow from hashing a per-row key instead of drawing
+from a stream of random numbers.
+
+Row keys are 64-bit integers (the platform uses
+``chunk_index * 2**32 + row_index``, see :func:`row_keys`); the hash
+is SplitMix64 — a statistically strong, vectorisable integer mixer —
+salted with a routing seed derived through :mod:`repro.utils.rng`, so
+two endpoints with different seeds produce independent splits.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import ServingError
+from repro.utils.rng import SeedLike, ensure_rng
+
+#: Resolution of the routing fraction: a row routes to the canary when
+#: its hash bucket (0 ≤ bucket < 1) falls below the fraction.
+_U64 = np.uint64
+_INV_2_64 = 1.0 / 2.0**64
+
+
+def derive_routing_seed(seed: SeedLike = None) -> int:
+    """A 64-bit salt for :func:`route_mask`, derived via ``utils.rng``.
+
+    Passing the same ``seed`` always yields the same salt, so a
+    deployment restart reproduces its canary split.
+    """
+    rng = ensure_rng(seed)
+    return int(rng.integers(0, 2**63 - 1, dtype=np.int64))
+
+
+def splitmix64(keys: np.ndarray, salt: int = 0) -> np.ndarray:
+    """Vectorised SplitMix64 of integer ``keys`` (uint64 out)."""
+    with np.errstate(over="ignore"):
+        z = np.asarray(keys, dtype=_U64) + _U64(
+            (0x9E3779B97F4A7C15 + salt) % 2**64
+        )
+        z = (z ^ (z >> _U64(30))) * _U64(0xBF58476D1CE4E5B9)
+        z = (z ^ (z >> _U64(27))) * _U64(0x94D049BB133111EB)
+        return z ^ (z >> _U64(31))
+
+
+def route_mask(
+    keys: np.ndarray, fraction: float, salt: int = 0
+) -> np.ndarray:
+    """Boolean mask: ``True`` rows route to the canary.
+
+    ``fraction`` is the target canary share in [0, 1]. Routing is a
+    pure function of ``(key, salt)`` — stable across batches, replays,
+    and processes.
+    """
+    if not 0.0 <= fraction <= 1.0:
+        raise ServingError(
+            f"canary fraction must be in [0, 1], got {fraction}"
+        )
+    hashed = splitmix64(np.asarray(keys), salt=salt)
+    return hashed.astype(np.float64) * _INV_2_64 < fraction
+
+
+def row_keys(chunk_index: int, num_rows: int) -> np.ndarray:
+    """Stable 64-bit keys for the rows of one deployment chunk."""
+    if chunk_index < 0:
+        raise ServingError(
+            f"chunk_index must be >= 0, got {chunk_index}"
+        )
+    base = _U64(chunk_index) * _U64(2**32)
+    return base + np.arange(num_rows, dtype=_U64)

@@ -11,6 +11,8 @@ from repro.ml.sgd import SGDTrainer
 from repro.persistence import (
     DeploymentBundle,
     PersistenceError,
+    atomic_write_bytes,
+    bundle_checksum,
     load_bundle,
     save_bundle,
 )
@@ -134,6 +136,98 @@ class TestIntegrity:
         with pytest.raises(PersistenceError, match="cannot read"):
             load_bundle(tmp_path / "nope.bundle")
 
+    def test_version_mismatch_names_both_versions_and_path(
+        self, tmp_path, monkeypatch
+    ):
+        """A bundle from another library version must fail with an
+        error naming the written-by version, the current version, and
+        the offending file."""
+        import repro
+        import repro.persistence as persistence
+
+        __, pipeline, model, optimizer = fitted_url_parts()
+        path = tmp_path / "old.bundle"
+        monkeypatch.setattr(
+            persistence, "_library_version", lambda: "0.1.0"
+        )
+        save_bundle(path, pipeline, model, optimizer)
+        monkeypatch.undo()
+
+        with pytest.raises(PersistenceError) as excinfo:
+            load_bundle(path)
+        message = str(excinfo.value)
+        assert "0.1.0" in message
+        assert repro.__version__ in message
+        assert str(path) in message
+
+
+class TestAtomicWrites:
+    def test_atomic_write_roundtrip(self, tmp_path):
+        path = atomic_write_bytes(tmp_path / "blob", b"payload")
+        assert path.read_bytes() == b"payload"
+        assert list(tmp_path.iterdir()) == [path]
+
+    def test_kill_before_rename_keeps_previous_bundle(
+        self, tmp_path, monkeypatch
+    ):
+        """A save killed between staging and rename must leave the
+        previous bundle intact and loadable — never a truncation."""
+        import os
+
+        __, pipeline, model, optimizer = fitted_url_parts()
+        path = save_bundle(
+            tmp_path / "d.bundle", pipeline, model, optimizer
+        )
+        expected = model.params_vector().copy()
+        before = path.read_bytes()
+
+        def killed(*args, **kwargs):
+            raise OSError("killed mid-write")
+
+        monkeypatch.setattr(os, "replace", killed)
+        model.weights[:] = 0.0
+        with pytest.raises(OSError, match="killed"):
+            save_bundle(path, pipeline, model, optimizer)
+        monkeypatch.undo()
+
+        # The destination still holds the pre-crash bytes, the staged
+        # temp file is gone, and the old state restores cleanly.
+        assert path.read_bytes() == before
+        assert list(tmp_path.iterdir()) == [path]
+        restored = load_bundle(path)
+        assert restored.model.params_vector() == pytest.approx(expected)
+
+    def test_kill_during_flush_leaves_no_partial_file(
+        self, tmp_path, monkeypatch
+    ):
+        import os
+
+        def killed(fd):
+            raise OSError("killed mid-fsync")
+
+        monkeypatch.setattr(os, "fsync", killed)
+        target = tmp_path / "fresh.bundle"
+        with pytest.raises(OSError, match="killed"):
+            atomic_write_bytes(target, b"half-written")
+        assert not target.exists()
+        assert list(tmp_path.iterdir()) == []
+
+    def test_accepts_str_and_path_uniformly(self, tmp_path):
+        __, pipeline, model, optimizer = fitted_url_parts()
+        as_str = str(tmp_path / "s.bundle")
+        returned = save_bundle(as_str, pipeline, model, optimizer)
+        assert str(returned) == as_str
+        # load/bundle_checksum accept both spellings interchangeably.
+        from_str = load_bundle(as_str)
+        from_path = load_bundle(returned)
+        assert (
+            from_str.model.params_vector()
+            == pytest.approx(from_path.model.params_vector())
+        )
+        assert bundle_checksum(as_str) == bundle_checksum(returned)
+
+
+class TestBundleValidation:
     def test_bundle_type_validation(self):
         __, pipeline, model, optimizer = fitted_url_parts()
         with pytest.raises(PersistenceError):

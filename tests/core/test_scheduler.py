@@ -127,3 +127,87 @@ class TestDynamicSchedulerEdgeCases:
         scheduler.record_predictions(10, 1.0)
         scheduler.record_training(started_at=5.0, duration=0.0)
         assert scheduler.next_training_time == pytest.approx(12.0)
+
+
+class TestDynamicSchedulerBurstyLoad:
+    """record_predictions / record_training interaction under uneven
+    query traffic."""
+
+    def test_rate_times_latency_is_scale_free(self):
+        """pr·pl over the *same* totals is identically 1, so formula
+        (6) reduces to interval = S·T — the paper's product is really
+        a utilisation correction, not a traffic multiplier. Bursty
+        and steady traffic with equal totals must schedule alike."""
+        bursty = DynamicScheduler(slack=3.0, initial_interval=1.0)
+        steady = DynamicScheduler(slack=3.0, initial_interval=1.0)
+        bursty.should_train(0, now=0.0)
+        steady.should_train(0, now=0.0)
+        # Steady: one record. Bursty: a huge burst, silence, then a
+        # trickle — identical totals (1000 queries, 10s serving time).
+        steady.record_predictions(1000, 10.0)
+        bursty.record_predictions(900, 1.0)
+        bursty.record_predictions(0, 0.0)
+        bursty.record_predictions(100, 9.0)
+        for scheduler in (bursty, steady):
+            scheduler.record_training(started_at=20.0, duration=4.0)
+        assert bursty.next_training_time == pytest.approx(
+            steady.next_training_time
+        )
+        # interval = S·T = 12, on top of the training end at t=24.
+        assert bursty.next_training_time == pytest.approx(36.0)
+
+    def test_burst_between_trainings_updates_averages(self):
+        """Queries recorded after one training reshape the averages
+        the next record_training sees."""
+        scheduler = DynamicScheduler(slack=2.0, initial_interval=1.0)
+        scheduler.should_train(0, now=0.0)
+        scheduler.record_predictions(10, 2.0)  # pr=5, pl=0.2
+        scheduler.record_training(started_at=2.0, duration=1.0)
+        # S·T·pr·pl = 2·1·1 = 2 -> next at 3 + 2 = 5.
+        assert scheduler.next_training_time == pytest.approx(5.0)
+        # A burst arrives: 90 more queries in 1s of serving time.
+        scheduler.record_predictions(90, 1.0)
+        assert scheduler.prediction_rate() == pytest.approx(100 / 3)
+        assert scheduler.prediction_latency() == pytest.approx(0.03)
+        scheduler.record_training(started_at=5.0, duration=2.0)
+        # pr·pl still 1: next = 7 + 2·2 = 11, burst or not.
+        assert scheduler.next_training_time == pytest.approx(11.0)
+
+    def test_no_training_means_interval_unchanged_by_load(self):
+        """record_predictions alone never moves the schedule — only a
+        completed training reschedules."""
+        scheduler = DynamicScheduler(slack=2.0, initial_interval=4.0)
+        scheduler.should_train(0, now=0.0)
+        before = scheduler.next_training_time
+        for __ in range(50):
+            scheduler.record_predictions(1000, 0.5)
+        assert scheduler.next_training_time == before
+        assert scheduler.should_train(1, now=4.0)
+
+    def test_zero_count_records_are_harmless(self):
+        scheduler = DynamicScheduler(slack=2.0, initial_interval=1.0)
+        scheduler.should_train(0, now=0.0)
+        scheduler.record_predictions(0, 0.0)
+        assert scheduler.prediction_rate() == 0.0
+        assert scheduler.prediction_latency() == 0.0
+        scheduler.record_training(started_at=1.0, duration=1.0)
+        # Still no traffic -> the initial-interval fallback applies.
+        assert scheduler.next_training_time == pytest.approx(3.0)
+
+    def test_interleaving_matches_platform_call_order(self):
+        """The platform records predictions (predict) and trainings
+        (observe) in arbitrary interleavings; the scheduler state must
+        depend only on the totals, not the call order."""
+        a = DynamicScheduler(slack=2.0, initial_interval=1.0)
+        b = DynamicScheduler(slack=2.0, initial_interval=1.0)
+        a.should_train(0, now=0.0)
+        b.should_train(0, now=0.0)
+        a.record_predictions(30, 3.0)
+        a.record_predictions(70, 7.0)
+        b.record_predictions(70, 7.0)
+        b.record_predictions(30, 3.0)
+        a.record_training(started_at=12.0, duration=3.0)
+        b.record_training(started_at=12.0, duration=3.0)
+        assert a.next_training_time == pytest.approx(
+            b.next_training_time
+        )

@@ -63,6 +63,44 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["obs", "explode", "run.jsonl"])
 
+    def test_serve_options(self):
+        args = build_parser().parse_args(
+            ["serve", "--registry", "reg", "--mode", "shadow",
+             "--fraction", "0.25", "--trace", "t.jsonl"]
+        )
+        assert args.registry == "reg"
+        assert args.mode == "shadow"
+        assert args.fraction == 0.25
+        assert args.trace == "t.jsonl"
+        defaults = build_parser().parse_args(["serve"])
+        assert defaults.registry is None
+        assert defaults.mode == "canary"
+
+    def test_serve_invalid_mode_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["serve", "--mode", "yolo"])
+
+    def test_registry_options(self):
+        args = build_parser().parse_args(
+            ["registry", "promote", "v0002", "--registry", "reg",
+             "--reason", "ship it"]
+        )
+        assert args.action == "promote"
+        assert args.version == "v0002"
+        assert args.registry_dir == "reg"
+        assert args.reason == "ship it"
+
+    def test_registry_requires_directory(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["registry", "list"])
+
+    def test_exp5_scenario_options(self):
+        args = build_parser().parse_args(
+            ["exp5", "--dataset", "taxi", "--scale", "test"]
+        )
+        assert args.dataset == "taxi"
+        assert args.scale == "test"
+
 
 class TestExecution:
     """End-to-end CLI runs at test scale (smallest possible)."""
@@ -158,3 +196,79 @@ class TestObservabilityCommands:
 
         with pytest.raises(ValidationError):
             main(["obs", "summary", str(tmp_path / "absent.jsonl")])
+
+
+class TestServingCommands:
+    """repro serve + the registry subcommands, sharing one registry."""
+
+    def test_serve_then_operate_registry(self, capsys, tmp_path):
+        root = tmp_path / "registry"
+        assert main(
+            ["serve", "--dataset", "url", "--scale", "test",
+             "--registry", str(root)]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "bootstrapping the initial version" in out
+        assert "serving error" in out
+        assert "v0001" in out
+        assert (root / "registry.json").exists()
+
+        assert main(["registry", "list", "--registry", str(root)]) == 0
+        out = capsys.readouterr().out
+        assert "live: v" in out
+        live = [
+            line for line in out.splitlines()
+            if line.startswith("live: ")
+        ][0].split()[-1]
+
+        assert main(
+            ["registry", "show", live, "--registry", str(root)]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "checksum" in out
+        assert "status: live" in out
+
+        assert main(
+            ["registry", "gc", "--registry", str(root), "--keep", "0"]
+        ) == 0
+        assert "collected" in capsys.readouterr().out
+
+    def test_serve_resumes_existing_registry(self, capsys, tmp_path):
+        root = tmp_path / "registry"
+        assert main(
+            ["serve", "--dataset", "url", "--scale", "test",
+             "--registry", str(root)]
+        ) == 0
+        capsys.readouterr()
+        assert main(
+            ["serve", "--dataset", "url", "--scale", "test",
+             "--registry", str(root)]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "resuming: v" in out
+
+    def test_registry_missing_manifest_fails(self, tmp_path):
+        with pytest.raises(SystemExit, match="no registry manifest"):
+            main(["registry", "list", "--registry", str(tmp_path)])
+
+    def test_registry_show_requires_version(self, tmp_path, capsys):
+        root = tmp_path / "registry"
+        assert main(
+            ["serve", "--dataset", "url", "--scale", "test",
+             "--registry", str(root)]
+        ) == 0
+        capsys.readouterr()
+        with pytest.raises(SystemExit, match="VERSION"):
+            main(["registry", "show", "--registry", str(root)])
+
+
+class TestExp5Command:
+    def test_exp5_url(self, capsys):
+        assert main(
+            ["exp5", "--dataset", "url", "--scale", "test"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "frozen" in out
+        assert "blind" in out
+        assert "gated" in out
+        assert "gated vs blind improvement" in out

@@ -183,3 +183,46 @@ class TestExperiment4:
     def test_run_tradeoff_taxi(self):
         points = run_tradeoff(taxi_scenario("test"))
         assert len(points) == 3
+
+
+class TestExperiment5:
+    """Gated canary rollout vs blind promotion (serving layer)."""
+
+    @pytest.fixture(scope="class")
+    def taxi_serving(self):
+        from repro.experiments.exp5_serving import (
+            run_serving_experiment,
+        )
+
+        return run_serving_experiment(taxi_scenario("test"))
+
+    def test_all_policies_present(self, taxi_serving):
+        assert set(taxi_serving) == {"frozen", "blind", "gated"}
+        lengths = {
+            len(point.error_history)
+            for point in taxi_serving.values()
+        }
+        assert lengths == {30}
+
+    def test_gated_beats_blind_under_corruption(self, taxi_serving):
+        """The headline: blind promotion inherits every corrupted
+        candidate's error; the gate pays only the canary fraction
+        briefly, then rejects."""
+        from repro.experiments.exp5_serving import headline_claims
+
+        claims = headline_claims(taxi_serving)
+        assert (
+            claims["gated_average_error"]
+            < claims["blind_average_error"]
+        )
+        assert claims["gated_vs_blind_improvement"] > 0
+
+    def test_gate_took_protective_actions(self, taxi_serving):
+        gated = taxi_serving["gated"].transitions
+        assert gated.get("stage", 0) > 0
+        assert (
+            gated.get("reject", 0) + gated.get("rollback", 0) > 0
+        )
+        # Blind promotes everything, frozen does nothing.
+        assert "promote" in taxi_serving["blind"].transitions
+        assert taxi_serving["frozen"].transitions == {}

@@ -1,0 +1,178 @@
+"""Quality-gate and baseline-monitor decision logic."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ServingError
+from repro.serving.gate import (
+    BaselineMonitor,
+    GateConfig,
+    GateDecision,
+    QualityGate,
+    errors_from_predictions,
+)
+
+
+def config(**overrides):
+    defaults = dict(
+        min_samples=10,
+        promote_after=2,
+        promote_margin=0.0,
+        rollback_after=2,
+        rollback_margin=0.1,
+        drift_window=50,
+        drift_ratio=5.0,  # effectively off unless a test lowers it
+    )
+    defaults.update(overrides)
+    return GateConfig(**defaults)
+
+
+class TestGateConfig:
+    def test_validation(self):
+        with pytest.raises(ServingError, match="min_samples"):
+            GateConfig(min_samples=0)
+        with pytest.raises(ServingError, match="promote_after"):
+            GateConfig(promote_after=0)
+        with pytest.raises(ServingError, match="margin"):
+            GateConfig(promote_margin=-0.1)
+
+
+class TestErrorsFromPredictions:
+    def test_rate_indicators(self):
+        errors = errors_from_predictions(
+            "rate", np.array([1.0, -1.0, 1.0]), np.array([1.0, 1.0, -1.0])
+        )
+        assert errors.tolist() == [0.0, 1.0, 1.0]
+
+    def test_rmse_squared_residuals(self):
+        errors = errors_from_predictions(
+            "rmse", np.array([2.0, 0.0]), np.array([0.0, 3.0])
+        )
+        assert errors.tolist() == [4.0, 9.0]
+
+
+class TestQualityGate:
+    def test_holds_verdict_until_min_samples(self):
+        gate = QualityGate("rate", config(min_samples=20))
+        # Strong win, but only 10 rows per side: no verdict yet.
+        decision = gate.observe(np.zeros(10), np.ones(10))
+        assert decision is GateDecision.CONTINUE
+        assert gate.samples == (10, 10)
+
+    def test_promotes_on_sustained_win(self):
+        gate = QualityGate("rate", config(promote_after=3))
+        verdicts = [
+            gate.observe(np.zeros(10), np.ones(10)) for __ in range(3)
+        ]
+        assert verdicts == [
+            GateDecision.CONTINUE,
+            GateDecision.CONTINUE,
+            GateDecision.PROMOTE,
+        ]
+        assert gate.candidate_value() == 0.0
+        assert gate.incumbent_value() == 1.0
+
+    def test_win_streak_resets_on_tie_within_margin(self):
+        gate = QualityGate(
+            "rate", config(promote_after=2, promote_margin=0.05)
+        )
+        assert (
+            gate.observe(np.zeros(10), np.ones(10))
+            is GateDecision.CONTINUE
+        )
+        # A batch that pulls the candidate level with the incumbent
+        # breaks the streak: no promotion on the next win.
+        gate.observe(np.ones(30), np.zeros(10))
+        assert (
+            gate.observe(np.zeros(10), np.ones(10))
+            is GateDecision.CONTINUE
+        )
+
+    def test_rolls_back_after_strikes(self):
+        gate = QualityGate("rate", config(rollback_after=2))
+        first = gate.observe(np.ones(10), np.zeros(10))
+        assert first is GateDecision.CONTINUE  # strike 1
+        assert (
+            gate.observe(np.ones(10), np.zeros(10))
+            is GateDecision.ROLLBACK
+        )
+
+    def test_drift_forces_immediate_rollback(self):
+        gate = QualityGate(
+            "rate",
+            config(
+                min_samples=10,
+                rollback_after=99,  # strikes alone would never fire
+                drift_window=10,
+                drift_ratio=0.5,
+            ),
+        )
+        # Reference window: perfect candidate.
+        gate.observe(np.zeros(40), np.zeros(40))
+        # The candidate's error stream collapses: drift detector fires
+        # even though 99 strikes were never accumulated.
+        decision = GateDecision.CONTINUE
+        for __ in range(10):
+            decision = gate.observe(np.ones(10), np.zeros(10))
+            if decision is not GateDecision.CONTINUE:
+                break
+        assert decision is GateDecision.ROLLBACK
+
+    def test_rmse_aggregation(self):
+        gate = QualityGate("rmse", config(min_samples=4))
+        gate.observe(np.full(4, 4.0), np.full(4, 9.0))
+        assert gate.candidate_value() == pytest.approx(2.0)
+        assert gate.incumbent_value() == pytest.approx(3.0)
+
+    def test_empty_batches_accumulate_nothing(self):
+        gate = QualityGate("rate", config())
+        decision = gate.observe(np.empty(0), np.empty(0))
+        assert decision is GateDecision.CONTINUE
+        assert gate.samples == (0, 0)
+
+    def test_invalid_kind_rejected(self):
+        with pytest.raises(ServingError, match="kind"):
+            QualityGate("accuracy")
+
+
+class TestBaselineMonitor:
+    def test_tolerates_errors_at_baseline(self):
+        monitor = BaselineMonitor(
+            0.3, kind="rate", config=config(drift_window=20)
+        )
+        # Exactly the baseline error level: 6 errors per 20 rows.
+        errors = np.array([1.0] * 6 + [0.0] * 14)
+        for __ in range(10):
+            assert monitor.observe(errors) is GateDecision.CONTINUE
+
+    def test_rollback_after_consecutive_breaches(self):
+        monitor = BaselineMonitor(
+            0.2,
+            kind="rate",
+            config=config(rollback_after=2, drift_window=20),
+        )
+        assert monitor.observe(np.ones(20)) is GateDecision.CONTINUE
+        assert monitor.observe(np.ones(20)) is GateDecision.ROLLBACK
+        assert monitor.value() == pytest.approx(1.0)
+
+    def test_recovery_resets_strikes(self):
+        monitor = BaselineMonitor(
+            0.5,
+            kind="rate",
+            config=config(rollback_after=2, drift_window=10),
+        )
+        monitor.observe(np.ones(10))          # strike 1
+        monitor.observe(np.zeros(10))         # window recovers
+        assert monitor.observe(np.ones(5)) is GateDecision.CONTINUE
+
+    def test_window_slides(self):
+        monitor = BaselineMonitor(
+            0.5, kind="rate", config=config(drift_window=10)
+        )
+        monitor.observe(np.zeros(10))
+        monitor.observe(np.ones(10))  # old zeros evicted
+        assert monitor.value() == pytest.approx(1.0)
+
+    def test_negative_baseline_rejected(self):
+        with pytest.raises(ServingError, match="baseline"):
+            BaselineMonitor(-0.1)

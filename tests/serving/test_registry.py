@@ -1,0 +1,263 @@
+"""Lifecycle, lineage, and durability of the model registry."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ServingError
+from repro.obs import Telemetry
+from repro.serving import ModelRegistry
+
+pytestmark = pytest.mark.filterwarnings(
+    "ignore::repro.exceptions.ConvergenceWarning"
+)
+
+
+class TestLifecycle:
+    def test_register_defaults_to_candidate(self, url_world):
+        registry = url_world.registry_factory()
+        info = registry.register(*url_world.make_parts())
+        assert info.version == "v0001"
+        assert info.status == "candidate"
+        assert info.parent is None
+        assert registry.live_version is None
+        assert registry.candidates() == [info]
+
+    def test_promote_retires_incumbent(self, live_registry, url_world):
+        registry, first, __ = live_registry
+        second = registry.register(*url_world.make_parts())
+        assert second.parent == first.version  # lineage defaults to live
+        registry.promote(second.version, reason="test")
+        assert registry.live_version == second.version
+        assert registry.get(first.version).status == "retired"
+
+    def test_rollback_reinstates_previous_live(
+        self, live_registry, url_world
+    ):
+        registry, first, __ = live_registry
+        second = registry.register(*url_world.make_parts())
+        registry.promote(second.version)
+        restored = registry.rollback(reason="regression")
+        assert restored.version == first.version
+        assert registry.live_version == first.version
+        assert registry.get(second.version).status == "rolled_back"
+
+    def test_reject_only_applies_to_candidates(
+        self, live_registry, url_world
+    ):
+        registry, first, __ = live_registry
+        candidate = registry.register(*url_world.make_parts())
+        registry.reject(candidate.version, reason="failed gate")
+        assert registry.get(candidate.version).status == "rejected"
+        with pytest.raises(ServingError, match="candidate"):
+            registry.reject(first.version)
+
+    def test_rollback_without_predecessor_fails(self, live_registry):
+        registry, __, __ = live_registry
+        with pytest.raises(ServingError, match="predecessor"):
+            registry.rollback()
+
+    def test_promote_live_version_fails(self, live_registry):
+        registry, first, __ = live_registry
+        with pytest.raises(ServingError, match="already live"):
+            registry.promote(first.version)
+
+    def test_unknown_version_fails(self, url_world):
+        registry = url_world.registry_factory()
+        with pytest.raises(ServingError, match="unknown version"):
+            registry.get("v9999")
+
+    def test_explicit_unknown_parent_rejected(self, url_world):
+        registry = url_world.registry_factory()
+        with pytest.raises(ServingError, match="parent"):
+            registry.register(*url_world.make_parts(), parent="v0042")
+
+
+class TestBundles:
+    def test_load_roundtrip_serves_identically(self, live_registry):
+        registry, first, (pipeline, model, __) = live_registry
+        bundle = registry.load_live()
+        assert bundle.model.params_vector() == pytest.approx(
+            model.params_vector()
+        )
+
+    def test_load_verifies_checksum(self, live_registry, url_world):
+        registry, first, __ = live_registry
+        # Re-write the bundle with different (valid) content: the
+        # manifest checksum no longer matches.
+        from repro.persistence import save_bundle
+
+        save_bundle(
+            registry.bundle_path(first.version),
+            *url_world.make_parts(train_chunks=range(3)),
+        )
+        with pytest.raises(ServingError, match="checksum"):
+            registry.load(first.version)
+
+    def test_lineage_metadata_recorded(self, url_world):
+        registry = url_world.registry_factory()
+        info = registry.register(
+            *url_world.make_parts(),
+            chunks_observed=17,
+            training_cost=2.5,
+            metrics={"objective": 0.61},
+        )
+        assert info.chunks_observed == 17
+        assert info.training_cost == pytest.approx(2.5)
+        assert info.metrics == {"objective": 0.61}
+        assert len(info.checksum) == 64  # hex sha256
+
+
+class TestGarbageCollection:
+    def test_gc_keeps_live_candidates_and_recent(
+        self, live_registry, url_world
+    ):
+        registry, first, __ = live_registry
+        finished = []
+        for __i in range(4):
+            info = registry.register(*url_world.make_parts())
+            registry.reject(info.version)
+            finished.append(info.version)
+        keeper = registry.register(*url_world.make_parts())
+        collected = registry.gc(keep=1)
+        assert collected == finished[:3]
+        # Live version and the open candidate keep their bundles.
+        assert registry.bundle_path(first.version).exists()
+        assert registry.bundle_path(keeper.version).exists()
+        # Collected versions keep their manifest entry for audit.
+        assert registry.get(collected[0]).collected
+        with pytest.raises(ServingError, match="garbage-collected"):
+            registry.load(collected[0])
+
+    def test_gc_noop_when_nothing_finished(self, live_registry):
+        registry, __, __ = live_registry
+        assert registry.gc(keep=0) == []
+
+    def test_promote_collected_version_fails(
+        self, live_registry, url_world
+    ):
+        registry, __, __ = live_registry
+        info = registry.register(*url_world.make_parts())
+        registry.reject(info.version)
+        registry.gc(keep=0)
+        with pytest.raises(ServingError, match="garbage-collected"):
+            registry.promote(info.version)
+
+
+class TestDurability:
+    def test_reopen_restores_full_state(self, url_world):
+        registry = url_world.registry_factory("shared")
+        first = registry.register(*url_world.make_parts())
+        registry.promote(first.version)
+        second = registry.register(*url_world.make_parts())
+        registry.promote(second.version)
+        registry.rollback(reason="bad")
+
+        reopened = ModelRegistry(registry.root)
+        assert reopened.live_version == first.version
+        assert [v.version for v in reopened.list_versions()] == [
+            "v0001", "v0002",
+        ]
+        assert reopened.get(second.version).status == "rolled_back"
+        # Version numbering continues where it left off.
+        third = reopened.register(*url_world.make_parts())
+        assert third.version == "v0003"
+        # The transition log survives too.
+        events = [t["event"] for t in reopened.transitions]
+        assert events == [
+            "register", "promote", "register", "promote", "rollback",
+            "register",
+        ]
+
+    def test_manifest_format_mismatch_rejected(self, url_world):
+        registry = url_world.registry_factory("versioned")
+        registry.register(*url_world.make_parts())
+        manifest = json.loads(registry.manifest_path.read_text())
+        manifest["format"] = 99
+        registry.manifest_path.write_text(json.dumps(manifest))
+        with pytest.raises(ServingError, match="format"):
+            ModelRegistry(registry.root)
+
+    def test_live_pointer_to_unknown_version_rejected(self, url_world):
+        registry = url_world.registry_factory("broken")
+        registry.register(*url_world.make_parts())
+        manifest = json.loads(registry.manifest_path.read_text())
+        manifest["live"] = "v0666"
+        registry.manifest_path.write_text(json.dumps(manifest))
+        with pytest.raises(ServingError, match="unknown version"):
+            ModelRegistry(registry.root)
+
+
+class TestTelemetry:
+    def test_transitions_emit_registry_events(self, url_world):
+        telemetry = Telemetry()
+        registry = url_world.registry_factory(
+            "traced", telemetry=telemetry
+        )
+        info = registry.register(*url_world.make_parts())
+        registry.promote(info.version)
+        names = [event["name"] for event in telemetry.events]
+        assert "registry.register" in names
+        assert "registry.promote" in names
+        counters = telemetry.metrics.snapshot()["counters"]
+        assert counters["registry.register"] == 1
+        assert counters["registry.promote"] == 1
+
+
+class TestPlatformWiring:
+    def test_proactive_training_registers_candidates(self, url_world):
+        """A platform with a registry attached snapshots every
+        proactive-training outcome as a candidate version."""
+        from repro.core.config import ContinuousConfig, ScheduleConfig
+        from repro.core.platform import ContinuousDeploymentPlatform
+
+        registry = url_world.registry_factory("platform")
+        pipeline, model, optimizer = url_world.make_parts(
+            train_chunks=()
+        )
+        platform = ContinuousDeploymentPlatform(
+            pipeline,
+            model,
+            optimizer,
+            config=ContinuousConfig(
+                sample_size_chunks=3,
+                schedule=ScheduleConfig(kind="static", interval_chunks=4),
+            ),
+            seed=1,
+            registry=registry,
+        )
+        platform.initial_fit(
+            url_world.generator.initial_data(100),
+            max_iterations=30,
+            seed=1,
+            store=True,
+        )
+        for index in range(8):
+            platform.observe(url_world.generator.chunk(index))
+        assert len(platform.proactive_outcomes) == 2
+        assert len(platform.registered_versions) == 2
+        infos = registry.candidates()
+        assert [v.version for v in infos] == ["v0001", "v0002"]
+        assert infos[0].chunks_observed == 4
+        assert infos[1].chunks_observed == 8
+        assert infos[1].training_cost > 0
+        assert "objective" in infos[1].metrics
+        # The snapshots are decoupled from the live training state.
+        frozen = registry.load("v0002").model.params_vector().copy()
+        platform.observe(url_world.generator.chunk(8))
+        assert np.array_equal(
+            registry.load("v0002").model.params_vector(), frozen
+        )
+
+    def test_platform_without_registry_unchanged(self, url_world):
+        from repro.core.platform import ContinuousDeploymentPlatform
+
+        pipeline, model, optimizer = url_world.make_parts(
+            train_chunks=()
+        )
+        platform = ContinuousDeploymentPlatform(
+            pipeline, model, optimizer, seed=1
+        )
+        assert platform.registry is None
+        assert platform.registered_versions == []

@@ -1,0 +1,89 @@
+"""Deterministic hash routing for canary splits."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ServingError
+from repro.serving.routing import (
+    derive_routing_seed,
+    route_mask,
+    row_keys,
+    splitmix64,
+)
+
+
+class TestSplitMix64:
+    def test_deterministic(self):
+        keys = np.arange(1000, dtype=np.uint64)
+        assert np.array_equal(
+            splitmix64(keys, salt=9), splitmix64(keys, salt=9)
+        )
+
+    def test_salt_changes_hashes(self):
+        keys = np.arange(1000, dtype=np.uint64)
+        assert not np.array_equal(
+            splitmix64(keys, salt=1), splitmix64(keys, salt=2)
+        )
+
+    def test_output_dtype_and_spread(self):
+        hashed = splitmix64(np.arange(4096, dtype=np.uint64))
+        assert hashed.dtype == np.uint64
+        # A strong mixer fills the 64-bit range roughly uniformly.
+        as_unit = hashed.astype(np.float64) / 2.0**64
+        assert 0.4 < float(as_unit.mean()) < 0.6
+
+
+class TestRouteMask:
+    def test_share_approximates_fraction(self):
+        keys = row_keys(0, 200_000)
+        mask = route_mask(keys, 0.3, salt=derive_routing_seed(7))
+        share = mask.mean()
+        assert share == pytest.approx(0.3, abs=0.01)
+
+    def test_stable_across_batch_boundaries(self):
+        """Routing is a pure function of the key: splitting the same
+        keys into different batch sizes cannot change any row's side."""
+        keys = row_keys(3, 1000)
+        whole = route_mask(keys, 0.25, salt=42)
+        pieces = np.concatenate([
+            route_mask(keys[:333], 0.25, salt=42),
+            route_mask(keys[333:700], 0.25, salt=42),
+            route_mask(keys[700:], 0.25, salt=42),
+        ])
+        assert np.array_equal(whole, pieces)
+
+    def test_extreme_fractions(self):
+        keys = row_keys(0, 500)
+        assert not route_mask(keys, 0.0).any()
+        assert route_mask(keys, 1.0).all()
+
+    def test_fraction_out_of_range_rejected(self):
+        keys = row_keys(0, 10)
+        with pytest.raises(ServingError, match="fraction"):
+            route_mask(keys, -0.1)
+        with pytest.raises(ServingError, match="fraction"):
+            route_mask(keys, 1.5)
+
+    def test_same_seed_same_split(self):
+        keys = row_keys(5, 300)
+        a = route_mask(keys, 0.5, salt=derive_routing_seed(123))
+        b = route_mask(keys, 0.5, salt=derive_routing_seed(123))
+        assert np.array_equal(a, b)
+
+    def test_different_seeds_independent_splits(self):
+        keys = row_keys(5, 10_000)
+        a = route_mask(keys, 0.5, salt=derive_routing_seed(1))
+        b = route_mask(keys, 0.5, salt=derive_routing_seed(2))
+        agreement = float(np.mean(a == b))
+        assert 0.4 < agreement < 0.6  # uncorrelated, not identical
+
+
+class TestRowKeys:
+    def test_unique_across_chunks(self):
+        a = row_keys(0, 1000)
+        b = row_keys(1, 1000)
+        assert len(np.intersect1d(a, b)) == 0
+
+    def test_negative_chunk_rejected(self):
+        with pytest.raises(ServingError, match="chunk_index"):
+            row_keys(-1, 10)

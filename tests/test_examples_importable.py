@@ -43,4 +43,5 @@ def test_expected_examples_present():
         "materialization_analysis",
         "drift_detection",
         "persistence_and_resume",
+        "serving_rollout",
     } <= names
