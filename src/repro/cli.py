@@ -31,6 +31,17 @@ and operates one offline::
     python -m repro registry promote v0002 --registry ./reg
     python -m repro registry rollback --registry ./reg
     python -m repro exp5 --dataset taxi --scale test
+
+Reliability: ``repro run`` executes any approach with platform
+checkpointing (and optional deterministic fault injection), ``repro
+recover`` resumes an interrupted run byte-identically, and ``repro
+exp6`` measures checkpoint cadence vs recovery cost::
+
+    python -m repro run --approach continuous --checkpoint-dir ./ckpt \
+        --cadence 5 --kill-at 12 --dataset url --scale test
+    python -m repro recover --approach continuous \
+        --checkpoint-dir ./ckpt --dataset url --scale test
+    python -m repro exp6 --dataset url --scale test
 """
 
 from __future__ import annotations
@@ -213,7 +224,102 @@ def build_parser() -> argparse.ArgumentParser:
         help="reason recorded with promote/rollback (default: cli)",
     )
 
+    run = commands.add_parser(
+        "run",
+        help="run one deployment approach, optionally writing "
+        "platform checkpoints (crash-recoverable with 'repro "
+        "recover')",
+    )
+    add_scenario_options(run)
+    _add_reliability_options(run)
+    run.add_argument(
+        "--kill-at",
+        type=int,
+        default=None,
+        metavar="K",
+        help="inject a deterministic crash after K chunks (exercises "
+        "the recovery path)",
+    )
+    run.add_argument(
+        "--sigkill-at",
+        type=int,
+        default=None,
+        metavar="K",
+        help="send this process a real SIGKILL before chunk K is "
+        "read (the CI recovery-smoke harness; no cleanup runs)",
+    )
+
+    recover = commands.add_parser(
+        "recover",
+        help="resume an interrupted 'repro run' from its latest "
+        "valid checkpoint",
+    )
+    add_scenario_options(recover)
+    _add_reliability_options(recover)
+
+    exp6 = commands.add_parser(
+        "exp6",
+        help="checkpoint cadence vs recovery cost + retry masking "
+        "transient faults",
+    )
+    add_scenario_options(exp6)
+    exp6.add_argument(
+        "--approach",
+        choices=("online", "periodical", "threshold", "continuous"),
+        default="continuous",
+        help="deployment approach under test (default: continuous)",
+    )
+    exp6.add_argument(
+        "--kill-after",
+        type=int,
+        default=19,
+        metavar="K",
+        help="chunks processed before the injected crash "
+        "(default: 19)",
+    )
+    exp6.add_argument(
+        "--cadences",
+        type=int,
+        nargs="+",
+        default=None,
+        metavar="N",
+        help="checkpoint intervals to sweep (default: 4 7 13)",
+    )
+
     return parser
+
+
+def _add_reliability_options(sub: argparse.ArgumentParser) -> None:
+    sub.add_argument(
+        "--approach",
+        choices=("online", "periodical", "threshold", "continuous"),
+        default="continuous",
+        help="deployment approach (default: continuous)",
+    )
+    sub.add_argument(
+        "--checkpoint-dir",
+        metavar="DIR",
+        default=None,
+        help="write platform checkpoints under DIR (required by "
+        "'repro recover')",
+    )
+    sub.add_argument(
+        "--cadence",
+        type=int,
+        default=10,
+        help="checkpoint every N chunks (default: 10)",
+    )
+    sub.add_argument(
+        "--keep",
+        type=int,
+        default=3,
+        help="checkpoints retained (default: 3)",
+    )
+    sub.add_argument(
+        "--retry",
+        action="store_true",
+        help="mask transient faults with bounded-backoff retries",
+    )
 
 
 def _scenario(args: argparse.Namespace) -> Scenario:
@@ -646,6 +752,188 @@ def _command_registry(args: argparse.Namespace) -> None:
         )
 
 
+def _checkpoint_config(args: argparse.Namespace):
+    if args.checkpoint_dir is None:
+        return None
+    from repro.reliability import CheckpointConfig
+
+    return CheckpointConfig(
+        directory=args.checkpoint_dir,
+        cadence_chunks=args.cadence,
+        keep=args.keep,
+    )
+
+
+def _retry_policy(args: argparse.Namespace, scenario: Scenario):
+    if not args.retry:
+        return None
+    from repro.reliability import RetryPolicy
+
+    return RetryPolicy(seed=scenario.seed)
+
+
+def _sigkill_stream(stream, kill_before_chunk: int):
+    """Yield from ``stream``, SIGKILL-ing this process at the kill
+    point — a *real* crash (no cleanup, no atexit) for the recovery
+    smoke test."""
+    import os
+    import signal
+
+    def generate():
+        for index, table in enumerate(stream):
+            if index == kill_before_chunk:
+                os.kill(os.getpid(), signal.SIGKILL)
+            yield table
+
+    return generate()
+
+
+def _print_run_result(result, deployment) -> None:
+    print(format_series("error", result.error_history, points=12))
+    print(
+        format_series(
+            "cost", result.cost_history, points=12,
+            float_format="{:.2f}",
+        )
+    )
+    counters = ", ".join(
+        f"{name}={value}"
+        for name, value in sorted(result.counters.items())
+    )
+    print(
+        f"approach={result.approach} chunks={result.chunks_processed} "
+        f"final_error={result.final_error:.4f} "
+        f"total_cost={result.total_cost:.2f}"
+    )
+    print(f"counters: {counters or '-'}")
+    if result.recovery is not None:
+        print(
+            f"recovered from checkpoint at chunk "
+            f"{result.recovery.cursor}"
+        )
+    cursor = deployment.reliability.last_checkpoint_cursor
+    if cursor is not None:
+        print(f"last checkpoint written at chunk {cursor}")
+
+
+def _command_run(args: argparse.Namespace) -> None:
+    from repro.experiments.common import make_deployment
+    from repro.reliability import FaultPlan, SimulatedCrash
+
+    scenario = _scenario(args)
+    fault_plan = None
+    if args.kill_at is not None:
+        # The run fully processes kill_at chunks, then dies pulling
+        # the next one.
+        fault_plan = FaultPlan.crash_at(
+            "stream.read", args.kill_at + 1
+        )
+    stream = scenario.make_stream()
+    if args.sigkill_at is not None:
+        stream = _sigkill_stream(stream, args.sigkill_at)
+    deployment = make_deployment(
+        scenario,
+        args.approach,
+        checkpoint=_checkpoint_config(args),
+        fault_plan=fault_plan,
+        retry=_retry_policy(args, scenario),
+    )
+    deployment.initial_fit(
+        scenario.make_initial_data(),
+        seed=scenario.seed,
+        **scenario.initial_fit_kwargs,
+    )
+    try:
+        result = deployment.run(stream)
+    except SimulatedCrash as crash:
+        cursor = deployment.reliability.last_checkpoint_cursor
+        print(f"crashed: {crash}")
+        print(
+            f"last checkpoint at chunk {cursor}; resume with: "
+            f"repro recover --approach {args.approach} "
+            f"--checkpoint-dir {args.checkpoint_dir} "
+            f"--dataset {args.dataset} --scale {args.scale}"
+            if cursor is not None
+            else "no checkpoint was written; the run is lost"
+        )
+        raise SystemExit(17) from None
+    _print_run_result(result, deployment)
+
+
+def _command_recover(args: argparse.Namespace) -> None:
+    from repro.experiments.common import make_deployment
+
+    if args.checkpoint_dir is None:
+        raise SystemExit("recover requires --checkpoint-dir")
+    scenario = _scenario(args)
+    deployment = make_deployment(
+        scenario,
+        args.approach,
+        checkpoint=_checkpoint_config(args),
+        retry=_retry_policy(args, scenario),
+    )
+    # No initial_fit: all fitted state comes from the checkpoint.
+    result = deployment.recover(scenario.make_stream())
+    _print_run_result(result, deployment)
+
+
+def _command_exp6(args: argparse.Namespace) -> None:
+    from repro.experiments.exp6_reliability import (
+        DEFAULT_CADENCES,
+        headline_claims,
+        run_cadence_sweep,
+        run_retry_demo,
+    )
+
+    scenario = _scenario(args)
+    cadences = (
+        tuple(args.cadences)
+        if args.cadences is not None
+        else DEFAULT_CADENCES
+    )
+    points = run_cadence_sweep(
+        scenario,
+        cadences=cadences,
+        kill_after_chunks=args.kill_after,
+        approach=args.approach,
+    )
+    print(
+        f"checkpoint cadence sweep (crash after "
+        f"{args.kill_after} chunks, approach={args.approach}):"
+    )
+    print(
+        f"{'cadence':>8} {'resume@':>8} {'redo':>6} "
+        f"{'redone cost':>12} {'identical':>10}"
+    )
+    for point in points:
+        print(
+            f"{point.cadence:>8} {point.resume_cursor:>8} "
+            f"{point.redo_chunks:>6} {point.redone_cost:>12.3f} "
+            f"{str(point.identical):>10}"
+        )
+    demo = run_retry_demo(scenario, approach=args.approach)
+    print(
+        f"\ntransient faults: {demo.faults_planned} planned; "
+        f"unprotected run "
+        + (
+            f"crashed ({demo.unprotected_error})"
+            if demo.unprotected_crashed
+            else "survived (?)"
+        )
+    )
+    print(
+        f"with retry: completed={demo.protected_completed} "
+        f"retries={demo.protected_retries} "
+        f"identical_to_clean={demo.identical_to_clean}"
+    )
+    claims = headline_claims(points, demo)
+    print(
+        f"claims: redo_monotone={claims['redo_monotone']:.0f} "
+        f"all_identical={claims['all_identical']:.0f} "
+        f"retry_masked={claims['retry_masked']:.0f}"
+    )
+
+
 _COMMANDS = {
     "exp1": _command_exp1,
     "table3": _command_table3,
@@ -658,6 +946,9 @@ _COMMANDS = {
     "exp5": _command_exp5,
     "serve": _command_serve,
     "registry": _command_registry,
+    "run": _command_run,
+    "recover": _command_recover,
+    "exp6": _command_exp6,
 }
 
 

@@ -18,17 +18,29 @@ from __future__ import annotations
 
 from abc import ABC, abstractmethod
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional
+from typing import Any, Dict, Iterable, List, Optional, Tuple, Union
 
 import numpy as np
 
+from repro.data.storage import ChunkStorage
 from repro.data.table import Table
-from repro.exceptions import ValidationError
+from repro.exceptions import ReliabilityError, ValidationError
 from repro.execution.cost import CostBreakdown
 from repro.ml.metrics import PrequentialTracker
 from repro.ml.models.base import LinearSGDModel
+from repro.ml.optim.base import Optimizer
 from repro.ml.sgd import TrainingResult
 from repro.obs.telemetry import NULL_TELEMETRY, Telemetry
+from repro.persistence import DeploymentBundle
+from repro.pipeline.pipeline import Pipeline
+from repro.reliability.checkpoint import (
+    CheckpointConfig,
+    CheckpointStore,
+    PlatformCheckpoint,
+)
+from repro.reliability.faults import FaultInjector, FaultPlan
+from repro.reliability.retry import Retrier, RetryPolicy
+from repro.reliability.runtime import RecoveryInfo, ReliabilityRuntime
 
 
 @dataclass
@@ -55,6 +67,9 @@ class DeploymentResult:
     #: The run's telemetry bundle (``None`` when telemetry was not
     #: enabled): structured events, metrics, and ``.summary()``.
     telemetry: Optional[Telemetry] = None
+    #: Set when this run resumed from a checkpoint (see
+    #: :meth:`Deployment.recover`); ``None`` for uninterrupted runs.
+    recovery: Optional[RecoveryInfo] = None
 
     @property
     def chunks_processed(self) -> int:
@@ -114,6 +129,19 @@ class Deployment(ABC):
         Optional observability bundle; subclasses thread it through
         their engines and platforms. The finished
         :class:`DeploymentResult` carries it back to the caller.
+    checkpoint:
+        Optional checkpointing: a directory path, a
+        :class:`~repro.reliability.checkpoint.CheckpointConfig`, or a
+        prebuilt store. When set, the loop writes a full platform
+        checkpoint every ``cadence_chunks`` chunks and
+        :meth:`recover` can resume an interrupted run.
+    fault_plan:
+        Optional deterministic fault injection (see
+        :mod:`repro.reliability.faults`); the injector is shared with
+        the subclass's storage so occurrence counts are global.
+    retry:
+        Optional :class:`~repro.reliability.retry.RetryPolicy` masking
+        transient (``io_error``) faults on stream and storage reads.
     """
 
     #: Set by subclasses; used in reports and figures.
@@ -123,6 +151,11 @@ class Deployment(ABC):
         self,
         metric: str = "classification",
         telemetry: Optional[Telemetry] = None,
+        checkpoint: Union[
+            CheckpointStore, CheckpointConfig, str, None
+        ] = None,
+        fault_plan: Union[FaultPlan, FaultInjector, None] = None,
+        retry: Union[RetryPolicy, Retrier, None] = None,
     ) -> None:
         if metric not in ("classification", "regression"):
             raise ValidationError(
@@ -135,6 +168,12 @@ class Deployment(ABC):
         )
         self.prequential = PrequentialTracker(
             kind="rate" if metric == "classification" else "rmse"
+        )
+        self.reliability = ReliabilityRuntime(
+            checkpoint=checkpoint,
+            fault_plan=fault_plan,
+            retry=retry,
+            telemetry=self.telemetry,
         )
 
     # ------------------------------------------------------------------
@@ -166,6 +205,50 @@ class Deployment(ABC):
         """Fill approach-specific counters/breakdowns into ``result``."""
 
     # ------------------------------------------------------------------
+    # Checkpoint/recovery hooks (override to support checkpointing)
+    # ------------------------------------------------------------------
+    def _artifacts(self) -> Tuple[Pipeline, LinearSGDModel, Optimizer]:
+        """The deployed (pipeline, model, optimizer) triple."""
+        raise ReliabilityError(
+            f"{self.approach!r} deployment does not support "
+            f"checkpointing"
+        )
+
+    def _install_artifacts(
+        self,
+        pipeline: Pipeline,
+        model: LinearSGDModel,
+        optimizer: Optimizer,
+    ) -> None:
+        """Replace the deployed artifacts with checkpointed ones."""
+        raise ReliabilityError(
+            f"{self.approach!r} deployment does not support recovery"
+        )
+
+    def _checkpoint_state(self) -> Dict[str, Any]:
+        """Approach-specific mutable state to checkpoint."""
+        return {}
+
+    def _restore_state(self, state: Dict[str, Any]) -> None:
+        """Restore state captured by :meth:`_checkpoint_state`."""
+
+    def _chunk_store(self) -> Optional[ChunkStorage]:
+        """The chunk storage to spill/restore (``None`` when stateless)."""
+        return None
+
+    def _wire_reliability(self, data_manager) -> None:
+        """Attach fault injection / retries to a data manager.
+
+        Subclasses call this after building their
+        :class:`~repro.data.manager.DataManager` so ``storage.read``
+        faults fire on raw-chunk reads and transient ones are retried.
+        """
+        injector = self.reliability.injector
+        if len(injector.plan):
+            data_manager.storage.fault_injector = injector
+        data_manager.retrier = self.reliability.retrier
+
+    # ------------------------------------------------------------------
     # The prequential loop
     # ------------------------------------------------------------------
     def run(self, stream: Iterable[Table]) -> DeploymentResult:
@@ -177,8 +260,53 @@ class Deployment(ABC):
         value is carried forward so the histories stay aligned with
         chunk indices.
         """
+        return self._run_loop(stream, resume=None)
+
+    def recover(self, stream: Iterable[Table]) -> DeploymentResult:
+        """Resume an interrupted run from the latest valid checkpoint.
+
+        The deployment must have been constructed with the same
+        configuration (and ``checkpoint=`` option) as the crashed run —
+        but **not** ``initial_fit``: all fitted state comes from the
+        checkpoint. ``stream`` must be the same deterministic stream
+        the crashed run consumed; the already-processed prefix is
+        regenerated and discarded, and processing resumes at the saved
+        cursor. The completed result is byte-identical (predictions,
+        cost totals, telemetry counters) to an uninterrupted run.
+        """
+        store = self.reliability.store
+        if store is None:
+            raise ReliabilityError(
+                "recover() requires the deployment to be constructed "
+                "with a checkpoint= option"
+            )
+        checkpoint = store.load_latest()
+        if checkpoint.approach != self.approach:
+            raise ReliabilityError(
+                f"checkpoint was written by a "
+                f"{checkpoint.approach!r} deployment; this one is "
+                f"{self.approach!r}"
+            )
+        return self._run_loop(stream, resume=checkpoint)
+
+    def _run_loop(
+        self,
+        stream: Iterable[Table],
+        resume: Optional[PlatformCheckpoint],
+    ) -> DeploymentResult:
         result = DeploymentResult(approach=self.approach)
-        for chunk_index, table in enumerate(stream):
+        iterator = iter(stream)
+        chunk_index = 0
+        if resume is not None:
+            self._restore_checkpoint(resume, result)
+            self.reliability.mark_recovered(resume)
+            self.reliability.skip_chunks(iterator, resume.cursor)
+            chunk_index = resume.cursor
+        while True:
+            try:
+                table = self.reliability.read_chunk(iterator)
+            except StopIteration:
+                break
             predictions, labels = self._predict(table)
             if len(labels):
                 error_sum = self._chunk_error(predictions, labels)
@@ -186,11 +314,68 @@ class Deployment(ABC):
             result.error_history.append(self.prequential.value())
             self._observe(table, chunk_index)
             result.cost_history.append(self._current_cost())
+            if self.reliability.due(chunk_index + 1):
+                self._write_checkpoint(chunk_index + 1, result)
+            chunk_index += 1
         self._finalize(result)
+        result.recovery = self.reliability.recovery
         if self.telemetry.enabled:
             self.telemetry.flush_metrics()
             result.telemetry = self.telemetry
         return result
+
+    def _write_checkpoint(
+        self, cursor: int, result: DeploymentResult
+    ) -> None:
+        # begin_checkpoint() increments the written counter *before*
+        # the metrics capture below so the checkpoint's own write is
+        # part of the state it saves (telemetry byte-identity across
+        # recovery).
+        self.reliability.begin_checkpoint()
+        pipeline, model, optimizer = self._artifacts()
+        state: Dict[str, Any] = {
+            "prequential": self.prequential.state_dict(),
+            "error_history": list(result.error_history),
+            "cost_history": list(result.cost_history),
+            "metrics": (
+                self.telemetry.metrics.state_dict()
+                if self.telemetry.enabled
+                else None
+            ),
+            "deployment": self._checkpoint_state(),
+        }
+        checkpoint = PlatformCheckpoint(
+            cursor=cursor,
+            approach=self.approach,
+            bundle=DeploymentBundle(
+                pipeline=pipeline, model=model, optimizer=optimizer
+            ),
+            state=state,
+        )
+        self.reliability.store.write(
+            checkpoint, storage=self._chunk_store()
+        )
+        self.reliability.last_checkpoint_cursor = cursor
+
+    def _restore_checkpoint(
+        self, checkpoint: PlatformCheckpoint, result: DeploymentResult
+    ) -> None:
+        bundle = checkpoint.bundle
+        self._install_artifacts(
+            bundle.pipeline, bundle.model, bundle.optimizer
+        )
+        state = checkpoint.state
+        self.prequential.load_state_dict(state["prequential"])
+        result.error_history = list(state["error_history"])
+        result.cost_history = list(state["cost_history"])
+        if state.get("metrics") is not None and self.telemetry.enabled:
+            self.telemetry.metrics.load_state_dict(state["metrics"])
+        storage = self._chunk_store()
+        if storage is not None and checkpoint.manifest is not None:
+            self.reliability.store.restore_storage(
+                storage, checkpoint.manifest
+            )
+        self._restore_state(state["deployment"])
 
     def _chunk_error(
         self, predictions: np.ndarray, labels: np.ndarray

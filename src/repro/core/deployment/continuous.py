@@ -9,7 +9,7 @@ head-to-head with the online and periodical baselines.
 
 from __future__ import annotations
 
-from typing import List, Optional, Tuple
+from typing import Any, Dict, List, Optional, Tuple
 
 import numpy as np
 
@@ -41,8 +41,21 @@ class ContinuousDeployment(Deployment):
         cost_model: Optional[CostModel] = None,
         seed: SeedLike = None,
         telemetry: Optional[Telemetry] = None,
+        checkpoint=None,
+        fault_plan=None,
+        retry=None,
     ) -> None:
-        super().__init__(metric, telemetry=telemetry)
+        super().__init__(
+            metric,
+            telemetry=telemetry,
+            checkpoint=checkpoint,
+            fault_plan=fault_plan,
+            retry=retry,
+        )
+        # The deployment loop owns checkpoint cadence; the platform
+        # shares the loop's injector/retrier so fault occurrence
+        # counts are global across stream, storage, and checkpoint
+        # sites.
         self.platform = ContinuousDeploymentPlatform(
             pipeline=pipeline,
             model=model,
@@ -51,6 +64,8 @@ class ContinuousDeployment(Deployment):
             cost_model=cost_model,
             seed=seed,
             telemetry=self.telemetry,
+            fault_plan=self.reliability.injector,
+            retry=self.reliability.retrier,
         )
 
     @property
@@ -87,6 +102,25 @@ class ContinuousDeployment(Deployment):
         result.cost_breakdown = self.platform.engine.tracker.breakdown()
         result.wall_seconds = self.platform.engine.wall.elapsed
         result.training_durations = [o.duration for o in outcomes]
+
+    # ------------------------------------------------------------------
+    # Checkpoint/recovery hooks
+    # ------------------------------------------------------------------
+    def _artifacts(self):
+        manager = self.platform.manager
+        return (manager.pipeline, manager.model, manager.optimizer)
+
+    def _install_artifacts(self, pipeline, model, optimizer) -> None:
+        self.platform.install_artifacts(pipeline, model, optimizer)
+
+    def _chunk_store(self):
+        return self.platform.data_manager.storage
+
+    def _checkpoint_state(self) -> Dict[str, Any]:
+        return self.platform.state_dict()
+
+    def _restore_state(self, state: Dict[str, Any]) -> None:
+        self.platform.load_state_dict(state)
 
     # ------------------------------------------------------------------
     def materialization_utilization(self) -> float:

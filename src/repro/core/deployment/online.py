@@ -9,7 +9,7 @@ higher error rate).
 
 from __future__ import annotations
 
-from typing import List, Optional, Tuple
+from typing import Any, Dict, List, Optional, Tuple
 
 import numpy as np
 
@@ -40,8 +40,17 @@ class OnlineDeployment(Deployment):
         cost_model: Optional[CostModel] = None,
         online_batch_rows: Optional[int] = None,
         telemetry: Optional[Telemetry] = None,
+        checkpoint=None,
+        fault_plan=None,
+        retry=None,
     ) -> None:
-        super().__init__(metric, telemetry=telemetry)
+        super().__init__(
+            metric,
+            telemetry=telemetry,
+            checkpoint=checkpoint,
+            fault_plan=fault_plan,
+            retry=retry,
+        )
         self.online_batch_rows = online_batch_rows
         self.pipeline = pipeline
         self._model = model
@@ -100,4 +109,26 @@ class OnlineDeployment(Deployment):
         result.counters["online_updates"] = self.online_updates
         result.cost_breakdown = self.engine.tracker.breakdown()
         result.wall_seconds = self.engine.wall.elapsed
+
+    # ------------------------------------------------------------------
+    # Checkpoint/recovery hooks
+    # ------------------------------------------------------------------
+    def _artifacts(self):
+        return (self.pipeline, self._model, self.optimizer)
+
+    def _install_artifacts(self, pipeline, model, optimizer) -> None:
+        self.pipeline = pipeline
+        self._model = model
+        self.optimizer = optimizer
+        self.trainer = SGDTrainer(model, optimizer)
+
+    def _checkpoint_state(self) -> Dict[str, Any]:
+        return {
+            "online_updates": self.online_updates,
+            "cost": self.engine.tracker.state_dict(),
+        }
+
+    def _restore_state(self, state: Dict[str, Any]) -> None:
+        self.online_updates = int(state["online_updates"])
+        self.engine.tracker.load_state_dict(state["cost"])
 

@@ -14,7 +14,7 @@ convergence, so the cumulative cost curve jumps at every retraining
 
 from __future__ import annotations
 
-from typing import List, Optional, Tuple
+from typing import Any, Dict, List, Optional, Tuple
 
 import numpy as np
 
@@ -49,8 +49,17 @@ class PeriodicalDeployment(Deployment):
         seed: SeedLike = None,
         online_batch_rows: Optional[int] = None,
         telemetry: Optional[Telemetry] = None,
+        checkpoint=None,
+        fault_plan=None,
+        retry=None,
     ) -> None:
-        super().__init__(metric, telemetry=telemetry)
+        super().__init__(
+            metric,
+            telemetry=telemetry,
+            checkpoint=checkpoint,
+            fault_plan=fault_plan,
+            retry=retry,
+        )
         self.config = config if config is not None else PeriodicalConfig()
         self.online_batch_rows = online_batch_rows
         self.engine = LocalExecutionEngine(
@@ -59,6 +68,7 @@ class PeriodicalDeployment(Deployment):
         # Periodical deployment stores raw history only (it retrains
         # from raw data); no feature materialization budget applies.
         self.data_manager = DataManager(seed=seed, telemetry=self.telemetry)
+        self._wire_reliability(self.data_manager)
         self.manager = PipelineManager(
             pipeline=pipeline,
             model=model,
@@ -123,3 +133,35 @@ class PeriodicalDeployment(Deployment):
         result.cost_breakdown = self.engine.tracker.breakdown()
         result.wall_seconds = self.engine.wall.elapsed
         result.training_durations = list(self.retrain_durations)
+
+    # ------------------------------------------------------------------
+    # Checkpoint/recovery hooks
+    # ------------------------------------------------------------------
+    def _artifacts(self):
+        return (
+            self.manager.pipeline,
+            self.manager.model,
+            self.manager.optimizer,
+        )
+
+    def _install_artifacts(self, pipeline, model, optimizer) -> None:
+        self.manager.replace_artifacts(pipeline, model, optimizer)
+
+    def _chunk_store(self):
+        return self.data_manager.storage
+
+    def _checkpoint_state(self) -> Dict[str, Any]:
+        return {
+            "online_updates": self.online_updates,
+            "retrainings": list(self.retrainings),
+            "retrain_durations": list(self.retrain_durations),
+            "cost": self.engine.tracker.state_dict(),
+            "data_manager": self.data_manager.state_dict(),
+        }
+
+    def _restore_state(self, state: Dict[str, Any]) -> None:
+        self.online_updates = int(state["online_updates"])
+        self.retrainings = list(state["retrainings"])
+        self.retrain_durations = list(state["retrain_durations"])
+        self.engine.tracker.load_state_dict(state["cost"])
+        self.data_manager.load_state_dict(state["data_manager"])

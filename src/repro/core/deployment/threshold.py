@@ -17,7 +17,7 @@ post-training level, Velox's behaviour.
 from __future__ import annotations
 
 from collections import deque
-from typing import List, Optional, Tuple
+from typing import Any, Dict, List, Optional, Tuple
 
 import numpy as np
 
@@ -77,8 +77,17 @@ class ThresholdRetrainingDeployment(Deployment):
         seed: SeedLike = None,
         online_batch_rows: Optional[int] = None,
         telemetry: Optional[Telemetry] = None,
+        checkpoint=None,
+        fault_plan=None,
+        retry=None,
     ) -> None:
-        super().__init__(metric, telemetry=telemetry)
+        super().__init__(
+            metric,
+            telemetry=telemetry,
+            checkpoint=checkpoint,
+            fault_plan=fault_plan,
+            retry=retry,
+        )
         if tolerance_ratio <= 0:
             raise ValidationError(
                 f"tolerance_ratio must be > 0, got {tolerance_ratio}"
@@ -106,6 +115,7 @@ class ThresholdRetrainingDeployment(Deployment):
             cost_model, telemetry=self.telemetry
         )
         self.data_manager = DataManager(seed=seed, telemetry=self.telemetry)
+        self._wire_reliability(self.data_manager)
         self.manager = PipelineManager(
             pipeline=pipeline,
             model=model,
@@ -209,3 +219,45 @@ class ThresholdRetrainingDeployment(Deployment):
         result.cost_breakdown = self.engine.tracker.breakdown()
         result.wall_seconds = self.engine.wall.elapsed
         result.training_durations = list(self.retrain_durations)
+
+    # ------------------------------------------------------------------
+    # Checkpoint/recovery hooks
+    # ------------------------------------------------------------------
+    def _artifacts(self):
+        return (
+            self.manager.pipeline,
+            self.manager.model,
+            self.manager.optimizer,
+        )
+
+    def _install_artifacts(self, pipeline, model, optimizer) -> None:
+        self.manager.replace_artifacts(pipeline, model, optimizer)
+
+    def _chunk_store(self):
+        return self.data_manager.storage
+
+    def _checkpoint_state(self) -> Dict[str, Any]:
+        return {
+            "online_updates": self.online_updates,
+            "retrainings": list(self.retrainings),
+            "retrain_durations": list(self.retrain_durations),
+            "retrain_chunks": list(self.retrain_chunks),
+            "window": list(self._window),
+            "baseline": self._baseline,
+            "chunks_since_retrain": self._chunks_since_retrain,
+            "cost": self.engine.tracker.state_dict(),
+            "data_manager": self.data_manager.state_dict(),
+        }
+
+    def _restore_state(self, state: Dict[str, Any]) -> None:
+        self.online_updates = int(state["online_updates"])
+        self.retrainings = list(state["retrainings"])
+        self.retrain_durations = list(state["retrain_durations"])
+        self.retrain_chunks = list(state["retrain_chunks"])
+        self._window = deque(
+            state["window"], maxlen=self.window_chunks
+        )
+        self._baseline = state["baseline"]
+        self._chunks_since_retrain = int(state["chunks_since_retrain"])
+        self.engine.tracker.load_state_dict(state["cost"])
+        self.data_manager.load_state_dict(state["data_manager"])

@@ -65,6 +65,24 @@ class PipelineManager:
         self.engine = engine
         self.trainer = SGDTrainer(model, optimizer)
 
+    def replace_artifacts(
+        self,
+        pipeline: Pipeline,
+        model: LinearSGDModel,
+        optimizer: Optimizer,
+    ) -> None:
+        """Swap in a different (pipeline, model, optimizer) triple.
+
+        Used by crash recovery (installing checkpointed artifacts) and
+        rollbacks. The trainer is rebuilt so it references the new
+        model/optimizer pair; anything else holding a reference to the
+        manager keeps working unchanged.
+        """
+        self.pipeline = pipeline
+        self.model = model
+        self.optimizer = optimizer
+        self.trainer = SGDTrainer(model, optimizer)
+
     # ------------------------------------------------------------------
     # Initial training (pre-deployment)
     # ------------------------------------------------------------------

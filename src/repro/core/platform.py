@@ -13,7 +13,8 @@ operations a deployment environment needs:
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, List, Optional, Tuple
+from pathlib import Path
+from typing import TYPE_CHECKING, Any, Dict, List, Optional, Tuple, Union
 
 import numpy as np
 
@@ -29,13 +30,23 @@ from repro.data.manager import DataManager
 from repro.data.sampling import make_sampler
 from repro.data.storage import ChunkStorage
 from repro.data.table import Table
+from repro.exceptions import ReliabilityError
 from repro.execution.cost import CostModel
 from repro.execution.engine import LocalExecutionEngine
 from repro.ml.models.base import LinearSGDModel
 from repro.ml.optim.base import Optimizer
 from repro.ml.sgd import TrainingResult
 from repro.obs.telemetry import NULL_TELEMETRY, Telemetry
+from repro.persistence import DeploymentBundle
 from repro.pipeline.pipeline import Pipeline
+from repro.reliability.checkpoint import (
+    CheckpointConfig,
+    CheckpointStore,
+    PlatformCheckpoint,
+    as_store,
+)
+from repro.reliability.faults import FaultInjector, FaultPlan
+from repro.reliability.retry import Retrier, RetryPolicy
 from repro.utils.rng import SeedLike
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
@@ -77,6 +88,22 @@ class ContinuousDeploymentPlatform:
         (parent = current live version, chunks observed, virtual-clock
         training cost, final objective) — the feed a staged rollout
         promotes from.
+    checkpoint:
+        Optional checkpointing (a directory, a
+        :class:`~repro.reliability.checkpoint.CheckpointConfig`, or a
+        prebuilt store). When set, :meth:`observe` writes a full
+        platform checkpoint every ``cadence_chunks`` chunks and
+        :meth:`recover` can rebuild the platform after a crash.
+    fault_plan:
+        Optional deterministic fault injection (a
+        :class:`~repro.reliability.faults.FaultPlan`, or a shared
+        :class:`~repro.reliability.faults.FaultInjector` when the
+        caller owns the occurrence counting); raw-chunk reads fire the
+        ``storage.read`` site, checkpoint writes ``checkpoint.write``.
+    retry:
+        Optional :class:`~repro.reliability.retry.RetryPolicy` (or
+        prebuilt :class:`~repro.reliability.retry.Retrier`) masking
+        transient storage/checkpoint faults.
     """
 
     def __init__(
@@ -89,10 +116,32 @@ class ContinuousDeploymentPlatform:
         seed: SeedLike = None,
         telemetry: Optional[Telemetry] = None,
         registry: Optional["ModelRegistry"] = None,
+        checkpoint: Union[
+            CheckpointStore, CheckpointConfig, str, None
+        ] = None,
+        fault_plan: Union[FaultPlan, FaultInjector, None] = None,
+        retry: Union[RetryPolicy, Retrier, None] = None,
     ) -> None:
         self.config = config if config is not None else ContinuousConfig()
         self.telemetry = (
             telemetry if telemetry is not None else NULL_TELEMETRY
+        )
+        if isinstance(fault_plan, FaultInjector):
+            self.fault_injector = fault_plan
+        else:
+            self.fault_injector = FaultInjector(
+                fault_plan, self.telemetry
+            )
+        if isinstance(retry, Retrier):
+            self.retrier: Optional[Retrier] = retry
+        elif retry is not None:
+            self.retrier = Retrier(retry, self.telemetry)
+        else:
+            self.retrier = None
+        armed = (
+            self.fault_injector
+            if len(self.fault_injector.plan)
+            else None
         )
         sampler = make_sampler(
             self.config.sampler,
@@ -104,6 +153,7 @@ class ContinuousDeploymentPlatform:
             metrics=(
                 self.telemetry.metrics if self.telemetry.enabled else None
             ),
+            fault_injector=armed,
         )
         self.engine = LocalExecutionEngine(
             cost_model, telemetry=self.telemetry
@@ -113,6 +163,13 @@ class ContinuousDeploymentPlatform:
             sampler=sampler,
             seed=seed,
             telemetry=self.telemetry,
+            retrier=self.retrier,
+        )
+        self.checkpoint_store = as_store(
+            checkpoint,
+            telemetry=self.telemetry,
+            fault_injector=armed,
+            retrier=self.retrier,
         )
         self.manager = PipelineManager(
             pipeline=pipeline,
@@ -205,9 +262,16 @@ class ContinuousDeploymentPlatform:
                 self.telemetry.metrics.counter(
                     "scheduler.fired" if fired else "scheduler.skipped"
                 ).inc()
-            if not fired:
-                return None
-            return self._run_proactive_training()
+            outcome = (
+                self._run_proactive_training() if fired else None
+            )
+        if (
+            self.checkpoint_store is not None
+            and self.chunks_observed % self.checkpoint_store.cadence
+            == 0
+        ):
+            self.checkpoint()
+        return outcome
 
     def _run_proactive_training(self) -> ProactiveOutcome:
         with self.telemetry.tracer.span(
@@ -266,6 +330,135 @@ class ContinuousDeploymentPlatform:
             parent=info.parent,
             chunk=self._chunk_index,
         )
+
+    # ------------------------------------------------------------------
+    # Checkpointing and recovery
+    # ------------------------------------------------------------------
+    def install_artifacts(
+        self,
+        pipeline: Pipeline,
+        model: LinearSGDModel,
+        optimizer: Optimizer,
+    ) -> None:
+        """Swap the deployed artifacts (crash recovery / rollback).
+
+        Rebuilds the proactive trainer so it trains the new
+        model/optimizer pair; its instance counter carries over.
+        """
+        self.manager.replace_artifacts(pipeline, model, optimizer)
+        instances = self.proactive.instances_run
+        self.proactive = ProactiveTrainer(
+            self.manager.trainer, self.engine
+        )
+        self.proactive.instances_run = instances
+
+    def state_dict(self) -> Dict[str, Any]:
+        """Every mutable thing outside the artifact bundle and storage.
+
+        Storage contents are captured by the checkpoint store's
+        manifest/spill mechanism; artifacts by the
+        :class:`~repro.persistence.DeploymentBundle`. This covers the
+        rest: stream position, scheduler (EWMA) state, sampler RNG and
+        μ accounting, the cost-model clock, and proactive-training
+        history.
+        """
+        return {
+            "chunk_index": self._chunk_index,
+            "scheduler": self.scheduler.state_dict(),
+            "data_manager": self.data_manager.state_dict(),
+            "cost": self.engine.tracker.state_dict(),
+            "proactive_outcomes": list(self.proactive_outcomes),
+            "proactive_instances": self.proactive.instances_run,
+        }
+
+    def load_state_dict(self, state: Dict[str, Any]) -> None:
+        """Restore state captured by :meth:`state_dict`."""
+        self._chunk_index = int(state["chunk_index"])
+        self.scheduler.load_state_dict(state["scheduler"])
+        self.data_manager.load_state_dict(state["data_manager"])
+        self.engine.tracker.load_state_dict(state["cost"])
+        self.proactive_outcomes = list(state["proactive_outcomes"])
+        self.proactive.instances_run = int(
+            state["proactive_instances"]
+        )
+
+    def checkpoint(self) -> Path:
+        """Write a full platform checkpoint now; returns its path."""
+        if self.checkpoint_store is None:
+            raise ReliabilityError(
+                "platform was constructed without a checkpoint= option"
+            )
+        # The written counter increments before the metrics capture so
+        # the checkpoint's own write is part of the state it saves.
+        if self.telemetry.enabled:
+            self.telemetry.metrics.counter(
+                "reliability.checkpoints_written"
+            ).inc()
+        state = self.state_dict()
+        if self.telemetry.enabled:
+            state["metrics"] = self.telemetry.metrics.state_dict()
+        checkpoint = PlatformCheckpoint(
+            cursor=self.chunks_observed,
+            approach="platform",
+            bundle=DeploymentBundle(
+                pipeline=self.manager.pipeline,
+                model=self.manager.model,
+                optimizer=self.manager.optimizer,
+            ),
+            state=state,
+        )
+        return self.checkpoint_store.write(
+            checkpoint, storage=self.data_manager.storage
+        )
+
+    @classmethod
+    def recover(
+        cls,
+        checkpoint: Union[CheckpointStore, CheckpointConfig, str],
+        config: Optional[ContinuousConfig] = None,
+        cost_model: Optional[CostModel] = None,
+        telemetry: Optional[Telemetry] = None,
+        registry: Optional["ModelRegistry"] = None,
+        fault_plan: Union[FaultPlan, FaultInjector, None] = None,
+        retry: Union[RetryPolicy, Retrier, None] = None,
+    ) -> "ContinuousDeploymentPlatform":
+        """Rebuild a platform from the latest valid checkpoint.
+
+        Falls back to older checkpoints when the newest fails its
+        checksum. ``config``/``cost_model`` must match the crashed
+        platform's (configuration is not checkpointed — state is).
+        The caller resumes feeding :meth:`predict`/:meth:`observe`
+        from the saved cursor (``chunks_observed``); the continuation
+        is byte-identical to an uninterrupted run.
+        """
+        store = as_store(checkpoint, telemetry=telemetry)
+        saved = store.load_latest()
+        platform = cls(
+            saved.bundle.pipeline,
+            saved.bundle.model,
+            saved.bundle.optimizer,
+            config=config,
+            cost_model=cost_model,
+            telemetry=telemetry,
+            registry=registry,
+            checkpoint=store,
+            fault_plan=fault_plan,
+            retry=retry,
+        )
+        if saved.manifest is not None:
+            store.restore_storage(
+                platform.data_manager.storage, saved.manifest
+            )
+        metrics_state = saved.state.get("metrics")
+        if metrics_state is not None and platform.telemetry.enabled:
+            platform.telemetry.metrics.load_state_dict(metrics_state)
+        platform.load_state_dict(saved.state)
+        platform.telemetry.tracer.point(
+            "reliability.recovered",
+            cursor=saved.cursor,
+            approach=saved.approach,
+        )
+        return platform
 
     def __repr__(self) -> str:
         return (

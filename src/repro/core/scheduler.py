@@ -16,6 +16,7 @@ Two mechanisms decide when the next proactive training runs:
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
+from typing import Any, Dict
 
 from repro.exceptions import SchedulingError
 from repro.utils.validation import check_positive, check_positive_int
@@ -37,6 +38,18 @@ class Scheduler(ABC):
 
     def record_predictions(self, count: int, duration: float) -> None:
         """Inform the scheduler about served prediction queries."""
+
+    def state_dict(self) -> Dict[str, Any]:
+        """Mutable scheduling state (configuration is *not* included).
+
+        Restoring this into a scheduler constructed with the same
+        configuration reproduces its future decisions exactly — the
+        contract checkpoint/recovery relies on.
+        """
+        return {}
+
+    def load_state_dict(self, state: Dict[str, Any]) -> None:
+        """Restore state captured by :meth:`state_dict`."""
 
 
 class StaticScheduler(Scheduler):
@@ -139,6 +152,21 @@ class DynamicScheduler(Scheduler):
         if self._prediction_count == 0:
             return 0.0
         return self._prediction_duration / self._prediction_count
+
+    def state_dict(self) -> Dict[str, Any]:
+        return {
+            "next_time": self._next_time,
+            "prediction_count": self._prediction_count,
+            "prediction_duration": self._prediction_duration,
+            "clock_origin": self._clock_origin,
+        }
+
+    def load_state_dict(self, state: Dict[str, Any]) -> None:
+        self._next_time = float(state["next_time"])
+        self._prediction_count = int(state["prediction_count"])
+        self._prediction_duration = float(state["prediction_duration"])
+        origin = state["clock_origin"]
+        self._clock_origin = None if origin is None else float(origin)
 
     @property
     def next_training_time(self) -> float:

@@ -20,8 +20,9 @@ transient policy keeps the materialized set equal to the most recent
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Callable, List, Optional
+import copy
+from dataclasses import asdict, dataclass
+from typing import TYPE_CHECKING, Any, Callable, Dict, List, Optional
 
 from repro.data.chunk import ChunkStub, FeatureChunk, RawChunk
 from repro.data.materialization import MaterializationStats
@@ -31,6 +32,9 @@ from repro.data.table import Table
 from repro.exceptions import SamplingError, StorageError
 from repro.obs.telemetry import NULL_TELEMETRY, Telemetry
 from repro.utils.rng import SeedLike, ensure_rng
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.reliability.retry import Retrier
 
 #: Callback that re-runs the deployed pipeline's transform path on a raw
 #: chunk, producing its feature chunk (dynamic materialization).
@@ -98,6 +102,7 @@ class DataManager:
         seed: SeedLike = None,
         keep_rematerialized: bool = False,
         telemetry: Optional[Telemetry] = None,
+        retrier: Optional["Retrier"] = None,
     ) -> None:
         self.storage = storage if storage is not None else ChunkStorage()
         self.sampler = sampler if sampler is not None else UniformSampler()
@@ -106,6 +111,9 @@ class DataManager:
         self.telemetry = (
             telemetry if telemetry is not None else NULL_TELEMETRY
         )
+        #: Optional retry wrapper for transient storage faults during
+        #: re-materialization (see :mod:`repro.reliability.retry`).
+        self.retrier = retrier
         self._rng = ensure_rng(seed)
         self._next_timestamp = 0
 
@@ -199,7 +207,13 @@ class DataManager:
     def _rematerialize(
         self, stub: ChunkStub, materializer: Materializer
     ) -> FeatureChunk:
-        raw = self.storage.get_raw(stub.raw_reference)
+        if self.retrier is not None:
+            raw = self.retrier.call(
+                lambda: self.storage.get_raw(stub.raw_reference),
+                site="storage.read",
+            )
+        else:
+            raw = self.storage.get_raw(stub.raw_reference)
         rebuilt = materializer(raw)
         if rebuilt.timestamp != stub.timestamp:
             raise StorageError(
@@ -209,6 +223,29 @@ class DataManager:
         if self.keep_rematerialized:
             self.storage.put_features(rebuilt)
         return rebuilt
+
+    # ------------------------------------------------------------------
+    # Checkpoint support
+    # ------------------------------------------------------------------
+    def state_dict(self) -> Dict[str, Any]:
+        """Sampler RNG position, timestamp cursor, and μ accounting.
+
+        Storage contents are checkpointed separately (the manifest +
+        spilled payloads); this covers everything else the manager
+        mutates, most importantly the NumPy bit-generator state so the
+        post-recovery sampling sequence continues bit-identically.
+        """
+        return {
+            "next_timestamp": self._next_timestamp,
+            "rng_state": copy.deepcopy(self._rng.bit_generator.state),
+            "stats": asdict(self.stats),
+        }
+
+    def load_state_dict(self, state: Dict[str, Any]) -> None:
+        """Restore state captured by :meth:`state_dict`."""
+        self._next_timestamp = int(state["next_timestamp"])
+        self._rng.bit_generator.state = copy.deepcopy(state["rng_state"])
+        self.stats = MaterializationStats(**state["stats"])
 
     def _sampleable_timestamps(self) -> List[int]:
         return [

@@ -15,12 +15,15 @@ exceeded first triggers eviction.
 from __future__ import annotations
 
 from collections import OrderedDict
-from dataclasses import dataclass
-from typing import List, Optional, Union
+from dataclasses import asdict, dataclass
+from typing import TYPE_CHECKING, Dict, List, Optional, Union
 
 from repro.data.chunk import ChunkStub, FeatureChunk, RawChunk
 from repro.exceptions import StorageError
 from repro.obs.metrics import MetricsRegistry
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.reliability.faults import FaultInjector
 
 
 @dataclass
@@ -72,6 +75,7 @@ class ChunkStorage:
         max_bytes: Optional[int] = None,
         raw_capacity: Optional[int] = None,
         metrics: Optional[MetricsRegistry] = None,
+        fault_injector: Optional["FaultInjector"] = None,
     ) -> None:
         if max_materialized is not None and max_materialized < 0:
             raise StorageError(
@@ -94,6 +98,10 @@ class ChunkStorage:
         self._materialized_bytes = 0
         self.stats = StorageStats()
         self._metrics = metrics
+        #: Optional deterministic fault injector; when set, every raw
+        #: read fires the ``storage.read`` site (simulated disk
+        #: failures for the reliability layer).
+        self.fault_injector = fault_injector
 
     # ------------------------------------------------------------------
     # Raw chunks
@@ -122,12 +130,28 @@ class ChunkStorage:
         Raises :class:`StorageError` if it has been dropped — dynamic
         materialization relies on raw chunks being available.
         """
+        if self.fault_injector is not None:
+            self.fault_injector.fire("storage.read")
         try:
             return self._raw[timestamp]
         except KeyError:
             raise StorageError(
                 f"raw chunk {timestamp} is not stored (dropped or never "
                 f"inserted); cannot re-materialize"
+            ) from None
+
+    def peek_raw(self, timestamp: int) -> RawChunk:
+        """Like :meth:`get_raw` but without firing fault injection.
+
+        Used by the checkpoint store when spilling payloads: walking
+        in-memory state is not a simulated disk read and must not
+        consume ``storage.read`` fault occurrences.
+        """
+        try:
+            return self._raw[timestamp]
+        except KeyError:
+            raise StorageError(
+                f"raw chunk {timestamp} is not stored"
             ) from None
 
     def has_raw(self, timestamp: int) -> bool:
@@ -304,3 +328,58 @@ class ChunkStorage:
         """Evict every materialized payload (used by ablation benches)."""
         for timestamp in self.materialized_timestamps:
             self.evict(timestamp)
+
+    # ------------------------------------------------------------------
+    # Checkpoint support
+    # ------------------------------------------------------------------
+    def manifest(self) -> Dict[str, object]:
+        """Cache manifest: chunk ids + stats, no payload arrays.
+
+        Entries appear in insertion order (which *is* the eviction
+        order), so a restore reproduces future eviction decisions
+        exactly. Payloads are persisted separately by the checkpoint
+        store; the manifest only records which ids exist and which of
+        them are currently materialized.
+        """
+        return {
+            "raw": list(self._raw),
+            "features": [
+                {
+                    "timestamp": timestamp,
+                    "raw_reference": entry.raw_reference,
+                    "materialized": isinstance(entry, FeatureChunk),
+                }
+                for timestamp, entry in self._features.items()
+            ],
+            "stats": asdict(self.stats),
+        }
+
+    def restore(
+        self,
+        raw: List[RawChunk],
+        features: List[Union[FeatureChunk, ChunkStub]],
+        stats: Dict[str, int],
+    ) -> None:
+        """Rebuild storage contents from checkpointed state.
+
+        ``raw`` and ``features`` must be in the original insertion
+        order (the manifest's order); bounds/configuration come from
+        the constructor, not the checkpoint.
+        """
+        self._raw = OrderedDict(
+            (chunk.timestamp, chunk) for chunk in raw
+        )
+        self._features = OrderedDict(
+            (entry.timestamp, entry) for entry in features
+        )
+        self._materialized_count = sum(
+            1 for entry in features if isinstance(entry, FeatureChunk)
+        )
+        self._materialized_bytes = sum(
+            entry.nbytes()
+            for entry in features
+            if isinstance(entry, FeatureChunk)
+        )
+        self.stats = StorageStats(**stats)
+        if self._metrics is not None:
+            self._update_level_gauges()

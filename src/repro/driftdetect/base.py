@@ -4,7 +4,7 @@ from __future__ import annotations
 
 import enum
 from abc import ABC, abstractmethod
-from typing import Iterable
+from typing import Any, Dict, Iterable
 
 
 class DriftState(enum.Enum):
@@ -54,6 +54,32 @@ class DriftDetector(ABC):
             self.drifts_detected += 1
             self.reset()
         return state
+
+    def state_dict(self) -> Dict[str, Any]:
+        """Mutable detection state (configuration is *not* included).
+
+        Covers the lifetime counters plus whatever the concrete
+        detector accumulates between resets, so a restored detector
+        continues the observation stream with identical verdicts.
+        """
+        return {
+            "observations": self.observations,
+            "drifts_detected": self.drifts_detected,
+            "detector": self._detector_state(),
+        }
+
+    def load_state_dict(self, state: Dict[str, Any]) -> None:
+        """Restore state captured by :meth:`state_dict`."""
+        self.observations = int(state["observations"])
+        self.drifts_detected = int(state["drifts_detected"])
+        self._load_detector_state(state["detector"])
+
+    def _detector_state(self) -> Dict[str, Any]:
+        """Concrete detector's between-reset accumulators."""
+        return {}
+
+    def _load_detector_state(self, state: Dict[str, Any]) -> None:
+        """Restore :meth:`_detector_state` output."""
 
     def update_many(self, errors: Iterable[float]) -> DriftState:
         """Feed a batch; returns the most severe verdict observed."""

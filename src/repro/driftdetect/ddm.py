@@ -59,6 +59,20 @@ class DDM(DriftDetector):
         self._p_min = math.inf
         self._s_min = math.inf
 
+    def _detector_state(self) -> dict:
+        return {
+            "count": self._count,
+            "error_sum": self._error_sum,
+            "p_min": self._p_min,
+            "s_min": self._s_min,
+        }
+
+    def _load_detector_state(self, state: dict) -> None:
+        self._count = int(state["count"])
+        self._error_sum = float(state["error_sum"])
+        self._p_min = float(state["p_min"])
+        self._s_min = float(state["s_min"])
+
     def _update(self, error: float) -> DriftState:
         if error not in (0.0, 1.0):
             raise ValidationError(

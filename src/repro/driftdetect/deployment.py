@@ -68,6 +68,9 @@ class DriftAwareContinuousDeployment(ContinuousDeployment):
         cost_model: Optional[CostModel] = None,
         seed: SeedLike = None,
         telemetry: Optional[Telemetry] = None,
+        checkpoint=None,
+        fault_plan=None,
+        retry=None,
     ) -> None:
         super().__init__(
             pipeline,
@@ -78,6 +81,9 @@ class DriftAwareContinuousDeployment(ContinuousDeployment):
             cost_model=cost_model,
             seed=seed,
             telemetry=telemetry,
+            checkpoint=checkpoint,
+            fault_plan=fault_plan,
+            retry=retry,
         )
         if bursts_per_drift < 1:
             raise ValueError(
@@ -166,3 +172,24 @@ class DriftAwareContinuousDeployment(ContinuousDeployment):
     def _finalize(self, result: DeploymentResult) -> None:
         super()._finalize(result)
         result.counters["drifts_detected"] = len(self.drift_chunks)
+
+    # ------------------------------------------------------------------
+    # Checkpoint/recovery hooks
+    # ------------------------------------------------------------------
+    def _checkpoint_state(self):
+        state = super()._checkpoint_state()
+        state["drift"] = {
+            "detector": self.detector.state_dict(),
+            "drift_chunks": list(self.drift_chunks),
+            "burst_countdown": self._burst_countdown,
+            "chunk_index": self._chunk_index,
+        }
+        return state
+
+    def _restore_state(self, state) -> None:
+        super()._restore_state(state)
+        drift = state["drift"]
+        self.detector.load_state_dict(drift["detector"])
+        self.drift_chunks = list(drift["drift_chunks"])
+        self._burst_countdown = drift["burst_countdown"]
+        self._chunk_index = int(drift["chunk_index"])

@@ -53,6 +53,20 @@ class PageHinkley(DriftDetector):
         self._cumulative = 0.0
         self._minimum = math.inf
 
+    def _detector_state(self) -> dict:
+        return {
+            "count": self._count,
+            "mean": self._mean,
+            "cumulative": self._cumulative,
+            "minimum": self._minimum,
+        }
+
+    def _load_detector_state(self, state: dict) -> None:
+        self._count = int(state["count"])
+        self._mean = float(state["mean"])
+        self._cumulative = float(state["cumulative"])
+        self._minimum = float(state["minimum"])
+
     def _update(self, error: float) -> DriftState:
         self._count += 1
         # Running mean first (standard PH formulation).

@@ -51,6 +51,16 @@ class WindowComparisonDetector(DriftDetector):
         self._reference: list = []
         self._recent: deque = deque(maxlen=self.window_size)
 
+    def _detector_state(self) -> dict:
+        return {
+            "reference": list(self._reference),
+            "recent": list(self._recent),
+        }
+
+    def _load_detector_state(self, state: dict) -> None:
+        self._reference = list(state["reference"])
+        self._recent = deque(state["recent"], maxlen=self.window_size)
+
     def _update(self, error: float) -> DriftState:
         if len(self._reference) < self.window_size:
             self._reference.append(error)

@@ -62,5 +62,14 @@ class ServingError(ReproError):
     """
 
 
+class ReliabilityError(ReproError):
+    """The checkpoint/recovery layer was used incorrectly or failed.
+
+    Raised when no valid checkpoint can be found during recovery, when
+    a checkpoint directory is missing, or when a fault plan is
+    malformed.
+    """
+
+
 class ConvergenceWarning(UserWarning):
     """Training stopped at the iteration cap before converging."""

@@ -164,5 +164,24 @@ class CostTracker:
         self._by_category.clear()
         self._by_label.clear()
 
+    def state_dict(self) -> Dict[str, Dict[str, float]]:
+        """Accumulated totals, restorable via :meth:`load_state_dict`.
+
+        The tracker's totals *are* the deployment's virtual clock, so
+        checkpoint/recovery must restore them exactly for resumed cost
+        curves to be byte-identical.
+        """
+        return {
+            "by_category": dict(self._by_category),
+            "by_label": dict(self._by_label),
+        }
+
+    def load_state_dict(
+        self, state: Dict[str, Dict[str, float]]
+    ) -> None:
+        """Restore totals captured by :meth:`state_dict`."""
+        self._by_category = defaultdict(float, state["by_category"])
+        self._by_label = defaultdict(float, state["by_label"])
+
     def __repr__(self) -> str:
         return f"CostTracker(total={self.total():.4f})"

@@ -6,7 +6,9 @@ print the paper-shaped rows and series.
 """
 
 from repro.experiments.common import (
+    APPROACHES,
     Scenario,
+    make_deployment,
     run_continuous,
     run_online,
     run_periodical,
@@ -15,9 +17,11 @@ from repro.experiments.common import (
 )
 
 __all__ = [
+    "APPROACHES",
     "Scenario",
     "url_scenario",
     "taxi_scenario",
+    "make_deployment",
     "run_online",
     "run_periodical",
     "run_continuous",

@@ -30,9 +30,11 @@ from repro.core.config import (
 )
 from repro.core.deployment import (
     ContinuousDeployment,
+    Deployment,
     DeploymentResult,
     OnlineDeployment,
     PeriodicalDeployment,
+    ThresholdRetrainingDeployment,
 )
 from repro.data.table import Table
 from repro.datasets.taxi import (
@@ -234,6 +236,81 @@ def _check_scale(scale: str) -> None:
         raise ValidationError(
             f"scale must be one of {_SCALES}, got {scale!r}"
         )
+
+
+#: Approach names accepted by :func:`make_deployment`.
+APPROACHES = ("online", "periodical", "threshold", "continuous")
+
+
+def make_deployment(
+    scenario: Scenario,
+    approach: str,
+    telemetry: Optional[Telemetry] = None,
+    checkpoint=None,
+    fault_plan=None,
+    retry=None,
+) -> Deployment:
+    """Construct (but do not fit) a deployment for the scenario.
+
+    One factory shared by the CLI's ``run``/``recover`` commands, the
+    reliability experiments, and the golden recovery tests — they all
+    need to build *identically configured* deployments, with only the
+    reliability options varying.
+    """
+    if approach not in APPROACHES:
+        raise ValidationError(
+            f"approach must be one of {APPROACHES}, got {approach!r}"
+        )
+    pipeline = scenario.make_pipeline()
+    model = scenario.make_model()
+    optimizer = scenario.make_optimizer()
+    reliability = dict(
+        checkpoint=checkpoint, fault_plan=fault_plan, retry=retry
+    )
+    if approach == "online":
+        return OnlineDeployment(
+            pipeline,
+            model,
+            optimizer,
+            metric=scenario.metric,
+            online_batch_rows=scenario.online_batch_rows,
+            telemetry=telemetry,
+            **reliability,
+        )
+    if approach == "periodical":
+        return PeriodicalDeployment(
+            pipeline,
+            model,
+            optimizer,
+            config=scenario.periodical_config,
+            metric=scenario.metric,
+            seed=scenario.seed,
+            online_batch_rows=scenario.online_batch_rows,
+            telemetry=telemetry,
+            **reliability,
+        )
+    if approach == "threshold":
+        return ThresholdRetrainingDeployment(
+            pipeline,
+            model,
+            optimizer,
+            config=scenario.periodical_config,
+            metric=scenario.metric,
+            seed=scenario.seed,
+            online_batch_rows=scenario.online_batch_rows,
+            telemetry=telemetry,
+            **reliability,
+        )
+    return ContinuousDeployment(
+        pipeline,
+        model,
+        optimizer,
+        config=scenario.continuous_config,
+        metric=scenario.metric,
+        seed=scenario.seed,
+        telemetry=telemetry,
+        **reliability,
+    )
 
 
 # ----------------------------------------------------------------------

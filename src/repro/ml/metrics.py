@@ -123,6 +123,26 @@ class PrequentialTracker:
         self.history.append(self.value())
         return self.history[-1]
 
+    def state_dict(self) -> dict:
+        """Cumulative error state for checkpoint/recovery."""
+        return {
+            "kind": self.kind,
+            "total_error": self.total_error,
+            "total_count": self.total_count,
+            "history": list(self.history),
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore state captured by :meth:`state_dict`."""
+        if state["kind"] != self.kind:
+            raise ValidationError(
+                f"cannot restore a {state['kind']!r} tracker into a "
+                f"{self.kind!r} tracker"
+            )
+        self.total_error = float(state["total_error"])
+        self.total_count = int(state["total_count"])
+        self.history = list(state["history"])
+
     def value(self) -> float:
         """Current cumulative prequential error."""
         if not self.total_count:

@@ -145,6 +145,31 @@ class StreamingHistogram:
             "p99": self.quantile(0.99),
         }
 
+    def state_dict(self) -> Dict[str, object]:
+        """Full sketch state (unlike the lossy snapshot percentiles)."""
+        return {
+            "base": self._base,
+            "buckets": dict(self._buckets),
+            "zero_count": self._zero_count,
+            "count": self.count,
+            "total": self.total,
+            "min": self.min,
+            "max": self.max,
+        }
+
+    def load_state_dict(self, state: Dict[str, object]) -> None:
+        """Restore sketch state captured by :meth:`state_dict`."""
+        self._base = float(state["base"])
+        self._log_base = math.log(self._base)
+        self._buckets = {
+            int(k): int(v) for k, v in state["buckets"].items()
+        }
+        self._zero_count = int(state["zero_count"])
+        self.count = int(state["count"])
+        self.total = float(state["total"])
+        self.min = float(state["min"])
+        self.max = float(state["max"])
+
     def __repr__(self) -> str:
         return (
             f"StreamingHistogram({self.name!r}, count={self.count}, "
@@ -214,6 +239,36 @@ class MetricsRegistry:
             },
             "histograms": histograms,
         }
+
+    def state_dict(self) -> Dict[str, Dict[str, object]]:
+        """Lossless dump of every instrument (cf. the lossy
+        :meth:`snapshot`), for checkpoint/recovery: a registry restored
+        from this state produces byte-identical snapshots."""
+        return {
+            "counters": {
+                name: counter.value
+                for name, counter in self._counters.items()
+            },
+            "gauges": {
+                name: gauge.value for name, gauge in self._gauges.items()
+            },
+            "histograms": {
+                name: hist.state_dict()
+                for name, hist in self._histograms.items()
+            },
+        }
+
+    def load_state_dict(
+        self, state: Dict[str, Dict[str, object]]
+    ) -> None:
+        """Replace all instrument state with a :meth:`state_dict` dump."""
+        self.reset()
+        for name, value in state["counters"].items():
+            self.counter(name).value = float(value)
+        for name, value in state["gauges"].items():
+            self.gauge(name).set(value)
+        for name, hist_state in state["histograms"].items():
+            self.histogram(name).load_state_dict(hist_state)
 
     def reset(self) -> None:
         self._counters.clear()

@@ -32,7 +32,7 @@ import pickle
 import tempfile
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Union
+from typing import List, Sequence, TypeVar, Union
 
 from repro.exceptions import ReproError
 from repro.ml.models.base import LinearSGDModel
@@ -45,9 +45,23 @@ PathLike = Union[str, "os.PathLike[str]"]
 #: File magic identifying a deployment bundle.
 MAGIC = b"REPRO-BUNDLE-1\n"
 
+_T = TypeVar("_T")
+
 
 class PersistenceError(ReproError):
     """A bundle file is malformed, corrupted, or incompatible."""
+
+
+def select_prunable(items: Sequence[_T], keep: int) -> List[_T]:
+    """Return the items to drop so only the last ``keep`` remain.
+
+    ``items`` must be ordered oldest first; the newest ``keep`` entries
+    survive. Shared keep-last-K policy for the serving registry's
+    bundle GC and the reliability layer's checkpoint retention.
+    """
+    if keep < 0:
+        raise PersistenceError(f"keep must be >= 0, got {keep}")
+    return list(items[: max(len(items) - keep, 0)])
 
 
 @dataclass
@@ -100,7 +114,29 @@ def atomic_write_bytes(path: PathLike, blob: bytes) -> Path:
         except OSError:
             pass
         raise
+    sweep_stale_tmp(path)
     return path
+
+
+def sweep_stale_tmp(path: PathLike) -> List[Path]:
+    """Delete stale ``*.tmp`` staging files left behind for ``path``.
+
+    A writer killed between ``mkstemp`` and ``os.replace`` leaves its
+    staging file (``<name>.<random>.tmp``) in the destination
+    directory forever. Each successful :func:`atomic_write_bytes` to
+    the same destination sweeps them. Only staging files for *this*
+    destination name are touched, so concurrent writers to other paths
+    in the directory are never disturbed. Returns the removed paths.
+    """
+    path = Path(path)
+    removed: List[Path] = []
+    for stale in path.parent.glob(path.name + ".*.tmp"):
+        try:
+            stale.unlink()
+        except OSError:
+            continue
+        removed.append(stale)
+    return removed
 
 
 def save_bundle(
@@ -137,6 +173,62 @@ def serialize_bundle(bundle: DeploymentBundle) -> bytes:
     payload = buffer.getvalue()
     digest = hashlib.sha256(payload).digest()
     return MAGIC + digest + payload
+
+
+def seal_envelope(obj: object, magic: bytes) -> bytes:
+    """Wrap any picklable object in a checksummed envelope.
+
+    Same on-disk discipline as a deployment bundle — format magic,
+    SHA-256 digest, then the pickle payload (which records the library
+    version) — reused by the reliability layer for checkpoints and
+    spilled chunk payloads.
+    """
+    buffer = io.BytesIO()
+    pickle.dump(
+        {"version": _library_version(), "payload": obj},
+        buffer,
+        protocol=pickle.HIGHEST_PROTOCOL,
+    )
+    payload = buffer.getvalue()
+    digest = hashlib.sha256(payload).digest()
+    return magic + digest + payload
+
+
+def open_envelope(
+    blob: bytes, magic: bytes, source: str = "<memory>"
+) -> object:
+    """Verify and unwrap a :func:`seal_envelope` blob.
+
+    Raises :class:`PersistenceError` on a bad magic tag, checksum
+    mismatch (corruption/truncation), or library-version mismatch.
+    """
+    if not blob.startswith(magic):
+        raise PersistenceError(
+            f"{source} is not a {magic[:-1].decode()} envelope "
+            f"(bad magic header)"
+        )
+    body = blob[len(magic):]
+    if len(body) < 32:
+        raise PersistenceError(f"{source} is truncated")
+    digest, payload = body[:32], body[32:]
+    if hashlib.sha256(payload).digest() != digest:
+        raise PersistenceError(
+            f"{source} failed its checksum (corrupted or truncated)"
+        )
+    try:
+        envelope = pickle.loads(payload)
+    except Exception as error:
+        raise PersistenceError(
+            f"{source} could not be deserialised: {error}"
+        ) from error
+    written_by = envelope.get("version")
+    current = _library_version()
+    if written_by != current:
+        raise PersistenceError(
+            f"{source} was written by repro {written_by!r} but this "
+            f"library is repro {current!r}"
+        )
+    return envelope.get("payload")
 
 
 def load_bundle(path: PathLike) -> DeploymentBundle:

@@ -1,0 +1,72 @@
+"""Reliability layer: checkpointing, crash recovery, fault injection.
+
+The continuous-training platform of the paper is a long-running
+process; this package makes its state **durable** and its failure
+behaviour **testable**:
+
+* :mod:`repro.reliability.checkpoint` — full-platform checkpoints
+  (pipeline/model/optimizer bundle + scheduler, sampler RNG, cost, and
+  drift state + the materialization-cache manifest) written atomically
+  on a cadence with keep-last-K retention;
+* :mod:`repro.reliability.faults` — deterministic fault injection
+  (crash / transient I/O error / corrupt byte) addressed by site and
+  occurrence count;
+* :mod:`repro.reliability.retry` — bounded exponential backoff with
+  deterministic jitter for transient faults;
+* :mod:`repro.reliability.runtime` — the per-run glue threaded through
+  the deployment loop.
+
+The headline invariant (proved by the golden recovery tests): kill the
+platform after chunk *k*, recover from the latest checkpoint, and the
+completed run's predictions, cost-model totals, and telemetry counters
+are **byte-identical** to a run that was never interrupted.
+"""
+
+from repro.reliability.checkpoint import (
+    CHECKPOINT_MAGIC,
+    CheckpointConfig,
+    CheckpointStore,
+    PlatformCheckpoint,
+    as_store,
+)
+from repro.reliability.faults import (
+    KINDS,
+    KNOWN_SITES,
+    FaultInjector,
+    FaultPlan,
+    FaultSpec,
+    FiredFault,
+    NULL_INJECTOR,
+    SimulatedCrash,
+    TransientFault,
+)
+from repro.reliability.retry import (
+    DEFAULT_RETRYABLE,
+    Retrier,
+    RetryExhausted,
+    RetryPolicy,
+)
+from repro.reliability.runtime import RecoveryInfo, ReliabilityRuntime
+
+__all__ = [
+    "CHECKPOINT_MAGIC",
+    "CheckpointConfig",
+    "CheckpointStore",
+    "PlatformCheckpoint",
+    "as_store",
+    "KINDS",
+    "KNOWN_SITES",
+    "FaultInjector",
+    "FaultPlan",
+    "FaultSpec",
+    "FiredFault",
+    "NULL_INJECTOR",
+    "SimulatedCrash",
+    "TransientFault",
+    "DEFAULT_RETRYABLE",
+    "Retrier",
+    "RetryExhausted",
+    "RetryPolicy",
+    "RecoveryInfo",
+    "ReliabilityRuntime",
+]

@@ -1,0 +1,410 @@
+"""Platform checkpoints: capture, atomic persistence, bounded retention.
+
+A :class:`PlatformCheckpoint` extends the
+:class:`~repro.persistence.DeploymentBundle` (pipeline + model +
+optimizer) with everything else a run mutates: the stream cursor,
+component state dicts (scheduler, sampler RNG, cost tracker, drift
+detectors, …), the materialization-cache manifest, and (for telemetry
+byte-identity) the metrics-registry state.
+
+A :class:`CheckpointStore` owns one checkpoint directory::
+
+    <dir>/ckpt-00000012.ckpt        checksummed envelope (see
+                                    repro.persistence.seal_envelope)
+    <dir>/ckpt-00000012.refs.json   chunk files this checkpoint needs
+    <dir>/chunks/raw-00000003.pkl   spilled raw chunk payload
+    <dir>/chunks/feat-00000003-<digest>.pkl
+                                    spilled feature payload
+
+Checkpoint files are written atomically (staged + ``os.replace``) on a
+configurable cadence and pruned to the newest ``keep`` (the shared
+:func:`~repro.persistence.select_prunable` policy). Chunk payloads are
+content-immutable, written once, and garbage-collected when no
+retained checkpoint references them.
+
+Feature payloads *must* be persisted rather than re-derived: a
+materialized chunk embeds the pipeline statistics as of its ingest
+time, so re-running today's pipeline over the raw chunk would produce
+different bytes — and different downstream training results — than the
+uninterrupted run. The manifest stores ids; the payload files store
+the arrays; recovery reassembles the exact cache.
+
+Loading falls back: :meth:`CheckpointStore.load_latest` walks
+checkpoints newest-first and skips any that fail their checksum, so a
+corrupted latest checkpoint degrades recovery to the previous one
+instead of failing it.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import weakref
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Set, Tuple, Union
+
+from repro.data.chunk import ChunkStub, FeatureChunk, RawChunk
+from repro.data.storage import ChunkStorage
+from repro.exceptions import ReliabilityError
+from repro.obs.telemetry import NULL_TELEMETRY, Telemetry
+from repro.persistence import (
+    DeploymentBundle,
+    PathLike,
+    PersistenceError,
+    atomic_write_bytes,
+    open_envelope,
+    seal_envelope,
+    select_prunable,
+)
+from repro.reliability.faults import FaultInjector
+from repro.reliability.retry import Retrier
+from repro.utils.validation import check_positive_int
+
+#: File magic identifying a platform checkpoint.
+CHECKPOINT_MAGIC = b"REPRO-CKPT-1\n"
+
+#: File magic identifying a spilled chunk payload.
+CHUNK_MAGIC = b"REPRO-CHUNK-1\n"
+
+
+@dataclass(frozen=True)
+class CheckpointConfig:
+    """Where, how often, and how many checkpoints to keep."""
+
+    directory: PathLike
+    cadence_chunks: int = 10
+    keep: int = 3
+
+    def __post_init__(self) -> None:
+        check_positive_int(self.cadence_chunks, "cadence_chunks")
+        check_positive_int(self.keep, "keep")
+
+
+@dataclass
+class PlatformCheckpoint:
+    """All run state at one stream position.
+
+    ``cursor`` is the number of stream chunks fully processed;
+    recovery resumes reading at exactly that offset. ``state`` nests
+    the component state dicts (shape owned by whoever wrote the
+    checkpoint — the deployment loop or the platform); ``manifest`` is
+    the storage manifest when the run has chunk storage.
+    """
+
+    cursor: int
+    approach: str
+    bundle: DeploymentBundle
+    state: Dict[str, Any] = field(default_factory=dict)
+    manifest: Optional[Dict[str, Any]] = None
+
+    def __post_init__(self) -> None:
+        if self.cursor < 0:
+            raise ReliabilityError(
+                f"cursor must be >= 0, got {self.cursor}"
+            )
+
+
+def as_store(
+    checkpoint: Union[
+        "CheckpointStore", CheckpointConfig, PathLike, None
+    ],
+    telemetry: Optional[Telemetry] = None,
+    fault_injector: Optional[FaultInjector] = None,
+    retrier: Optional[Retrier] = None,
+) -> Optional["CheckpointStore"]:
+    """Normalize a ``checkpoint=`` option into a store (or ``None``).
+
+    Accepts an existing store, a :class:`CheckpointConfig`, or a bare
+    directory path (default cadence/retention).
+    """
+    if checkpoint is None:
+        return None
+    if isinstance(checkpoint, CheckpointStore):
+        return checkpoint
+    if not isinstance(checkpoint, CheckpointConfig):
+        checkpoint = CheckpointConfig(directory=checkpoint)
+    return CheckpointStore(
+        checkpoint,
+        telemetry=telemetry,
+        fault_injector=fault_injector,
+        retrier=retrier,
+    )
+
+
+class CheckpointStore:
+    """One checkpoint directory: write, load-with-fallback, prune."""
+
+    def __init__(
+        self,
+        config: Union[CheckpointConfig, PathLike],
+        telemetry: Optional[Telemetry] = None,
+        fault_injector: Optional[FaultInjector] = None,
+        retrier: Optional[Retrier] = None,
+    ) -> None:
+        if not isinstance(config, CheckpointConfig):
+            config = CheckpointConfig(directory=config)
+        self.config = config
+        self.directory = Path(config.directory)
+        self.telemetry = (
+            telemetry if telemetry is not None else NULL_TELEMETRY
+        )
+        self.fault_injector = fault_injector
+        self.retrier = retrier
+        # Spill cache: timestamp -> (weakref to the FeatureChunk whose
+        # payload is on disk, its file name). Feature payloads are
+        # immutable objects — re-materialization after an eviction
+        # builds a *new* chunk (with today's pipeline statistics), so
+        # identity is exactly the right cache key. Saves re-pickling
+        # every materialized chunk on every checkpoint just to learn a
+        # digest that is already on disk.
+        self._spilled_features: Dict[
+            int, Tuple["weakref.ref", str]
+        ] = {}
+
+    @property
+    def cadence(self) -> int:
+        return self.config.cadence_chunks
+
+    @property
+    def keep(self) -> int:
+        return self.config.keep
+
+    @property
+    def chunks_directory(self) -> Path:
+        return self.directory / "chunks"
+
+    # ------------------------------------------------------------------
+    # Writing
+    # ------------------------------------------------------------------
+    def write(
+        self,
+        checkpoint: PlatformCheckpoint,
+        storage: Optional[ChunkStorage] = None,
+    ) -> Path:
+        """Persist a checkpoint atomically; returns its path.
+
+        With ``storage``, the cache manifest is captured into the
+        checkpoint and any not-yet-spilled chunk payloads are written
+        to the ``chunks/`` area first (append-only: payloads are
+        immutable, so existing files are reused). The refs sidecar
+        lands before the checkpoint file so retention GC always knows
+        what a checkpoint needs. Old checkpoints beyond ``keep`` are
+        pruned afterwards.
+        """
+        self.directory.mkdir(parents=True, exist_ok=True)
+        refs: List[str] = []
+        if storage is not None:
+            checkpoint.manifest, refs = self._spill_storage(storage)
+        name = f"ckpt-{checkpoint.cursor:08d}"
+        atomic_write_bytes(
+            self.directory / f"{name}.refs.json",
+            json.dumps(
+                {"cursor": checkpoint.cursor, "chunks": refs}
+            ).encode(),
+        )
+        blob = seal_envelope(checkpoint, CHECKPOINT_MAGIC)
+        path = self.directory / f"{name}.ckpt"
+
+        def attempt() -> Path:
+            if self.fault_injector is not None:
+                self.fault_injector.fire("checkpoint.write")
+                data = self.fault_injector.corrupt(
+                    "checkpoint.write", blob
+                )
+            else:
+                data = blob
+            return atomic_write_bytes(path, data)
+
+        if self.retrier is not None:
+            self.retrier.call(attempt, site="checkpoint.write")
+        else:
+            attempt()
+        if self.telemetry.enabled:
+            self.telemetry.tracer.point(
+                "reliability.checkpoint_written",
+                cursor=checkpoint.cursor,
+                bytes=len(blob),
+                path=str(path),
+            )
+        self.prune()
+        return path
+
+    def _spill_storage(
+        self, storage: ChunkStorage
+    ) -> Tuple[Dict[str, Any], List[str]]:
+        """Capture the manifest and spill missing payload files."""
+        manifest = storage.manifest()
+        refs: List[str] = []
+        self.chunks_directory.mkdir(parents=True, exist_ok=True)
+        for timestamp in manifest["raw"]:
+            name = f"raw-{timestamp:08d}.pkl"
+            target = self.chunks_directory / name
+            if not target.exists():
+                blob = seal_envelope(
+                    storage.peek_raw(timestamp), CHUNK_MAGIC
+                )
+                atomic_write_bytes(target, blob)
+            refs.append(name)
+        for entry in manifest["features"]:
+            if not entry["materialized"]:
+                continue
+            timestamp = entry["timestamp"]
+            chunk = storage.peek_features(timestamp)
+            cached = self._spilled_features.get(timestamp)
+            if cached is not None and cached[0]() is chunk:
+                name = cached[1]
+            else:
+                blob = seal_envelope(chunk, CHUNK_MAGIC)
+                digest = hashlib.sha256(blob).hexdigest()[:16]
+                name = f"feat-{timestamp:08d}-{digest}.pkl"
+                target = self.chunks_directory / name
+                if not target.exists():
+                    atomic_write_bytes(target, blob)
+                self._spilled_features[timestamp] = (
+                    weakref.ref(chunk),
+                    name,
+                )
+            entry["payload_file"] = name
+            refs.append(name)
+        return manifest, refs
+
+    # ------------------------------------------------------------------
+    # Loading
+    # ------------------------------------------------------------------
+    def checkpoints(self) -> List[Path]:
+        """Checkpoint files, oldest (lowest cursor) first."""
+        if not self.directory.is_dir():
+            return []
+        return sorted(self.directory.glob("ckpt-*.ckpt"))
+
+    def load(self, path: PathLike) -> PlatformCheckpoint:
+        """Load and verify one checkpoint file."""
+        path = Path(path)
+        try:
+            blob = path.read_bytes()
+        except OSError as error:
+            raise PersistenceError(
+                f"cannot read checkpoint {path}: {error}"
+            ) from error
+        checkpoint = open_envelope(
+            blob, CHECKPOINT_MAGIC, source=str(path)
+        )
+        if not isinstance(checkpoint, PlatformCheckpoint):
+            raise PersistenceError(
+                f"{path} does not contain a PlatformCheckpoint"
+            )
+        return checkpoint
+
+    def load_latest(self) -> PlatformCheckpoint:
+        """Newest checkpoint that passes verification.
+
+        Corrupted or truncated checkpoints are skipped (with a
+        ``reliability.checkpoint_corrupt`` trace point), falling back
+        to older ones; :class:`~repro.exceptions.ReliabilityError` when
+        none survive.
+        """
+        paths = self.checkpoints()
+        for path in reversed(paths):
+            try:
+                return self.load(path)
+            except PersistenceError as error:
+                if self.telemetry.enabled:
+                    self.telemetry.tracer.point(
+                        "reliability.checkpoint_corrupt",
+                        path=str(path),
+                        error=str(error),
+                    )
+        raise ReliabilityError(
+            f"no valid checkpoint under {self.directory} "
+            f"({len(paths)} file(s) inspected)"
+        )
+
+    # ------------------------------------------------------------------
+    # Storage reassembly
+    # ------------------------------------------------------------------
+    def restore_storage(
+        self, storage: ChunkStorage, manifest: Dict[str, Any]
+    ) -> None:
+        """Rebuild a :class:`ChunkStorage` from a checkpoint manifest."""
+        raw: List[RawChunk] = [
+            self._load_chunk(f"raw-{timestamp:08d}.pkl")
+            for timestamp in manifest["raw"]
+        ]
+        features: List[Union[FeatureChunk, ChunkStub]] = []
+        for entry in manifest["features"]:
+            if entry["materialized"]:
+                features.append(
+                    self._load_chunk(entry["payload_file"])
+                )
+            else:
+                features.append(
+                    ChunkStub(
+                        timestamp=entry["timestamp"],
+                        raw_reference=entry["raw_reference"],
+                    )
+                )
+        storage.restore(raw, features, manifest["stats"])
+
+    def _load_chunk(self, name: str):
+        path = self.chunks_directory / name
+        try:
+            blob = path.read_bytes()
+        except OSError as error:
+            raise ReliabilityError(
+                f"checkpoint references missing chunk payload "
+                f"{path}: {error}"
+            ) from error
+        return open_envelope(blob, CHUNK_MAGIC, source=str(path))
+
+    # ------------------------------------------------------------------
+    # Retention
+    # ------------------------------------------------------------------
+    def prune(self) -> List[Path]:
+        """Keep the newest ``keep`` checkpoints; GC orphaned payloads.
+
+        Chunk-payload GC is conservative: it only runs when every
+        retained checkpoint has a refs sidecar (otherwise nothing can
+        be proven unreferenced).
+        """
+        paths = self.checkpoints()
+        dropped = select_prunable(paths, self.keep)
+        for path in dropped:
+            path.unlink(missing_ok=True)
+            self._refs_path(path).unlink(missing_ok=True)
+        retained = [p for p in paths if p not in dropped]
+        referenced: Set[str] = set()
+        for path in retained:
+            refs_path = self._refs_path(path)
+            try:
+                payload = json.loads(refs_path.read_text())
+            except (OSError, ValueError):
+                return dropped  # conservative: skip chunk GC
+            referenced.update(payload.get("chunks", []))
+        if self.chunks_directory.is_dir():
+            for orphan in self.chunks_directory.iterdir():
+                if (
+                    orphan.name not in referenced
+                    and not orphan.name.endswith(".tmp")
+                ):
+                    orphan.unlink(missing_ok=True)
+        # Stale refs sidecars whose checkpoint is gone.
+        for refs_path in self.directory.glob("ckpt-*.refs.json"):
+            ckpt = refs_path.with_name(
+                refs_path.name.replace(".refs.json", ".ckpt")
+            )
+            if not ckpt.exists():
+                refs_path.unlink(missing_ok=True)
+        return dropped
+
+    @staticmethod
+    def _refs_path(checkpoint_path: Path) -> Path:
+        return checkpoint_path.with_name(
+            checkpoint_path.stem + ".refs.json"
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"CheckpointStore({str(self.directory)!r}, "
+            f"cadence={self.cadence}, keep={self.keep})"
+        )

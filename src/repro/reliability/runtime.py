@@ -1,0 +1,171 @@
+"""Per-run reliability services for the deployment loop.
+
+A :class:`ReliabilityRuntime` bundles the three reliability concerns a
+prequential run threads through its hot loop:
+
+* **guarded stream iteration** — every ``next()`` on the deployment
+  stream fires the ``stream.read`` fault site and, when a retry policy
+  is configured, transient faults are retried (the *next* occurrence of
+  the site is a fresh draw, so a retry re-reads the same chunk);
+* **cadence checkpointing** — after every ``cadence_chunks``-th chunk
+  the runtime asks the deployment for its state and writes a
+  :class:`~repro.reliability.checkpoint.PlatformCheckpoint`;
+* **recovery bookkeeping** — when a run resumes from a checkpoint the
+  runtime records a :class:`RecoveryInfo` that ends up on the
+  :class:`~repro.core.deployment.base.DeploymentResult`.
+
+Telemetry invariant: counters incremented *by* the reliability layer
+for a checkpoint write happen **before** the metrics state is captured
+into that checkpoint, so a recovered run's counters continue exactly
+where the uninterrupted run's would be. Recovery itself is reported
+through trace points and :class:`RecoveryInfo`, never counters — a
+recovered run must finish with byte-identical counters to an
+uninterrupted one.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Iterator, Optional, Union
+
+from repro.obs.telemetry import NULL_TELEMETRY, Telemetry
+from repro.reliability.checkpoint import (
+    CheckpointConfig,
+    CheckpointStore,
+    PlatformCheckpoint,
+    as_store,
+)
+from repro.reliability.faults import FaultInjector, FaultPlan
+from repro.reliability.retry import Retrier, RetryPolicy
+from repro.utils.validation import check_positive_int
+
+
+@dataclass(frozen=True)
+class RecoveryInfo:
+    """How a run was resumed (attached to the deployment result)."""
+
+    cursor: int
+    approach: str
+    redo_chunks: Optional[int] = None
+
+
+class ReliabilityRuntime:
+    """Fault injection, retries, and checkpoint cadence for one run."""
+
+    def __init__(
+        self,
+        checkpoint: Union[
+            CheckpointStore, CheckpointConfig, str, None
+        ] = None,
+        fault_plan: Union[FaultPlan, FaultInjector, None] = None,
+        retry: Union[RetryPolicy, Retrier, None] = None,
+        telemetry: Optional[Telemetry] = None,
+    ) -> None:
+        self.telemetry = (
+            telemetry if telemetry is not None else NULL_TELEMETRY
+        )
+        if isinstance(fault_plan, FaultInjector):
+            self.injector = fault_plan
+        else:
+            self.injector = FaultInjector(fault_plan, self.telemetry)
+        if isinstance(retry, Retrier):
+            self.retrier: Optional[Retrier] = retry
+        elif retry is not None:
+            self.retrier = Retrier(retry, self.telemetry)
+        else:
+            self.retrier = None
+        self.store = as_store(
+            checkpoint,
+            telemetry=self.telemetry,
+            fault_injector=(
+                self.injector if len(self.injector.plan) else None
+            ),
+            retrier=self.retrier,
+        )
+        #: Cursor of the last checkpoint written this run (or ``None``).
+        self.last_checkpoint_cursor: Optional[int] = None
+        #: Set when the run was resumed from a checkpoint.
+        self.recovery: Optional[RecoveryInfo] = None
+
+    # ------------------------------------------------------------------
+    # Stream guarding
+    # ------------------------------------------------------------------
+    def read_chunk(self, iterator: Iterator[Any]) -> Any:
+        """``next(iterator)`` through the fault/retry machinery.
+
+        The ``stream.read`` site fires *before* the underlying read, so
+        a retried transient fault pulls the same chunk on its second
+        attempt rather than skipping one. ``StopIteration`` passes
+        through untouched (end of stream is not a fault).
+        """
+        if not len(self.injector.plan) and self.retrier is None:
+            return next(iterator)
+
+        def attempt() -> Any:
+            self.injector.fire("stream.read")
+            return next(iterator)
+
+        if self.retrier is None:
+            return attempt()
+        return self.retrier.call(
+            attempt, site="stream.read", retryable=self._retryable()
+        )
+
+    @staticmethod
+    def _retryable():
+        # StopIteration must never be swallowed by the retry loop; the
+        # default retryable set (TransientFault/OSError) excludes it
+        # already, so reuse it explicitly for clarity.
+        from repro.reliability.retry import DEFAULT_RETRYABLE
+
+        return DEFAULT_RETRYABLE
+
+    @staticmethod
+    def skip_chunks(iterator: Iterator[Any], count: int) -> None:
+        """Consume ``count`` already-processed chunks after recovery.
+
+        Deployment streams are deterministic seeded generators, so a
+        recovered run rebuilds the pre-crash prefix by regenerating and
+        discarding it — no fault sites fire (those chunks were already
+        read successfully before the crash).
+        """
+        if count < 0:
+            check_positive_int(count, "count")
+        for _ in range(count):
+            next(iterator)
+
+    # ------------------------------------------------------------------
+    # Checkpoint cadence
+    # ------------------------------------------------------------------
+    def due(self, cursor: int) -> bool:
+        """True when a checkpoint should be written at ``cursor``."""
+        return (
+            self.store is not None
+            and cursor > 0
+            and cursor % self.store.cadence == 0
+        )
+
+    def begin_checkpoint(self) -> None:
+        """Pre-capture accounting for an imminent checkpoint write.
+
+        Must run *before* the metrics registry is captured into the
+        checkpoint state so the written counter includes the checkpoint
+        being written (keeping recovered-run counters byte-identical to
+        the uninterrupted timeline).
+        """
+        if self.telemetry.enabled:
+            self.telemetry.metrics.counter(
+                "reliability.checkpoints_written"
+            ).inc()
+
+    def mark_recovered(self, checkpoint: PlatformCheckpoint) -> None:
+        """Record that this run resumed from ``checkpoint``."""
+        self.recovery = RecoveryInfo(
+            cursor=checkpoint.cursor, approach=checkpoint.approach
+        )
+        if self.telemetry.enabled:
+            self.telemetry.tracer.point(
+                "reliability.recovered",
+                cursor=checkpoint.cursor,
+                approach=checkpoint.approach,
+            )

@@ -46,6 +46,7 @@ from repro.persistence import (
     bundle_checksum,
     load_bundle,
     save_bundle,
+    select_prunable,
 )
 from repro.pipeline.pipeline import Pipeline
 
@@ -307,7 +308,7 @@ class ModelRegistry:
             and not info.collected
         ]
         collected: List[str] = []
-        for info in finished[: max(len(finished) - keep, 0)]:
+        for info in select_prunable(finished, keep):
             path = self.root / f"{info.version}.bundle"
             if path.exists():
                 path.unlink()

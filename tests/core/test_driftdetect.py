@@ -312,3 +312,55 @@ class TestBurstMechanics:
             self._deployment(burst_window=0)
         with pytest.raises(ValueError):
             self._deployment(burst_delay_chunks=-1)
+
+
+class TestDetectorStateRoundTrip:
+    @pytest.mark.parametrize(
+        "factory", ALL_DETECTORS,
+        ids=["ddm", "page_hinkley", "window"],
+    )
+    def test_restored_detector_continues_identically(self, factory):
+        """Snapshot mid-stream, restore into a fresh detector, and the
+        remaining verdicts match the uninterrupted detector's."""
+        rng = np.random.default_rng(11)
+        prefix = (rng.random(120) < 0.08).astype(float)
+        suffix = np.concatenate(
+            [(rng.random(60) < 0.08).astype(float), np.ones(90)]
+        )
+
+        reference = factory()
+        feed(reference, prefix)
+        state = reference.state_dict()
+        tail_states = feed(reference, suffix)
+        assert DriftState.DRIFT in tail_states  # the surge registers
+
+        resumed = factory()
+        resumed.load_state_dict(state)
+        assert feed(resumed, suffix) == tail_states
+        assert resumed.observations == reference.observations
+        assert resumed.drifts_detected == reference.drifts_detected
+
+    @pytest.mark.parametrize(
+        "factory", ALL_DETECTORS,
+        ids=["ddm", "page_hinkley", "window"],
+    )
+    def test_state_dict_round_trips_exactly(self, factory):
+        import pickle
+
+        detector = factory()
+        feed(detector, [0.0, 1.0, 0.0, 0.0, 1.0] * 20)
+        state = detector.state_dict()
+        restored = factory()
+        restored.load_state_dict(state)
+        assert pickle.dumps(restored.state_dict()) == pickle.dumps(
+            state
+        )
+
+    def test_lifetime_counters_survive(self):
+        detector = DDM(minimum_observations=30)
+        feed(detector, [0.0] * 200 + [1.0] * 100)
+        assert detector.drifts_detected >= 1
+        restored = DDM(minimum_observations=30)
+        restored.load_state_dict(detector.state_dict())
+        assert restored.drifts_detected == detector.drifts_detected
+        assert restored.observations == detector.observations

@@ -240,3 +240,96 @@ class TestBundleValidation:
             DeploymentBundle(
                 pipeline=pipeline, model=None, optimizer=optimizer
             )
+
+
+class TestStaleTmpSweep:
+    def test_stray_tmp_swept_on_next_save(self, tmp_path):
+        """A writer killed mid-save leaves a staging file behind; the
+        next successful save to the same destination removes it."""
+        __, pipeline, model, optimizer = fitted_url_parts()
+        target = tmp_path / "d.bundle"
+        stray = tmp_path / "d.bundle.12345.tmp"
+        stray.write_bytes(b"orphaned staging bytes")
+        unrelated = tmp_path / "other.bundle.99.tmp"
+        unrelated.write_bytes(b"someone else's staging file")
+
+        save_bundle(target, pipeline, model, optimizer)
+
+        assert not stray.exists()
+        assert unrelated.exists()  # other destinations untouched
+        assert load_bundle(target).model is not None
+
+    def test_sweep_helper_returns_removed(self, tmp_path):
+        from repro.persistence import sweep_stale_tmp
+
+        target = tmp_path / "x.bundle"
+        stale = [
+            tmp_path / "x.bundle.1.tmp",
+            tmp_path / "x.bundle.2.tmp",
+        ]
+        for path in stale:
+            path.write_bytes(b"stale")
+        removed = sweep_stale_tmp(target)
+        assert sorted(removed) == sorted(stale)
+        assert sweep_stale_tmp(target) == []
+
+
+class TestSelectPrunable:
+    def test_drops_all_but_newest_k(self):
+        from repro.persistence import select_prunable
+
+        items = ["a", "b", "c", "d", "e"]
+        assert select_prunable(items, 2) == ["a", "b", "c"]
+        assert select_prunable(items, 5) == []
+        assert select_prunable(items, 9) == []
+        assert select_prunable(items, 0) == items
+        assert select_prunable([], 3) == []
+
+    def test_negative_keep_rejected(self):
+        from repro.persistence import select_prunable
+
+        with pytest.raises(PersistenceError, match="keep"):
+            select_prunable(["a"], -1)
+
+
+class TestAdaptiveOptimizerRecovery:
+    def test_accumulators_restore_bit_identical_step(self, tmp_path):
+        """Adam's per-weight moment accumulators survive the bundle
+        round-trip and the next SGD step matches bit for bit."""
+        import pickle
+
+        generator, pipeline, model, optimizer = fitted_url_parts()
+        path = save_bundle(
+            tmp_path / "adaptive.bundle", pipeline, model, optimizer
+        )
+        restored = load_bundle(path)
+        assert pickle.dumps(restored.optimizer.state_dict()) == (
+            pickle.dumps(optimizer.state_dict())
+        )
+
+        next_chunk = generator.chunk(2)
+        features = pipeline.transform_to_features(next_chunk)
+        SGDTrainer(model, optimizer).step(
+            features.matrix, features.labels
+        )
+        restored_features = restored.pipeline.transform_to_features(
+            next_chunk
+        )
+        SGDTrainer(restored.model, restored.optimizer).step(
+            restored_features.matrix, restored_features.labels
+        )
+        assert (
+            restored.model.params_vector().tobytes()
+            == model.params_vector().tobytes()
+        )
+        # a second step stays locked too (the accumulators keep pace)
+        SGDTrainer(model, optimizer).step(
+            features.matrix, features.labels
+        )
+        SGDTrainer(restored.model, restored.optimizer).step(
+            restored_features.matrix, restored_features.labels
+        )
+        assert (
+            restored.model.params_vector().tobytes()
+            == model.params_vector().tobytes()
+        )

@@ -211,3 +211,51 @@ class TestDynamicSchedulerBurstyLoad:
         assert a.next_training_time == pytest.approx(
             b.next_training_time
         )
+
+
+class TestSchedulerStateRoundTrip:
+    def drive(self, scheduler, start=0):
+        """A deterministic load pattern; returns the decision trace."""
+        decisions = []
+        now = float(start)
+        for chunk in range(start, start + 12):
+            scheduler.record_predictions(20, 0.04 * (1 + chunk % 3))
+            fire = scheduler.should_train(chunk, now)
+            decisions.append(fire)
+            if fire:
+                scheduler.record_training(now, 0.5)
+            now += 1.0
+        return decisions
+
+    def test_dynamic_round_trip_reproduces_decisions(self):
+        """Restoring mid-stream continues the decision sequence the
+        uninterrupted scheduler would have produced."""
+        reference = DynamicScheduler(slack=2.5, initial_interval=2.0)
+        first_half = self.drive(reference, start=0)
+        state = reference.state_dict()
+        second_half = self.drive(reference, start=12)
+
+        resumed = DynamicScheduler(slack=2.5, initial_interval=2.0)
+        resumed.load_state_dict(state)
+        assert self.drive(resumed, start=12) == second_half
+        assert resumed.state_dict() == reference.state_dict()
+        assert first_half.count(True) >= 1  # the pattern exercised it
+
+    def test_dynamic_state_contents(self):
+        scheduler = DynamicScheduler(slack=2.0)
+        scheduler.record_predictions(10, 0.5)
+        state = scheduler.state_dict()
+        assert state["prediction_count"] == 10
+        assert state["prediction_duration"] == 0.5
+
+    def test_static_round_trip_is_stateless(self):
+        scheduler = StaticScheduler(interval_chunks=4)
+        state = scheduler.state_dict()
+        assert state == {}
+        restored = StaticScheduler(interval_chunks=4)
+        restored.load_state_dict(state)
+        assert [
+            restored.should_train(i, now=0.0) for i in range(8)
+        ] == [
+            scheduler.should_train(i, now=0.0) for i in range(8)
+        ]

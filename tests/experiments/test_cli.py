@@ -272,3 +272,81 @@ class TestExp5Command:
         assert "blind" in out
         assert "gated" in out
         assert "gated vs blind improvement" in out
+
+
+class TestReliabilityParsers:
+    def test_run_defaults(self):
+        args = build_parser().parse_args(["run"])
+        assert args.approach == "continuous"
+        assert args.checkpoint_dir is None
+        assert args.cadence == 10
+        assert args.keep == 3
+        assert args.kill_at is None
+        assert args.sigkill_at is None
+        assert args.retry is False
+
+    def test_run_reliability_options(self):
+        args = build_parser().parse_args(
+            ["run", "--approach", "online", "--checkpoint-dir",
+             "/tmp/ck", "--cadence", "5", "--keep", "2",
+             "--kill-at", "12", "--retry"]
+        )
+        assert args.approach == "online"
+        assert args.checkpoint_dir == "/tmp/ck"
+        assert args.cadence == 5
+        assert args.keep == 2
+        assert args.kill_at == 12
+        assert args.retry is True
+
+    def test_exp6_options(self):
+        args = build_parser().parse_args(
+            ["exp6", "--kill-after", "15", "--cadences", "3", "5"]
+        )
+        assert args.kill_after == 15
+        assert args.cadences == [3, 5]
+
+    def test_recover_requires_checkpoint_dir(self):
+        with pytest.raises(SystemExit, match="checkpoint-dir"):
+            main(["recover", "--dataset", "url", "--scale", "test"])
+
+
+class TestRunRecoverCommands:
+    def test_kill_then_recover_round_trip(self, tmp_path, capsys):
+        """The CLI quick-start: crash exits 17, recover finishes."""
+        base = [
+            "--approach", "online", "--dataset", "url",
+            "--scale", "test", "--checkpoint-dir", str(tmp_path),
+            "--cadence", "4",
+        ]
+        with pytest.raises(SystemExit) as crash:
+            main(["run", *base, "--kill-at", "9"])
+        assert crash.value.code == 17
+        out = capsys.readouterr().out
+        assert "crashed: injected crash" in out
+        assert "last checkpoint at chunk 8" in out
+        assert list(tmp_path.glob("ckpt-*.ckpt"))
+
+        assert main(["recover", *base]) == 0
+        out = capsys.readouterr().out
+        assert "recovered from checkpoint at chunk 8" in out
+        assert "chunks=40" in out
+
+    def test_uninterrupted_run(self, capsys):
+        assert main(
+            ["run", "--approach", "online", "--dataset", "url",
+             "--scale", "test"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "final_error" in out
+
+
+class TestExp6Command:
+    def test_exp6_claims(self, capsys):
+        assert main(
+            ["exp6", "--dataset", "url", "--scale", "test",
+             "--cadences", "4", "13", "--kill-after", "16"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "redo_monotone=1" in out
+        assert "all_identical=1" in out
+        assert "retry_masked=1" in out

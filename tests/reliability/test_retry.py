@@ -1,0 +1,128 @@
+"""Tests for the bounded-backoff retry policy."""
+
+import pytest
+
+from repro.exceptions import ReliabilityError
+from repro.obs import Telemetry
+from repro.reliability import (
+    Retrier,
+    RetryExhausted,
+    RetryPolicy,
+    SimulatedCrash,
+    TransientFault,
+)
+
+
+def flaky(failures, exception=TransientFault):
+    """A callable that fails ``failures`` times, then returns 'ok'."""
+    state = {"remaining": failures, "calls": 0}
+
+    def fn():
+        state["calls"] += 1
+        if state["remaining"] > 0:
+            state["remaining"] -= 1
+            raise exception(f"boom #{state['calls']}")
+        return "ok"
+
+    return fn, state
+
+
+class TestRetryPolicy:
+    def test_validation(self):
+        with pytest.raises(ReliabilityError, match="max_attempts"):
+            RetryPolicy(max_attempts=0)
+        with pytest.raises(ReliabilityError, match="delays"):
+            RetryPolicy(base_delay=-0.1)
+        with pytest.raises(ReliabilityError, match="multiplier"):
+            RetryPolicy(multiplier=0.5)
+        with pytest.raises(ReliabilityError, match="jitter"):
+            RetryPolicy(jitter=1.5)
+
+    def test_backoff_grows_and_caps(self):
+        policy = RetryPolicy(
+            base_delay=0.1, multiplier=2.0, max_delay=0.5
+        )
+        assert policy.backoff(0) == pytest.approx(0.1)
+        assert policy.backoff(1) == pytest.approx(0.2)
+        assert policy.backoff(2) == pytest.approx(0.4)
+        assert policy.backoff(3) == pytest.approx(0.5)  # capped
+        assert policy.backoff(10) == pytest.approx(0.5)
+
+
+class TestRetrier:
+    def test_success_after_transient_failures(self):
+        fn, state = flaky(2)
+        retrier = Retrier(RetryPolicy(max_attempts=4, seed=1))
+        assert retrier.call(fn, site="stream.read") == "ok"
+        assert state["calls"] == 3
+        assert retrier.retries == 2
+        assert retrier.total_delay > 0.0
+
+    def test_exhaustion_chains_last_error(self):
+        fn, state = flaky(10)
+        retrier = Retrier(RetryPolicy(max_attempts=3, seed=1))
+        with pytest.raises(RetryExhausted, match="3 attempts") as info:
+            retrier.call(fn, site="storage.read")
+        assert state["calls"] == 3
+        assert isinstance(info.value.__cause__, TransientFault)
+
+    def test_simulated_crash_never_retried(self):
+        fn, state = flaky(5, exception=SimulatedCrash)
+        retrier = Retrier(RetryPolicy(max_attempts=4))
+        with pytest.raises(SimulatedCrash):
+            retrier.call(fn)
+        assert state["calls"] == 1
+        assert retrier.retries == 0
+
+    def test_non_retryable_propagates_immediately(self):
+        fn, state = flaky(5, exception=ValueError)
+        retrier = Retrier(RetryPolicy(max_attempts=4))
+        with pytest.raises(ValueError):
+            retrier.call(fn)
+        assert state["calls"] == 1
+
+    def test_plain_oserror_is_retryable_by_default(self):
+        fn, state = flaky(1, exception=OSError)
+        retrier = Retrier(RetryPolicy(max_attempts=3, seed=0))
+        assert retrier.call(fn) == "ok"
+        assert state["calls"] == 2
+
+    def test_jitter_is_deterministic_across_retriers(self):
+        policy = RetryPolicy(max_attempts=5, jitter=0.5, seed=42)
+
+        def total_delay():
+            fn, _ = flaky(3)
+            retrier = Retrier(policy)
+            retrier.call(fn)
+            return retrier.total_delay
+
+        first, second = total_delay(), total_delay()
+        assert first == second
+        assert first > 0.0
+
+    def test_delays_are_virtual_not_slept(self):
+        import time
+
+        fn, _ = flaky(3)
+        policy = RetryPolicy(
+            max_attempts=4, base_delay=5.0, max_delay=100.0, seed=0
+        )
+        retrier = Retrier(policy)
+        started = time.perf_counter()
+        retrier.call(fn)
+        assert time.perf_counter() - started < 1.0
+        assert retrier.total_delay >= 15.0  # 5 + 10 + 20 pre-jitter
+
+    def test_telemetry_counters(self):
+        telemetry = Telemetry()
+        fn, _ = flaky(2)
+        retrier = Retrier(
+            RetryPolicy(max_attempts=3, seed=0), telemetry=telemetry
+        )
+        retrier.call(fn, site="stream.read")
+        always_fails, _ = flaky(99)
+        with pytest.raises(RetryExhausted):
+            retrier.call(always_fails, site="stream.read")
+        counters = telemetry.metrics.snapshot()["counters"]
+        assert counters["reliability.retries"] == 4  # 2 + 2
+        assert counters["reliability.retries_exhausted"] == 1
