@@ -11,16 +11,20 @@ test:
 test-output:
 	pytest tests/ 2>&1 | tee test_output.txt
 
-# Uses ruff when available (what CI installs), falling back to
-# pyflakes; fails loudly when neither linter is installed.
+# Two layers: a general linter (ruff when available — what CI
+# installs — falling back to pyflakes) plus reprolint, the in-tree
+# AST invariant linter (`repro lint`, needs only the repo itself).
 lint:
 	@if command -v ruff >/dev/null 2>&1; then \
 		ruff check src tests benchmarks examples; \
 	elif command -v pyflakes >/dev/null 2>&1; then \
 		pyflakes src tests benchmarks examples; \
 	else \
-		echo "error: no linter found (pip install ruff)"; exit 1; \
+		echo "error: no general linter found (pip install ruff);" \
+		     "running reprolint only"; \
+		PYTHONPATH=src python -m repro lint; exit 1; \
 	fi
+	PYTHONPATH=src python -m repro lint
 
 bench:
 	pytest benchmarks/ --benchmark-only

@@ -1,0 +1,72 @@
+"""reprolint — the platform's AST-based invariant linter.
+
+Mechanically enforces the determinism, checkpoint, and telemetry
+contracts the deployment platform's guarantees rest on (DESIGN.md
+§9). Run it via ``repro lint``, ``make lint``, or programmatically::
+
+    from pathlib import Path
+    from repro.analysis import run_lint
+
+    result = run_lint(Path("."))
+    assert result.clean, [f.render() for f in result.findings]
+"""
+
+from repro.analysis.base import (
+    ConfigError,
+    Finding,
+    ParsedModule,
+    Reporter,
+    Rule,
+    walk_rules,
+)
+from repro.analysis.baseline import (
+    Baseline,
+    BaselineEntry,
+    load_baseline,
+    write_baseline,
+)
+from repro.analysis.config import (
+    GLOBAL_RULES,
+    LintConfig,
+    PathPolicy,
+    default_config,
+    load_config,
+)
+from repro.analysis.engine import (
+    PARSE_ERROR_RULE,
+    LintResult,
+    iter_source_files,
+    lint_file,
+    run_lint,
+)
+from repro.analysis.report import format_json, format_rules, format_text
+from repro.analysis.rulepack import ALL_RULES, RULES_BY_ID, rules_for
+
+__all__ = [
+    "ALL_RULES",
+    "Baseline",
+    "BaselineEntry",
+    "ConfigError",
+    "Finding",
+    "GLOBAL_RULES",
+    "LintConfig",
+    "LintResult",
+    "PARSE_ERROR_RULE",
+    "ParsedModule",
+    "PathPolicy",
+    "Reporter",
+    "Rule",
+    "RULES_BY_ID",
+    "default_config",
+    "format_json",
+    "format_rules",
+    "format_text",
+    "iter_source_files",
+    "lint_file",
+    "load_baseline",
+    "load_config",
+    "rules_for",
+    "run_lint",
+    "walk_rules",
+    "write_baseline",
+]

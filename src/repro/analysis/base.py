@@ -1,0 +1,226 @@
+"""Core types of the reprolint framework.
+
+reprolint is a small visitor-based AST linter that mechanically
+enforces the platform's determinism, checkpoint, and telemetry
+contracts (see ``DESIGN.md`` §9). The moving parts:
+
+* :class:`Rule` — the plugin protocol. A rule declares an id, a
+  one-line invariant, and ``visit_<NodeType>`` handler methods; the
+  engine parses each file once and dispatches every AST node to every
+  enabled rule's matching handler in a single walk.
+* :class:`ParsedModule` — one parsed source file plus the metadata
+  rules need (source lines, inline suppressions, repo-relative path).
+* :class:`Finding` — one violation, carrying a content-based
+  fingerprint so baseline entries survive unrelated line drift.
+
+Inline suppression uses ``# repro: noqa[REP001]`` (or a blanket
+``# repro: noqa``) on the offending line; the engine drops matching
+findings and reports how many were suppressed.
+"""
+
+from __future__ import annotations
+
+import ast
+import hashlib
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, FrozenSet, Iterator, List, Optional, Tuple
+
+#: ``# repro: noqa`` or ``# repro: noqa[REP001,REP005]``.
+_NOQA_RE = re.compile(
+    r"#\s*repro:\s*noqa(?:\[(?P<rules>[A-Za-z0-9_,\s]+)\])?"
+)
+
+
+class ConfigError(Exception):
+    """A broken lint configuration or baseline (CLI exit code 2)."""
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at one source location."""
+
+    rule_id: str
+    path: str  # repo-relative posix path
+    line: int  # 1-based
+    col: int  # 0-based, as ast reports it
+    message: str
+    snippet: str = ""  # stripped source line, for fingerprinting
+
+    def fingerprint(self) -> str:
+        """Content-based identity for baseline matching.
+
+        Hashes the rule, path, and the *text* of the offending line —
+        not its number — so entries survive edits elsewhere in the
+        file but go stale when the flagged code itself changes.
+        """
+        payload = f"{self.rule_id}|{self.path}|{self.snippet}"
+        return hashlib.sha256(payload.encode("utf-8")).hexdigest()[:16]
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "rule": self.rule_id,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "message": self.message,
+            "fingerprint": self.fingerprint(),
+        }
+
+    def render(self) -> str:
+        return (
+            f"{self.path}:{self.line}:{self.col + 1}: "
+            f"{self.rule_id} {self.message}"
+        )
+
+
+def _parse_suppressions(
+    source: str,
+) -> Dict[int, Optional[FrozenSet[str]]]:
+    """Map line number -> suppressed rule ids (``None`` = all rules).
+
+    Uses the tokenizer-free line scan on purpose: suppression comments
+    are line-scoped, and a regex over raw lines also catches comments
+    inside multi-line expressions where the token stream would need
+    logical-line bookkeeping.
+    """
+    table: Dict[int, Optional[FrozenSet[str]]] = {}
+    for lineno, text in enumerate(source.splitlines(), start=1):
+        match = _NOQA_RE.search(text)
+        if match is None:
+            continue
+        rules = match.group("rules")
+        if rules is None:
+            table[lineno] = None
+        else:
+            ids = frozenset(
+                part.strip().upper()
+                for part in rules.split(",")
+                if part.strip()
+            )
+            table[lineno] = ids or None
+    return table
+
+
+@dataclass
+class ParsedModule:
+    """One source file, parsed once and shared by every rule."""
+
+    path: Path
+    relpath: str  # posix, relative to the lint root
+    source: str
+    tree: ast.AST
+    lines: List[str] = field(default_factory=list)
+    suppressions: Dict[int, Optional[FrozenSet[str]]] = field(
+        default_factory=dict
+    )
+
+    @classmethod
+    def parse(cls, path: Path, relpath: str) -> "ParsedModule":
+        source = path.read_text(encoding="utf-8")
+        tree = ast.parse(source, filename=str(path))
+        return cls(
+            path=path,
+            relpath=relpath,
+            source=source,
+            tree=tree,
+            lines=source.splitlines(),
+            suppressions=_parse_suppressions(source),
+        )
+
+    def line_text(self, lineno: int) -> str:
+        if 1 <= lineno <= len(self.lines):
+            return self.lines[lineno - 1].strip()
+        return ""
+
+    def is_suppressed(self, rule_id: str, lineno: int) -> bool:
+        if lineno not in self.suppressions:
+            return False
+        ids = self.suppressions[lineno]
+        return ids is None or rule_id in ids
+
+
+class Reporter:
+    """The callback a rule uses to emit findings for one module."""
+
+    def __init__(self, rule_id: str, module: ParsedModule) -> None:
+        self.rule_id = rule_id
+        self.module = module
+        self.findings: List[Finding] = []
+        self.suppressed: List[Finding] = []
+
+    def report(self, node: ast.AST, message: str) -> None:
+        line = getattr(node, "lineno", 1)
+        col = getattr(node, "col_offset", 0)
+        finding = Finding(
+            rule_id=self.rule_id,
+            path=self.module.relpath,
+            line=line,
+            col=col,
+            message=message,
+            snippet=self.module.line_text(line),
+        )
+        if self.module.is_suppressed(self.rule_id, line):
+            self.suppressed.append(finding)
+        else:
+            self.findings.append(finding)
+
+
+class Rule:
+    """Base class of the rule plugin protocol.
+
+    Subclasses set the class attributes and implement any of:
+
+    * ``visit_<NodeType>(node, module, report)`` — called for every
+      matching node during the engine's single shared walk;
+    * ``begin_module(module, report)`` / ``end_module(module,
+      report)`` — bracketing hooks for per-file state.
+
+    ``report(node, message)`` records a finding at ``node``'s
+    location (suppressions are applied by the framework).
+    """
+
+    #: Stable identifier, e.g. ``"REP001"``.
+    rule_id: str = ""
+    #: Short human name, e.g. ``"raw-rng"``.
+    name: str = ""
+    #: One-line statement of the invariant the rule protects.
+    description: str = ""
+
+    def begin_module(self, module: ParsedModule, report) -> None:
+        """Hook: called before the walk of each file."""
+
+    def end_module(self, module: ParsedModule, report) -> None:
+        """Hook: called after the walk of each file."""
+
+    def handlers(self) -> Dict[str, object]:
+        """Map AST node-type name -> bound ``visit_*`` method."""
+        table: Dict[str, object] = {}
+        for attr in dir(self):
+            if attr.startswith("visit_"):
+                table[attr[len("visit_"):]] = getattr(self, attr)
+        return table
+
+
+def walk_rules(
+    module: ParsedModule, rules: Tuple[Rule, ...]
+) -> Iterator[Reporter]:
+    """Run ``rules`` over ``module`` in one shared AST walk.
+
+    Every rule gets its own :class:`Reporter`; handlers for the same
+    node type run in rule order. Yields the reporters (findings plus
+    suppression tallies) when the walk completes.
+    """
+    reporters = {rule.rule_id: Reporter(rule.rule_id, module) for rule in rules}
+    dispatch: Dict[str, List[Tuple[Rule, object]]] = {}
+    for rule in rules:
+        rule.begin_module(module, reporters[rule.rule_id].report)
+        for node_type, handler in rule.handlers().items():
+            dispatch.setdefault(node_type, []).append((rule, handler))
+    for node in ast.walk(module.tree):
+        for rule, handler in dispatch.get(type(node).__name__, ()):
+            handler(node, module, reporters[rule.rule_id].report)
+    for rule in rules:
+        rule.end_module(module, reporters[rule.rule_id].report)
+    yield from reporters.values()

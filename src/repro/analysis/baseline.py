@@ -1,0 +1,133 @@
+"""The committed baseline of grandfathered findings.
+
+A baseline entry suppresses exactly one finding by content
+fingerprint (rule + path + offending line text), so it goes stale —
+and stops suppressing — the moment the flagged code changes. Policy:
+the baseline stays empty or near-empty; every entry carries a
+one-line ``reason`` explaining why the finding is tolerated rather
+than fixed. New code never gets baselined — fix it or ``# repro:
+noqa[...]`` it with an inline justification.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, List, Sequence, Set, Tuple
+
+from repro.analysis.base import ConfigError, Finding
+
+FORMAT_VERSION = 1
+
+
+@dataclass(frozen=True)
+class BaselineEntry:
+    """One grandfathered finding."""
+
+    rule: str
+    path: str
+    fingerprint: str
+    reason: str
+
+    def to_dict(self) -> Dict[str, str]:
+        return {
+            "rule": self.rule,
+            "path": self.path,
+            "fingerprint": self.fingerprint,
+            "reason": self.reason,
+        }
+
+
+@dataclass(frozen=True)
+class Baseline:
+    """The parsed baseline file."""
+
+    entries: Tuple[BaselineEntry, ...] = ()
+
+    @property
+    def fingerprints(self) -> Set[str]:
+        return {entry.fingerprint for entry in self.entries}
+
+    def matches(self, finding: Finding) -> bool:
+        return finding.fingerprint() in self.fingerprints
+
+
+def load_baseline(path: Path) -> Baseline:
+    """Read ``path``; a missing file is an empty baseline.
+
+    A present-but-malformed file raises :class:`ConfigError` — silently
+    ignoring a broken baseline would un-suppress (or worse, never
+    enforce) everything without anyone noticing.
+    """
+    if not path.exists():
+        return Baseline()
+    try:
+        raw = json.loads(path.read_text(encoding="utf-8"))
+    except OSError as error:
+        raise ConfigError(f"cannot read baseline {path}: {error}") from error
+    except json.JSONDecodeError as error:
+        raise ConfigError(
+            f"baseline {path} is not valid JSON: {error}"
+        ) from error
+    if (
+        not isinstance(raw, dict)
+        or raw.get("version") != FORMAT_VERSION
+        or not isinstance(raw.get("entries"), list)
+    ):
+        raise ConfigError(
+            f"baseline {path} must be "
+            f'{{"version": {FORMAT_VERSION}, "entries": [...]}}'
+        )
+    entries: List[BaselineEntry] = []
+    for index, entry in enumerate(raw["entries"]):
+        if not isinstance(entry, dict) or not {
+            "rule",
+            "path",
+            "fingerprint",
+            "reason",
+        } <= set(entry):
+            raise ConfigError(
+                f"baseline {path} entry {index} must carry rule, "
+                "path, fingerprint, and a one-line reason"
+            )
+        if not str(entry["reason"]).strip():
+            raise ConfigError(
+                f"baseline {path} entry {index} has an empty reason; "
+                "every grandfathered finding needs a justification"
+            )
+        entries.append(
+            BaselineEntry(
+                rule=str(entry["rule"]),
+                path=str(entry["path"]),
+                fingerprint=str(entry["fingerprint"]),
+                reason=str(entry["reason"]),
+            )
+        )
+    return Baseline(entries=tuple(entries))
+
+
+def write_baseline(
+    path: Path,
+    findings: Sequence[Finding],
+    reason: str = "grandfathered by --update-baseline",
+) -> Baseline:
+    """Serialize ``findings`` as the new baseline at ``path``."""
+    entries = tuple(
+        BaselineEntry(
+            rule=finding.rule_id,
+            path=finding.path,
+            fingerprint=finding.fingerprint(),
+            reason=reason,
+        )
+        for finding in findings
+    )
+    payload = {
+        "version": FORMAT_VERSION,
+        "entries": [entry.to_dict() for entry in entries],
+    }
+    path.write_text(
+        json.dumps(payload, indent=2, sort_keys=True) + "\n",
+        encoding="utf-8",
+    )
+    return Baseline(entries=entries)

@@ -42,6 +42,15 @@ exp6`` measures checkpoint cadence vs recovery cost::
     python -m repro recover --approach continuous \
         --checkpoint-dir ./ckpt --dataset url --scale test
     python -m repro exp6 --dataset url --scale test
+
+Static analysis: ``repro lint`` runs reprolint, the AST-based
+invariant linter enforcing the determinism, checkpoint, and telemetry
+contracts (exit 0 = clean, 1 = findings, 2 = config error)::
+
+    python -m repro lint
+    python -m repro lint --format json
+    python -m repro lint --list-rules
+    python -m repro lint src/repro/serving --select REP005,REP007
 """
 
 from __future__ import annotations
@@ -256,6 +265,60 @@ def build_parser() -> argparse.ArgumentParser:
     )
     add_scenario_options(recover)
     _add_reliability_options(recover)
+
+    lint = commands.add_parser(
+        "lint",
+        help="run reprolint, the AST-based invariant linter, over "
+        "the tree (exit 0 clean / 1 findings / 2 config error)",
+    )
+    lint.add_argument(
+        "paths",
+        nargs="*",
+        default=None,
+        help="files or directories to lint (default: the configured "
+        "roots, i.e. src/)",
+    )
+    lint.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="report format (default: text)",
+    )
+    lint.add_argument(
+        "--root",
+        metavar="DIR",
+        default=".",
+        help="repository root paths are resolved against (default: .)",
+    )
+    lint.add_argument(
+        "--config",
+        metavar="PATH",
+        default=None,
+        help="JSON lint config overriding the shipped project policy",
+    )
+    lint.add_argument(
+        "--baseline",
+        metavar="PATH",
+        default=None,
+        help="baseline file overriding the configured one",
+    )
+    lint.add_argument(
+        "--select",
+        metavar="IDS",
+        default=None,
+        help="comma-separated rule ids to run (e.g. REP001,REP007)",
+    )
+    lint.add_argument(
+        "--update-baseline",
+        action="store_true",
+        help="rewrite the baseline to grandfather all current "
+        "findings (then exits 0)",
+    )
+    lint.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print the rule table and exit",
+    )
 
     exp6 = commands.add_parser(
         "exp6",
@@ -825,8 +888,10 @@ def _command_run(args: argparse.Namespace) -> None:
     if args.kill_at is not None:
         # The run fully processes kill_at chunks, then dies pulling
         # the next one.
+        from repro.reliability.sites import STREAM_READ
+
         fault_plan = FaultPlan.crash_at(
-            "stream.read", args.kill_at + 1
+            STREAM_READ, args.kill_at + 1
         )
     stream = scenario.make_stream()
     if args.sigkill_at is not None:
@@ -875,6 +940,73 @@ def _command_recover(args: argparse.Namespace) -> None:
     # No initial_fit: all fitted state comes from the checkpoint.
     result = deployment.recover(scenario.make_stream())
     _print_run_result(result, deployment)
+
+
+def _command_lint(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    from repro.analysis import (
+        ConfigError,
+        default_config,
+        format_json,
+        format_rules,
+        format_text,
+        load_baseline,
+        load_config,
+        run_lint,
+        write_baseline,
+    )
+
+    if args.list_rules:
+        print(format_rules())
+        return 0
+    root = Path(args.root)
+    try:
+        config = (
+            load_config(Path(args.config))
+            if args.config is not None
+            else default_config()
+        )
+        if args.select is not None:
+            ids = tuple(
+                part.strip().upper()
+                for part in args.select.split(",")
+                if part.strip()
+            )
+            from dataclasses import replace
+
+            config = replace(config, select=ids)
+        baseline = None
+        if args.baseline is not None:
+            baseline = load_baseline(Path(args.baseline))
+        result = run_lint(
+            root,
+            config=config,
+            paths=args.paths or None,
+            baseline=baseline,
+        )
+    except ConfigError as error:
+        print(f"reprolint: config error: {error}", file=sys.stderr)
+        return 2
+    if args.update_baseline:
+        target = Path(
+            args.baseline
+            if args.baseline is not None
+            else config.baseline or "reprolint-baseline.json"
+        )
+        if not target.is_absolute():
+            target = root / target
+        write_baseline(target, result.findings)
+        print(
+            f"baseline updated: {len(result.findings)} finding(s) "
+            f"grandfathered into {target}"
+        )
+        return 0
+    if args.format == "json":
+        print(format_json(result))
+    else:
+        print(format_text(result))
+    return result.exit_code()
 
 
 def _command_exp6(args: argparse.Namespace) -> None:
@@ -949,15 +1081,20 @@ _COMMANDS = {
     "run": _command_run,
     "recover": _command_recover,
     "exp6": _command_exp6,
+    "lint": _command_lint,
 }
 
 
 def main(argv: Optional[List[str]] = None) -> int:
-    """CLI entry point; returns a process exit code."""
+    """CLI entry point; returns a process exit code.
+
+    Commands return ``None`` for plain success; ``lint`` returns the
+    0/1/2 clean/findings/config-error contract.
+    """
     args = build_parser().parse_args(argv)
     warnings.simplefilter("ignore", ConvergenceWarning)
-    _COMMANDS[args.command](args)
-    return 0
+    code = _COMMANDS[args.command](args)
+    return 0 if code is None else int(code)
 
 
 if __name__ == "__main__":  # pragma: no cover - exercised via __main__

@@ -28,6 +28,7 @@ from repro.execution.engine import LocalExecutionEngine
 from repro.ml.models.base import LinearSGDModel
 from repro.ml.optim.base import Optimizer
 from repro.ml.sgd import TrainingResult
+from repro.obs import names
 from repro.obs.telemetry import Telemetry
 from repro.pipeline.pipeline import Pipeline
 from repro.utils.rng import SeedLike
@@ -104,7 +105,7 @@ class PeriodicalDeployment(Deployment):
             self._retrain()
 
     def _retrain(self) -> None:
-        with self.telemetry.tracer.span("platform.full_retrain") as span:
+        with self.telemetry.tracer.span(names.PLATFORM_FULL_RETRAIN) as span:
             started_at = self.engine.total_cost()
             result = self.manager.full_retrain(
                 batch_size=self.config.batch_size,

@@ -32,6 +32,7 @@ from repro.exceptions import ValidationError
 from repro.ml.models.base import LinearSGDModel
 from repro.ml.optim.base import Optimizer
 from repro.ml.sgd import TrainingResult
+from repro.obs import names
 from repro.obs.telemetry import Telemetry
 from repro.pipeline.pipeline import Pipeline
 from repro.utils.rng import SeedLike
@@ -181,7 +182,7 @@ class ThresholdRetrainingDeployment(Deployment):
 
     def _retrain(self, chunk_index: int) -> None:
         with self.telemetry.tracer.span(
-            "platform.full_retrain", chunk=chunk_index
+            names.PLATFORM_FULL_RETRAIN, chunk=chunk_index
         ) as span:
             started_at = self.engine.total_cost()
             result = self.manager.full_retrain(

@@ -32,6 +32,7 @@ from repro.data.storage import ChunkStorage
 from repro.data.table import Table
 from repro.exceptions import ReliabilityError
 from repro.execution.cost import CostModel
+from repro.obs import names
 from repro.execution.engine import LocalExecutionEngine
 from repro.ml.models.base import LinearSGDModel
 from repro.ml.optim.base import Optimizer
@@ -237,7 +238,7 @@ class ContinuousDeploymentPlatform:
         self._chunk_index += 1
         tracer = self.telemetry.tracer
         with tracer.span(
-            "platform.observe",
+            names.PLATFORM_OBSERVE,
             chunk=self._chunk_index,
             rows=table.num_rows,
         ):
@@ -253,14 +254,14 @@ class ContinuousDeploymentPlatform:
             now = self.engine.total_cost()
             fired = self.scheduler.should_train(self._chunk_index, now)
             tracer.point(
-                "scheduler.decision",
+                names.SCHEDULER_DECISION,
                 chunk=self._chunk_index,
                 fired=fired,
                 now=now,
             )
             if self.telemetry.enabled:
                 self.telemetry.metrics.counter(
-                    "scheduler.fired" if fired else "scheduler.skipped"
+                    names.SCHEDULER_FIRED if fired else names.SCHEDULER_SKIPPED
                 ).inc()
             outcome = (
                 self._run_proactive_training() if fired else None
@@ -275,7 +276,7 @@ class ContinuousDeploymentPlatform:
 
     def _run_proactive_training(self) -> ProactiveOutcome:
         with self.telemetry.tracer.span(
-            "platform.proactive_training", chunk=self._chunk_index
+            names.PLATFORM_PROACTIVE_TRAINING, chunk=self._chunk_index
         ) as span:
             started_at = self.engine.total_cost()
             samples = self.manager.sample_for_training(
@@ -304,7 +305,7 @@ class ContinuousDeploymentPlatform:
             )
             if self.telemetry.enabled:
                 self.telemetry.metrics.observe(
-                    "proactive.duration", duration
+                    names.PROACTIVE_DURATION, duration
                 )
             if self.registry is not None:
                 self._register_candidate(full_outcome)
@@ -325,7 +326,7 @@ class ContinuousDeploymentPlatform:
         )
         self.registered_versions.append(info)
         self.telemetry.tracer.point(
-            "platform.register_candidate",
+            names.PLATFORM_REGISTER_CANDIDATE,
             version=info.version,
             parent=info.parent,
             chunk=self._chunk_index,
@@ -392,7 +393,7 @@ class ContinuousDeploymentPlatform:
         # the checkpoint's own write is part of the state it saves.
         if self.telemetry.enabled:
             self.telemetry.metrics.counter(
-                "reliability.checkpoints_written"
+                names.RELIABILITY_CHECKPOINTS_WRITTEN
             ).inc()
         state = self.state_dict()
         if self.telemetry.enabled:
@@ -454,7 +455,7 @@ class ContinuousDeploymentPlatform:
             platform.telemetry.metrics.load_state_dict(metrics_state)
         platform.load_state_dict(saved.state)
         platform.telemetry.tracer.point(
-            "reliability.recovered",
+            names.RELIABILITY_RECOVERED,
             cursor=saved.cursor,
             approach=saved.approach,
         )

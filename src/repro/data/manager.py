@@ -30,7 +30,9 @@ from repro.data.sampling import Sampler, UniformSampler
 from repro.data.storage import ChunkStorage
 from repro.data.table import Table
 from repro.exceptions import SamplingError, StorageError
+from repro.obs import names
 from repro.obs.telemetry import NULL_TELEMETRY, Telemetry
+from repro.reliability.sites import STORAGE_READ
 from repro.utils.rng import SeedLike, ensure_rng
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
@@ -189,15 +191,15 @@ class DataManager:
     ) -> None:
         metrics = self.telemetry.metrics
         misses = len(chosen) - hits
-        metrics.counter("cache.hits").inc(hits)
-        metrics.counter("cache.misses").inc(misses)
-        metrics.counter("cache.rematerializations").inc(misses)
+        metrics.counter(names.CACHE_HITS).inc(hits)
+        metrics.counter(names.CACHE_MISSES).inc(misses)
+        metrics.counter(names.CACHE_REMATERIALIZATIONS).inc(misses)
         newest = max(population)
-        age_histogram = metrics.histogram("sampler.chunk_age")
+        age_histogram = metrics.histogram(names.SAMPLER_CHUNK_AGE)
         for timestamp in chosen:
             age_histogram.add(newest - timestamp)
         self.telemetry.tracer.point(
-            "cache.sample",
+            names.CACHE_SAMPLE,
             sampled=len(chosen),
             hits=hits,
             misses=misses,
@@ -210,7 +212,7 @@ class DataManager:
         if self.retrier is not None:
             raw = self.retrier.call(
                 lambda: self.storage.get_raw(stub.raw_reference),
-                site="storage.read",
+                site=STORAGE_READ,
             )
         else:
             raw = self.storage.get_raw(stub.raw_reference)

@@ -20,7 +20,9 @@ from typing import TYPE_CHECKING, Dict, List, Optional, Union
 
 from repro.data.chunk import ChunkStub, FeatureChunk, RawChunk
 from repro.exceptions import StorageError
+from repro.obs import names
 from repro.obs.metrics import MetricsRegistry
+from repro.reliability.sites import STORAGE_READ
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.reliability.faults import FaultInjector
@@ -131,7 +133,7 @@ class ChunkStorage:
         materialization relies on raw chunks being available.
         """
         if self.fault_injector is not None:
-            self.fault_injector.fire("storage.read")
+            self.fault_injector.fire(STORAGE_READ)
         try:
             return self._raw[timestamp]
         except KeyError:
@@ -313,14 +315,14 @@ class ChunkStorage:
         self.stats.features_evicted += 1
         self.stats.bytes_materialized = self._materialized_bytes
         if self._metrics is not None:
-            self._metrics.counter("cache.evictions").inc()
+            self._metrics.counter(names.CACHE_EVICTIONS).inc()
             self._update_level_gauges()
 
     def _update_level_gauges(self) -> None:
-        self._metrics.gauge("cache.materialized_chunks").set(
+        self._metrics.gauge(names.CACHE_MATERIALIZED_CHUNKS).set(
             self._materialized_count
         )
-        self._metrics.gauge("cache.materialized_bytes").set(
+        self._metrics.gauge(names.CACHE_MATERIALIZED_BYTES).set(
             self._materialized_bytes
         )
 

@@ -22,6 +22,7 @@ from repro.driftdetect.base import DriftDetector, DriftState
 from repro.execution.cost import CostModel
 from repro.ml.models.base import LinearSGDModel
 from repro.ml.optim.base import Optimizer
+from repro.obs import names
 from repro.obs.telemetry import Telemetry
 from repro.pipeline.pipeline import Pipeline
 from repro.utils.rng import SeedLike
@@ -126,13 +127,14 @@ class DriftAwareContinuousDeployment(ContinuousDeployment):
 
     def _record_drift_telemetry(self, state: DriftState) -> None:
         """Emit a ``drift.signal`` / ``drift.warning`` point event."""
-        name = (
-            "drift.signal" if state is DriftState.DRIFT else "drift.warning"
-        )
+        if state is DriftState.DRIFT:
+            event, counter = names.DRIFT_SIGNAL, names.DRIFT_SIGNALS
+        else:
+            event, counter = names.DRIFT_WARNING, names.DRIFT_WARNINGS
         self.telemetry.tracer.point(
-            name, chunk=self._chunk_index + 1, state=state.name
+            event, chunk=self._chunk_index + 1, state=state.name
         )
-        self.telemetry.metrics.counter(f"{name}s").inc()
+        self.telemetry.metrics.counter(counter).inc()
 
     def _observe(self, table, chunk_index: int) -> None:
         self._chunk_index = chunk_index

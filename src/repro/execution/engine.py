@@ -25,6 +25,7 @@ import scipy.sparse as sp
 from repro.execution.cost import CostModel, CostTracker
 from repro.ml.models.base import LinearSGDModel, Matrix
 from repro.ml.sgd import SGDTrainer, TrainingResult
+from repro.obs import names
 from repro.obs.telemetry import NULL_TELEMETRY, Telemetry
 from repro.pipeline.component import Batch, Features, PipelineComponent
 from repro.pipeline.pipeline import Pipeline
@@ -78,7 +79,7 @@ class LocalExecutionEngine:
                     batch, self.tracker
                 )
         with self._obs.tracer.span(
-            "engine.online_pass",
+            names.ENGINE_ONLINE_PASS,
             values=PipelineComponent.batch_num_values(batch),
         ):
             with self.wall:
@@ -92,7 +93,7 @@ class LocalExecutionEngine:
             with self.wall:
                 return pipeline.transform_to_features(batch, self.tracker)
         with self._obs.tracer.span(
-            "engine.transform_only",
+            names.ENGINE_TRANSFORM_ONLY,
             values=PipelineComponent.batch_num_values(batch),
         ):
             with self.wall:
@@ -105,7 +106,7 @@ class LocalExecutionEngine:
             with self.wall:
                 return pipeline.transform(batch, self.tracker)
         with self._obs.tracer.span(
-            "engine.serve_transform",
+            names.ENGINE_SERVE_TRANSFORM,
             values=PipelineComponent.batch_num_values(batch),
         ):
             with self.wall:
@@ -125,7 +126,7 @@ class LocalExecutionEngine:
             with self.wall:
                 return trainer.step(features, targets, self.tracker)
         with self._obs.tracer.span(
-            "engine.train_step", values=_matrix_values(features)
+            names.ENGINE_TRAIN_STEP, values=_matrix_values(features)
         ):
             with self.wall:
                 return trainer.step(features, targets, self.tracker)
@@ -153,7 +154,7 @@ class LocalExecutionEngine:
                     tracker=self.tracker,
                 )
         with self._obs.tracer.span(
-            "engine.train_full", values=_matrix_values(features)
+            names.ENGINE_TRAIN_FULL, values=_matrix_values(features)
         ) as span:
             with self.wall:
                 result = trainer.train(
@@ -188,7 +189,7 @@ class LocalExecutionEngine:
                 predictions = model.predict(features)
                 self.tracker.charge_prediction(values, "predict")
             return predictions
-        with self._obs.tracer.span("engine.predict", values=values):
+        with self._obs.tracer.span(names.ENGINE_PREDICT, values=values):
             with self.wall:
                 predictions = model.predict(features)
                 self.tracker.charge_prediction(values, "predict")
@@ -202,7 +203,7 @@ class LocalExecutionEngine:
         self.tracker.charge_disk_read(values, chunks=1, label=label)
         if self._obs is not None:
             self._obs.tracer.point(
-                "engine.read_chunk", values=values, label=label
+                names.ENGINE_READ_CHUNK, values=values, label=label
             )
 
     def total_cost(self) -> float:

@@ -33,6 +33,7 @@ from repro.core.deployment.base import DeploymentResult
 from repro.exceptions import ReliabilityError
 from repro.experiments.common import Scenario, make_deployment
 from repro.reliability import (
+    STREAM_READ,
     CheckpointConfig,
     FaultPlan,
     FaultSpec,
@@ -128,7 +129,7 @@ def run_cadence_sweep(
                     approach,
                     checkpoint=config,
                     fault_plan=FaultPlan.crash_at(
-                        "stream.read", kill_after_chunks + 1
+                        STREAM_READ, kill_after_chunks + 1
                     ),
                 ),
             )
@@ -169,7 +170,7 @@ def run_retry_demo(
     """Same transient fault plan, with and without a retry policy."""
     plan = FaultPlan.of(
         *(
-            FaultSpec("stream.read", occurrence, "io_error")
+            FaultSpec(STREAM_READ, occurrence, "io_error")
             for occurrence in occurrences
         )
     )

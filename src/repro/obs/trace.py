@@ -30,6 +30,7 @@ from dataclasses import dataclass, field
 from typing import Callable, Dict, Optional
 
 from repro.obs.metrics import MetricsRegistry
+from repro.obs import names
 from repro.obs.sink import EventSink
 
 #: JSONL event schema, shared by every sink and the ``repro obs`` CLI:
@@ -189,7 +190,7 @@ class Tracer:
             )
         )
         if self.metrics is not None:
-            self.metrics.histogram(f"span.{name}").add(dur)
+            self.metrics.histogram(names.SPAN_PREFIX + name).add(dur)
 
     def emit_metrics(self, snapshot: Dict[str, object]) -> None:
         """Emit a ``metrics`` event carrying a registry snapshot."""

@@ -16,7 +16,7 @@ from typing import Sequence
 import numpy as np
 
 from repro.data.table import Table
-from repro.exceptions import PipelineError, ValidationError
+from repro.exceptions import NotFittedError, PipelineError, ValidationError
 from repro.pipeline.component import Batch, ComponentKind, PipelineComponent
 from repro.pipeline.statistics import (
     RunningMinMax,
@@ -150,7 +150,7 @@ class MinMaxScaler(_ColumnwiseScaler):
     def _seen(self) -> bool:
         try:
             self._extrema.minimum()
-        except Exception:
+        except NotFittedError:
             return False
         return True
 

@@ -47,8 +47,18 @@ from repro.reliability.retry import (
     RetryPolicy,
 )
 from repro.reliability.runtime import RecoveryInfo, ReliabilityRuntime
+from repro.reliability.sites import (
+    CHECKPOINT_WRITE,
+    STORAGE_READ,
+    STREAM_READ,
+    is_known_site,
+)
 
 __all__ = [
+    "CHECKPOINT_WRITE",
+    "STORAGE_READ",
+    "STREAM_READ",
+    "is_known_site",
     "CHECKPOINT_MAGIC",
     "CheckpointConfig",
     "CheckpointStore",

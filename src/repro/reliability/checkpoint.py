@@ -42,12 +42,21 @@ import json
 import weakref
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Any, Dict, List, Optional, Set, Tuple, Union
+from typing import (
+    TYPE_CHECKING,
+    Any,
+    Dict,
+    List,
+    Optional,
+    Set,
+    Tuple,
+    Union,
+)
 
 from repro.data.chunk import ChunkStub, FeatureChunk, RawChunk
-from repro.data.storage import ChunkStorage
 from repro.exceptions import ReliabilityError
 from repro.obs.telemetry import NULL_TELEMETRY, Telemetry
+from repro.obs import names
 from repro.persistence import (
     DeploymentBundle,
     PathLike,
@@ -59,7 +68,11 @@ from repro.persistence import (
 )
 from repro.reliability.faults import FaultInjector
 from repro.reliability.retry import Retrier
+from repro.reliability.sites import CHECKPOINT_WRITE
 from repro.utils.validation import check_positive_int
+
+if TYPE_CHECKING:  # import cycle: data.storage fires sites from here
+    from repro.data.storage import ChunkStorage
 
 #: File magic identifying a platform checkpoint.
 CHECKPOINT_MAGIC = b"REPRO-CKPT-1\n"
@@ -208,21 +221,21 @@ class CheckpointStore:
 
         def attempt() -> Path:
             if self.fault_injector is not None:
-                self.fault_injector.fire("checkpoint.write")
+                self.fault_injector.fire(CHECKPOINT_WRITE)
                 data = self.fault_injector.corrupt(
-                    "checkpoint.write", blob
+                    CHECKPOINT_WRITE, blob
                 )
             else:
                 data = blob
             return atomic_write_bytes(path, data)
 
         if self.retrier is not None:
-            self.retrier.call(attempt, site="checkpoint.write")
+            self.retrier.call(attempt, site=CHECKPOINT_WRITE)
         else:
             attempt()
         if self.telemetry.enabled:
             self.telemetry.tracer.point(
-                "reliability.checkpoint_written",
+                names.RELIABILITY_CHECKPOINT_WRITTEN,
                 cursor=checkpoint.cursor,
                 bytes=len(blob),
                 path=str(path),
@@ -311,7 +324,7 @@ class CheckpointStore:
             except PersistenceError as error:
                 if self.telemetry.enabled:
                     self.telemetry.tracer.point(
-                        "reliability.checkpoint_corrupt",
+                        names.RELIABILITY_CHECKPOINT_CORRUPT,
                         path=str(path),
                         error=str(error),
                     )

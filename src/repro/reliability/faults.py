@@ -33,10 +33,13 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.exceptions import ReliabilityError
 from repro.obs.telemetry import NULL_TELEMETRY, Telemetry
+from repro.obs import names
+from repro.reliability import sites
 from repro.utils.rng import SeedLike, ensure_rng
 
-#: The sites the platform instruments.
-KNOWN_SITES = ("stream.read", "storage.read", "checkpoint.write")
+#: The sites the platform instruments (see
+#: :mod:`repro.reliability.sites`, the canonical vocabulary).
+KNOWN_SITES = sites.KNOWN_SITES
 
 #: Valid fault kinds.
 KINDS = ("crash", "io_error", "corrupt")
@@ -226,10 +229,10 @@ class FaultInjector:
         self.fired.append(FiredFault(site, occurrence, kind))
         if self.telemetry.enabled:
             self.telemetry.metrics.counter(
-                "reliability.faults_injected"
+                names.RELIABILITY_FAULTS_INJECTED
             ).inc()
             self.telemetry.tracer.point(
-                "reliability.fault",
+                names.RELIABILITY_FAULT,
                 site=site,
                 occurrence=occurrence,
                 kind=kind,

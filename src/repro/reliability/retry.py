@@ -20,6 +20,7 @@ from typing import Callable, Optional, Tuple, Type, TypeVar
 
 from repro.exceptions import ReliabilityError
 from repro.obs.telemetry import NULL_TELEMETRY, Telemetry
+from repro.obs import names
 from repro.reliability.faults import SimulatedCrash, TransientFault
 from repro.utils.rng import SeedLike, ensure_rng
 
@@ -128,17 +129,17 @@ class Retrier:
                 self.retries += 1
                 if self.telemetry.enabled:
                     self.telemetry.metrics.counter(
-                        "reliability.retries"
+                        names.RELIABILITY_RETRIES
                     ).inc()
                     self.telemetry.tracer.point(
-                        "reliability.retry",
+                        names.RELIABILITY_RETRY,
                         site=site,
                         attempt=attempt + 1,
                         delay=delay,
                     )
         if self.telemetry.enabled:
             self.telemetry.metrics.counter(
-                "reliability.retries_exhausted"
+                names.RELIABILITY_RETRIES_EXHAUSTED
             ).inc()
         raise RetryExhausted(
             f"{site!r} failed after {self.policy.max_attempts} "

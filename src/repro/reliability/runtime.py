@@ -29,6 +29,7 @@ from dataclasses import dataclass
 from typing import Any, Iterator, Optional, Union
 
 from repro.obs.telemetry import NULL_TELEMETRY, Telemetry
+from repro.obs import names
 from repro.reliability.checkpoint import (
     CheckpointConfig,
     CheckpointStore,
@@ -37,6 +38,7 @@ from repro.reliability.checkpoint import (
 )
 from repro.reliability.faults import FaultInjector, FaultPlan
 from repro.reliability.retry import Retrier, RetryPolicy
+from repro.reliability.sites import STREAM_READ
 from repro.utils.validation import check_positive_int
 
 
@@ -102,13 +104,13 @@ class ReliabilityRuntime:
             return next(iterator)
 
         def attempt() -> Any:
-            self.injector.fire("stream.read")
+            self.injector.fire(STREAM_READ)
             return next(iterator)
 
         if self.retrier is None:
             return attempt()
         return self.retrier.call(
-            attempt, site="stream.read", retryable=self._retryable()
+            attempt, site=STREAM_READ, retryable=self._retryable()
         )
 
     @staticmethod
@@ -155,7 +157,7 @@ class ReliabilityRuntime:
         """
         if self.telemetry.enabled:
             self.telemetry.metrics.counter(
-                "reliability.checkpoints_written"
+                names.RELIABILITY_CHECKPOINTS_WRITTEN
             ).inc()
 
     def mark_recovered(self, checkpoint: PlatformCheckpoint) -> None:
@@ -165,7 +167,7 @@ class ReliabilityRuntime:
         )
         if self.telemetry.enabled:
             self.telemetry.tracer.point(
-                "reliability.recovered",
+                names.RELIABILITY_RECOVERED,
                 cursor=checkpoint.cursor,
                 approach=checkpoint.approach,
             )

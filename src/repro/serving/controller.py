@@ -32,6 +32,7 @@ from typing import Dict, List, Optional
 
 from repro.exceptions import ServingError
 from repro.obs.telemetry import NULL_TELEMETRY, Telemetry
+from repro.obs import names
 from repro.serving.endpoint import ServedBatch, ServingEndpoint
 from repro.serving.gate import (
     BaselineMonitor,
@@ -236,8 +237,8 @@ class RolloutController:
         entry: Dict[str, object] = {"action": action, **attrs}
         self.log.append(entry)
         if self.telemetry.enabled:
-            self.telemetry.tracer.point(f"rollout.{action}", **attrs)
-            self.telemetry.metrics.counter(f"rollout.{action}").inc()
+            self.telemetry.tracer.point(names.ROLLOUT_PREFIX + action, **attrs)
+            self.telemetry.metrics.counter(names.ROLLOUT_PREFIX + action).inc()
 
     def __repr__(self) -> str:
         return (

@@ -30,6 +30,7 @@ from repro.exceptions import ServingError
 from repro.execution.cost import CostModel
 from repro.execution.engine import LocalExecutionEngine
 from repro.obs.telemetry import NULL_TELEMETRY, Telemetry
+from repro.obs import names
 from repro.persistence import DeploymentBundle
 from repro.serving.registry import ModelRegistry
 from repro.serving.routing import derive_routing_seed, route_mask, row_keys
@@ -179,7 +180,7 @@ class ServingEndpoint:
         self._fraction = fraction if mode == "canary" else 0.0
         if self.telemetry.enabled:
             self.telemetry.tracer.point(
-                "serving.attach",
+                names.SERVING_ATTACH,
                 version=version,
                 mode=mode,
                 fraction=self._fraction,
@@ -240,17 +241,17 @@ class ServingEndpoint:
                 primary_labels=labels,
             )
         if self.telemetry.enabled:
-            self.telemetry.metrics.counter("serving.batches").inc()
-            self.telemetry.metrics.counter("serving.rows").inc(
+            self.telemetry.metrics.counter(names.SERVING_BATCHES).inc()
+            self.telemetry.metrics.counter(names.SERVING_ROWS).inc(
                 table.num_rows
             )
             if served.mode == "canary":
                 self.telemetry.metrics.counter(
-                    "serving.canary_rows"
+                    names.SERVING_CANARY_ROWS
                 ).inc(len(served.candidate_predictions))
             elif served.mode == "shadow":
                 self.telemetry.metrics.counter(
-                    "serving.shadow_rows"
+                    names.SERVING_SHADOW_ROWS
                 ).inc(len(served.candidate_predictions))
         return served
 

@@ -39,6 +39,7 @@ from repro.exceptions import ServingError
 from repro.ml.models.base import LinearSGDModel
 from repro.ml.optim.base import Optimizer
 from repro.obs.telemetry import NULL_TELEMETRY, Telemetry
+from repro.obs import names
 from repro.persistence import (
     DeploymentBundle,
     PathLike,
@@ -380,8 +381,8 @@ class ModelRegistry:
         entry: Dict[str, object] = {"event": event, **attrs}
         self._transitions.append(entry)
         if self.telemetry.enabled:
-            self.telemetry.tracer.point(f"registry.{event}", **attrs)
-            self.telemetry.metrics.counter(f"registry.{event}").inc()
+            self.telemetry.tracer.point(names.REGISTRY_PREFIX + event, **attrs)
+            self.telemetry.metrics.counter(names.REGISTRY_PREFIX + event).inc()
 
     def __repr__(self) -> str:
         return (

@@ -1,0 +1,217 @@
+"""The reprolint fixture corpus.
+
+One (flagging, clean, noqa-suppressed) source triple per rule, kept
+as strings so the deliberately-bad fixture code never reaches the
+general linters (ruff/pyflakes) that sweep ``tests/``. The test
+harness writes each snippet to a temp file and lints it with exactly
+one rule selected.
+"""
+
+from __future__ import annotations
+
+from textwrap import dedent
+from typing import Dict, Tuple
+
+#: (rule id, variant) -> source. Variants: flag / clean / noqa.
+CORPUS: Dict[Tuple[str, str], str] = {}
+
+
+def _add(rule: str, flag: str, clean: str, noqa: str) -> None:
+    CORPUS[(rule, "flag")] = dedent(flag)
+    CORPUS[(rule, "clean")] = dedent(clean)
+    CORPUS[(rule, "noqa")] = dedent(noqa)
+
+
+_add(
+    "REP001",
+    flag="""\
+    import numpy as np
+
+    def jitter(n):
+        return np.random.default_rng(0).normal(size=n)
+    """,
+    clean="""\
+    from repro.utils.rng import ensure_rng
+
+    def jitter(n, seed=None):
+        return ensure_rng(seed).normal(size=n)
+    """,
+    noqa="""\
+    import numpy as np
+
+    def jitter(n):
+        return np.random.default_rng(0).normal(size=n)  # repro: noqa[REP001]
+    """,
+)
+
+_add(
+    "REP002",
+    flag="""\
+    import time
+
+    def stamp():
+        return time.time()
+    """,
+    clean="""\
+    def stamp(engine):
+        return engine.total_cost()
+    """,
+    noqa="""\
+    import time
+
+    def stamp():
+        return time.time()  # repro: noqa[REP002]
+    """,
+)
+
+_add(
+    "REP003",
+    flag="""\
+    class HalfPersistent:
+        def state_dict(self):
+            return {"cursor": self.cursor}
+    """,
+    clean="""\
+    class Persistent:
+        def state_dict(self):
+            return {"cursor": self.cursor}
+
+        def load_state_dict(self, state):
+            self.cursor = state["cursor"]
+    """,
+    noqa="""\
+    class HalfPersistent:
+        def state_dict(self):  # repro: noqa[REP003]
+            return {"cursor": self.cursor}
+    """,
+)
+
+_add(
+    "REP004",
+    flag="""\
+    class Skewed:
+        def state_dict(self):
+            return {"cursor": self.cursor, "extra": 1}
+
+        def load_state_dict(self, state):
+            self.cursor = state["cursor"]
+            self.other = state["missing"]
+    """,
+    clean="""\
+    class Symmetric:
+        def state_dict(self):
+            return {"cursor": self.cursor, "total": self.total}
+
+        def load_state_dict(self, state):
+            self.cursor = state["cursor"]
+            self.total = state.get("total", 0.0)
+    """,
+    # One noqa per asymmetric side: REP004 reports the saved-but-never-
+    # read key at state_dict and the read-but-never-saved key at
+    # load_state_dict.
+    noqa="""\
+    class Skewed:
+        def state_dict(self):  # repro: noqa[REP004]
+            return {"cursor": self.cursor, "extra": 1}
+
+        def load_state_dict(self, state):  # repro: noqa[REP004]
+            self.cursor = state["cursor"]
+            self.other = state["missing"]
+    """,
+)
+
+_add(
+    "REP005",
+    flag="""\
+    def record(telemetry):
+        telemetry.metrics.counter("cache.bogus_event").inc()
+        telemetry.tracer.point("camelCaseName", x=1)
+    """,
+    clean="""\
+    from repro.obs import names
+
+    def record(telemetry):
+        telemetry.metrics.counter(names.CACHE_HITS).inc()
+        telemetry.tracer.point(names.SCHEDULER_DECISION, x=1)
+        telemetry.tracer.point(names.ROLLOUT_PREFIX + "promote", x=1)
+    """,
+    noqa="""\
+    def record(telemetry):
+        telemetry.metrics.counter("cache.bogus_event").inc()  # repro: noqa[REP005]
+        telemetry.tracer.point("camelCaseName", x=1)  # repro: noqa
+    """,
+)
+
+_add(
+    "REP006",
+    flag="""\
+    def hammer(injector):
+        injector.fire("stream.reed")
+    """,
+    clean="""\
+    from repro.reliability.sites import STREAM_READ
+
+    def hammer(injector):
+        injector.fire(STREAM_READ)
+        injector.fire("storage.read")
+    """,
+    noqa="""\
+    def hammer(injector):
+        injector.fire("stream.reed")  # repro: noqa[REP006]
+    """,
+)
+
+_add(
+    "REP007",
+    flag="""\
+    def swallow(op):
+        try:
+            return op()
+        except Exception:
+            return None
+    """,
+    # A blind handler that re-raises (error translation) is allowed;
+    # so is catching a specific type.
+    clean="""\
+    def translate(op):
+        try:
+            return op()
+        except ValueError as error:
+            raise RuntimeError("bad value") from error
+    """,
+    noqa="""\
+    def swallow(op):
+        try:
+            return op()
+        except Exception:  # repro: noqa[REP007]
+            return None
+    """,
+)
+
+_add(
+    "REP008",
+    flag="""\
+    def accumulate(value, into=[]):
+        if value == 0.125:
+            into.append(value)
+        return into
+    """,
+    clean="""\
+    import math
+
+    def accumulate(value, into=None):
+        into = [] if into is None else into
+        if math.isclose(value, 0.125):
+            into.append(value)
+        return into
+    """,
+    noqa="""\
+    def accumulate(value, into=[]):  # repro: noqa[REP008]
+        if value == 0.125:  # repro: noqa[REP008]
+            into.append(value)
+        return into
+    """,
+)
+
+#: Rule ids covered by the corpus (all shipped rules).
+RULE_IDS = sorted({rule for rule, _ in CORPUS})

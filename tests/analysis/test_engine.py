@@ -1,0 +1,181 @@
+"""Engine, config, and baseline behaviour of reprolint."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.analysis import (
+    ConfigError,
+    LintConfig,
+    PathPolicy,
+    default_config,
+    load_baseline,
+    load_config,
+    run_lint,
+    write_baseline,
+)
+from repro.analysis.engine import PARSE_ERROR_RULE
+
+BAD_RNG = "import numpy as np\nx = np.random.rand(3)\n"
+BAD_CLOCK = "import time\nnow = time.time()\n"
+
+
+def _tree(tmp_path, files):
+    for relpath, source in files.items():
+        target = tmp_path / relpath
+        target.parent.mkdir(parents=True, exist_ok=True)
+        target.write_text(source, encoding="utf-8")
+
+
+def test_per_path_policies_scope_rules(tmp_path):
+    _tree(
+        tmp_path,
+        {
+            "src/core/clock.py": BAD_CLOCK,
+            "src/util/clock.py": BAD_CLOCK,
+        },
+    )
+    config = LintConfig(
+        roots=("src",),
+        select=(),
+        per_path=(PathPolicy("src/core/*", enable=("REP002",)),),
+        baseline=None,
+    )
+    result = run_lint(tmp_path, config=config)
+    assert [f.path for f in result.findings] == ["src/core/clock.py"]
+
+
+def test_policy_disable_wins_over_select(tmp_path):
+    _tree(tmp_path, {"src/gen.py": BAD_RNG})
+    config = LintConfig(
+        roots=("src",),
+        select=("REP001",),
+        per_path=(PathPolicy("src/gen.py", disable=("REP001",)),),
+        baseline=None,
+    )
+    assert run_lint(tmp_path, config=config).clean
+
+
+def test_unknown_rule_id_is_a_config_error():
+    with pytest.raises(ConfigError):
+        LintConfig(select=("REP999",))
+    with pytest.raises(ConfigError):
+        LintConfig(per_path=(PathPolicy("*", enable=("NOPE",)),))
+
+
+def test_syntax_error_reports_rep000(tmp_path):
+    _tree(tmp_path, {"src/broken.py": "def nope(:\n"})
+    config = LintConfig(roots=("src",), select=("REP001",), baseline=None)
+    result = run_lint(tmp_path, config=config)
+    assert [f.rule_id for f in result.findings] == [PARSE_ERROR_RULE]
+
+
+def test_missing_explicit_target_is_a_config_error(tmp_path):
+    config = LintConfig(roots=(".",), baseline=None)
+    with pytest.raises(ConfigError):
+        run_lint(tmp_path, config=config, paths=["nothing_here.py"])
+
+
+def test_excluded_paths_are_skipped(tmp_path):
+    _tree(tmp_path, {"src/vendored/gen.py": BAD_RNG})
+    config = LintConfig(
+        roots=("src",),
+        select=("REP001",),
+        exclude=("*vendored*",),
+        baseline=None,
+    )
+    result = run_lint(tmp_path, config=config)
+    assert result.clean and result.files_scanned == 0
+
+
+def test_baseline_filters_matching_findings_only(tmp_path):
+    _tree(tmp_path, {"src/gen.py": BAD_RNG})
+    config = LintConfig(roots=("src",), select=("REP001",), baseline=None)
+    first = run_lint(tmp_path, config=config)
+    assert len(first.findings) == 1
+    baseline_path = tmp_path / "baseline.json"
+    write_baseline(baseline_path, first.findings, reason="legacy generator")
+    config = LintConfig(
+        roots=("src",), select=("REP001",), baseline="baseline.json"
+    )
+    second = run_lint(tmp_path, config=config)
+    assert second.clean
+    assert len(second.baselined) == 1
+    # Changing the flagged line invalidates the grandfathering.
+    _tree(tmp_path, {"src/gen.py": "import numpy as np\ny = np.random.rand(9)\n"})
+    third = run_lint(tmp_path, config=config)
+    assert not third.clean
+
+
+def test_baseline_without_reason_is_rejected(tmp_path):
+    payload = {
+        "version": 1,
+        "entries": [
+            {"rule": "REP001", "path": "x.py", "fingerprint": "ab", "reason": ""}
+        ],
+    }
+    target = tmp_path / "baseline.json"
+    target.write_text(json.dumps(payload), encoding="utf-8")
+    with pytest.raises(ConfigError):
+        load_baseline(target)
+
+
+def test_malformed_baseline_is_a_config_error(tmp_path):
+    target = tmp_path / "baseline.json"
+    target.write_text("not json", encoding="utf-8")
+    with pytest.raises(ConfigError):
+        load_baseline(target)
+    target.write_text(json.dumps({"version": 99, "entries": []}))
+    with pytest.raises(ConfigError):
+        load_baseline(target)
+
+
+def test_missing_baseline_file_is_empty(tmp_path):
+    assert load_baseline(tmp_path / "nope.json").entries == ()
+
+
+def test_load_config_round_trip(tmp_path):
+    raw = {
+        "roots": ["src"],
+        "select": ["REP001", "REP007"],
+        "per_path": [{"pattern": "src/core/*", "enable": ["REP002"]}],
+        "exclude": ["*skip*"],
+        "baseline": None,
+    }
+    target = tmp_path / "lint.json"
+    target.write_text(json.dumps(raw), encoding="utf-8")
+    config = load_config(target)
+    assert config.select == ("REP001", "REP007")
+    assert config.rules_for_path("src/core/x.py") == (
+        "REP001",
+        "REP002",
+        "REP007",
+    )
+    assert config.baseline is None
+
+
+def test_load_config_rejects_unknown_fields(tmp_path):
+    target = tmp_path / "lint.json"
+    target.write_text(json.dumps({"rulez": []}), encoding="utf-8")
+    with pytest.raises(ConfigError):
+        load_config(target)
+    target.write_text(json.dumps({"per_path": [{"enable": []}]}))
+    with pytest.raises(ConfigError):
+        load_config(target)
+    target.write_text("{broken", encoding="utf-8")
+    with pytest.raises(ConfigError):
+        load_config(target)
+
+
+def test_default_config_scopes_match_the_declared_policy():
+    config = default_config()
+    assert "REP002" in config.rules_for_path("src/repro/core/scheduler.py")
+    assert "REP002" in config.rules_for_path("src/repro/execution/cost.py")
+    assert "REP002" not in config.rules_for_path("src/repro/obs/trace.py")
+    assert "REP007" in config.rules_for_path("src/repro/serving/registry.py")
+    assert "REP007" not in config.rules_for_path("src/repro/io/csvio.py")
+    assert "REP008" in config.rules_for_path("src/repro/ml/sgd.py")
+    assert "REP001" not in config.rules_for_path("src/repro/utils/rng.py")
+    assert "REP001" in config.rules_for_path("src/repro/utils/timer.py")

@@ -1,0 +1,68 @@
+"""Per-rule corpus tests: each rule flags, passes, and respects noqa."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import LintConfig, run_lint
+from tests.analysis.corpus import CORPUS, RULE_IDS
+
+
+def _lint_snippet(tmp_path, rule_id, source):
+    target = tmp_path / "snippet.py"
+    target.write_text(source, encoding="utf-8")
+    config = LintConfig(
+        roots=(".",), select=(rule_id,), per_path=(), baseline=None
+    )
+    return run_lint(tmp_path, config=config, paths=["snippet.py"])
+
+
+def test_corpus_covers_every_shipped_rule():
+    from repro.analysis import RULES_BY_ID
+
+    assert RULE_IDS == sorted(RULES_BY_ID)
+
+
+@pytest.mark.parametrize("rule_id", RULE_IDS)
+def test_rule_flags_the_bad_case(tmp_path, rule_id):
+    result = _lint_snippet(tmp_path, rule_id, CORPUS[(rule_id, "flag")])
+    assert result.findings, f"{rule_id} missed its flagging fixture"
+    assert all(f.rule_id == rule_id for f in result.findings)
+    assert not result.suppressed
+
+
+@pytest.mark.parametrize("rule_id", RULE_IDS)
+def test_rule_passes_the_clean_case(tmp_path, rule_id):
+    result = _lint_snippet(tmp_path, rule_id, CORPUS[(rule_id, "clean")])
+    assert result.clean, [f.render() for f in result.findings]
+
+
+@pytest.mark.parametrize("rule_id", RULE_IDS)
+def test_rule_respects_noqa_suppression(tmp_path, rule_id):
+    flagged = _lint_snippet(tmp_path, rule_id, CORPUS[(rule_id, "flag")])
+    result = _lint_snippet(tmp_path, rule_id, CORPUS[(rule_id, "noqa")])
+    assert result.clean, [f.render() for f in result.findings]
+    # The suppression actually swallowed the same violations the flag
+    # variant raises, rather than the rule going silent.
+    assert len(result.suppressed) == len(flagged.findings)
+    assert all(f.rule_id == rule_id for f in result.suppressed)
+
+
+def test_noqa_for_a_different_rule_does_not_suppress(tmp_path):
+    source = CORPUS[("REP007", "flag")].replace(
+        "except Exception:", "except Exception:  # repro: noqa[REP001]"
+    )
+    result = _lint_snippet(tmp_path, "REP007", source)
+    assert not result.clean
+
+
+def test_findings_carry_stable_fingerprints(tmp_path):
+    source = CORPUS[("REP001", "flag")]
+    first = _lint_snippet(tmp_path, "REP001", source)
+    # Unrelated edits above the finding do not move the fingerprint.
+    shifted = "# a new leading comment\n" + source
+    second = _lint_snippet(tmp_path, "REP001", shifted)
+    assert [f.fingerprint() for f in first.findings] == [
+        f.fingerprint() for f in second.findings
+    ]
+    assert first.findings[0].line != second.findings[0].line
