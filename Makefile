@@ -1,6 +1,7 @@
 # Convenience targets for the repro library.
 
-.PHONY: install test lint bench bench-results examples clean
+.PHONY: install test lint bench bench-results bench-record \
+	bench-check examples clean
 
 install:
 	pip install -e . || python setup.py develop
@@ -31,6 +32,27 @@ bench:
 
 bench-output:
 	pytest benchmarks/ --benchmark-only 2>&1 | tee bench_output.txt
+
+# Baseline workflow (DESIGN.md §10): `bench-record` appends fresh
+# records to the trajectory store — the canonical deployment benches
+# plus the CLI reference workload; `bench-check` re-runs the reference
+# workload and gates it against the store. Virtual-cost metrics are
+# exact-match; the wall budget is generous because the committed
+# baselines come from a different machine.
+BENCH_STORE ?= benchmarks/baselines
+
+bench-record:
+	PYTHONPATH=src REPRO_BENCH_STORE=$(BENCH_STORE) pytest \
+		benchmarks/bench_exp1_deployment.py::test_run_deployment \
+		benchmarks/bench_exp3_materialization.py::test_table4 \
+		--benchmark-only -q
+	PYTHONPATH=src python -m repro perf record \
+		--dataset url --scale test --store $(BENCH_STORE)
+
+bench-check:
+	PYTHONPATH=src python -m repro perf check \
+		--dataset url --scale test --against $(BENCH_STORE) \
+		--wall-budget 4.0
 
 examples:
 	python examples/quickstart.py

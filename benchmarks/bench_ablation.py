@@ -15,7 +15,7 @@ from dataclasses import replace
 
 import pytest
 
-from benchmarks.conftest import run_once
+from benchmarks.conftest import BENCH_SCALE, run_once
 from repro.core.config import ScheduleConfig
 from repro.experiments.common import (
     run_continuous,
@@ -23,10 +23,10 @@ from repro.experiments.common import (
     url_scenario,
 )
 
-_URL = url_scenario("bench")
+_URL = url_scenario(BENCH_SCALE)
 
 
-def test_warm_start_ablation(benchmark, report):
+def test_warm_start_ablation(benchmark, report, bench_record):
     def run():
         warm = run_periodical(_URL)
         cold_scenario = replace(
@@ -49,6 +49,18 @@ def test_warm_start_ablation(benchmark, report):
     )
     # Cold restarts recompute pipeline statistics over all history.
     assert cold.total_cost > warm.total_cost
+    bench_record(
+        f"ablation_warm_start_{_URL.name.replace('-', '_')}",
+        scenario=_URL,
+        cost={
+            "warm_total_cost": warm.total_cost,
+            "cold_total_cost": cold.total_cost,
+        },
+        quality={
+            "warm_avg_error": warm.average_error,
+            "cold_avg_error": cold.average_error,
+        },
+    )
 
 
 def test_online_granularity_ablation(benchmark, report):

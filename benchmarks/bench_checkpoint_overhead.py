@@ -29,7 +29,7 @@ import itertools
 import tempfile
 import time
 
-from benchmarks.conftest import run_once
+from benchmarks.conftest import BENCH_SCALE, run_once
 from repro.experiments.common import make_deployment, url_scenario
 from repro.reliability import CheckpointConfig
 
@@ -58,8 +58,8 @@ def _fitted(scenario, checkpoint=None):
     return deployment
 
 
-def test_checkpoint_overhead(benchmark, report):
-    bench = url_scenario("bench")
+def test_checkpoint_overhead(benchmark, report, bench_record):
+    bench = url_scenario(BENCH_SCALE)
 
     # Work baseline: uncheckpointed per-chunk wall time.
     baseline = _fitted(bench)
@@ -118,3 +118,22 @@ def test_checkpoint_overhead(benchmark, report):
     assert checked.cost_history == unchecked.cost_history
     assert checked.counters == unchecked.counters
     assert projected < MAX_OVERHEAD_FRACTION
+
+    bench_record(
+        f"checkpoint_overhead_{bench.name.replace('-', '_')}",
+        scenario=bench,
+        count={
+            "zero_distortion": float(
+                checked.error_history == unchecked.error_history
+            ),
+        },
+        wall={
+            "per_chunk_s": per_chunk,
+            "per_checkpoint_s": per_checkpoint,
+        },
+        params={
+            "cadence": CADENCE,
+            "prefix_chunks": PREFIX_CHUNKS,
+            "write_samples": WRITE_SAMPLES,
+        },
+    )

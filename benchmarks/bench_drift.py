@@ -79,7 +79,7 @@ def _deploy(drift_aware: bool):
     return deployment.run(generator.stream()), deployment
 
 
-def test_drift_response(benchmark, report):
+def test_drift_response(benchmark, report, bench_record):
     def run():
         plain, __ = _deploy(drift_aware=False)
         aware_result, aware = _deploy(drift_aware=True)
@@ -106,3 +106,29 @@ def test_drift_response(benchmark, report):
     assert aware_result.counters["drifts_detected"] <= 4
     # And it does not hurt quality.
     assert aware_result.final_error <= plain.final_error + 0.005
+
+    bench_record(
+        "drift_response",
+        cost={
+            "plain_total_cost": plain.total_cost,
+            "aware_total_cost": aware_result.total_cost,
+        },
+        quality={
+            "plain_final_error": plain.final_error,
+            "aware_final_error": aware_result.final_error,
+        },
+        count={
+            "drifts_detected": aware_result.counters[
+                "drifts_detected"
+            ],
+            "aware_proactive_trainings": aware_result.counters[
+                "proactive_trainings"
+            ],
+        },
+        seed=11,
+        params={
+            "num_chunks": NUM_CHUNKS,
+            "shift_at": SHIFT_AT,
+            "hash_dim": HASH_DIM,
+        },
+    )

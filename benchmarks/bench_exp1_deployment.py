@@ -15,7 +15,7 @@ from __future__ import annotations
 
 import pytest
 
-from benchmarks.conftest import run_once
+from benchmarks.conftest import BENCH_SCALE, run_once
 from repro.evaluation.report import format_series
 from repro.experiments.common import (
     run_continuous,
@@ -30,8 +30,8 @@ from repro.experiments.exp1_deployment import cost_ratios
 _RESULTS: dict = {}
 
 _SCENARIOS = {
-    "url": url_scenario("bench"),
-    "taxi": taxi_scenario("bench"),
+    "url": url_scenario(BENCH_SCALE),
+    "taxi": taxi_scenario(BENCH_SCALE),
 }
 _RUNNERS = {
     "online": run_online,
@@ -44,7 +44,7 @@ _RUNNERS = {
 @pytest.mark.parametrize(
     "approach", ["online", "periodical", "continuous"]
 )
-def test_run_deployment(benchmark, dataset, approach):
+def test_run_deployment(benchmark, bench_record, dataset, approach):
     """Timed deployment runs (one per approach per dataset)."""
     scenario = _SCENARIOS[dataset]
     runner = _RUNNERS[approach]
@@ -52,6 +52,20 @@ def test_run_deployment(benchmark, dataset, approach):
     _RESULTS[(dataset, approach)] = result
     benchmark.extra_info["final_error"] = result.final_error
     benchmark.extra_info["total_cost"] = result.total_cost
+    bench_record(
+        f"exp1_{scenario.name.replace('-', '_')}_{approach}",
+        scenario=scenario,
+        cost={"total_cost": result.total_cost},
+        quality={
+            "final_error": result.final_error,
+            "average_error": result.average_error,
+        },
+        count={
+            "chunks": result.chunks_processed,
+            **{f"n_{k}": v for k, v in result.counters.items()},
+        },
+        wall={"wall_s": result.wall_seconds},
+    )
 
 
 @pytest.mark.parametrize(

@@ -12,7 +12,7 @@ from __future__ import annotations
 
 import pytest
 
-from benchmarks.conftest import run_once
+from benchmarks.conftest import BENCH_SCALE, run_once
 from repro.evaluation.report import format_series
 from repro.experiments.common import taxi_scenario, url_scenario
 from repro.experiments.exp2_sampling import (
@@ -22,18 +22,27 @@ from repro.experiments.exp2_sampling import (
 )
 
 _SCENARIOS = {
-    "url": url_scenario("bench"),
-    "taxi": taxi_scenario("bench"),
+    "url": url_scenario(BENCH_SCALE),
+    "taxi": taxi_scenario(BENCH_SCALE),
 }
 
 
 @pytest.mark.parametrize("dataset", ["url", "taxi"])
-def test_fig6(benchmark, report, dataset):
+def test_fig6(benchmark, report, bench_record, dataset):
     scenario = _SCENARIOS[dataset]
     results = run_once(
         benchmark, lambda: run_sampling_experiment(scenario)
     )
     averages = average_errors(results)
+    bench_record(
+        f"exp2_fig6_{scenario.name.replace('-', '_')}",
+        scenario=scenario,
+        cost={
+            f"cost_{name}": result.total_cost
+            for name, result in results.items()
+        },
+        quality={f"avg_error_{k}": v for k, v in averages.items()},
+    )
 
     lines = [f"Figure 6 ({dataset}): error per sampling strategy"]
     for name, result in results.items():

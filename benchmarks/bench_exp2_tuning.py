@@ -16,7 +16,7 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
-from benchmarks.conftest import run_once
+from benchmarks.conftest import BENCH_SCALE, run_once
 from repro.evaluation.report import format_series
 from repro.experiments.common import taxi_scenario, url_scenario
 from repro.experiments.exp2_tuning import (
@@ -29,17 +29,25 @@ from repro.experiments.exp2_tuning import (
 )
 
 _SCENARIOS = {
-    "url": url_scenario("bench"),
-    "taxi": taxi_scenario("bench"),
+    "url": url_scenario(BENCH_SCALE),
+    "taxi": taxi_scenario(BENCH_SCALE),
 }
 _GRIDS: dict = {}
 
 
 @pytest.mark.parametrize("dataset", ["url", "taxi"])
-def test_table3(benchmark, report, dataset):
+def test_table3(benchmark, report, bench_record, dataset):
     scenario = _SCENARIOS[dataset]
     grid = run_once(benchmark, lambda: table3(scenario))
     _GRIDS[dataset] = grid
+    bench_record(
+        f"exp2_table3_{scenario.name.replace('-', '_')}",
+        scenario=scenario,
+        quality={
+            f"heldout_{adaptation}_{strength:g}": value
+            for (adaptation, strength), value in grid.items()
+        },
+    )
 
     lines = [
         f"Table 3 ({dataset}): held-out error per adaptation x L2",
@@ -62,12 +70,21 @@ def test_table3(benchmark, report, dataset):
 
 
 @pytest.mark.parametrize("dataset", ["url", "taxi"])
-def test_fig5(benchmark, report, dataset):
+def test_fig5(benchmark, report, bench_record, dataset):
     scenario = _SCENARIOS[dataset]
     grid = _GRIDS[dataset]
     best = best_per_adaptation(grid)
     histories = run_once(
         benchmark, lambda: figure5(scenario, best, deploy_fraction=0.1)
+    )
+    bench_record(
+        f"exp2_fig5_{scenario.name.replace('-', '_')}",
+        scenario=scenario,
+        quality={
+            f"final_error_{adaptation}": history[-1]
+            for adaptation, history in histories.items()
+        },
+        params={"deploy_fraction": 0.1},
     )
 
     lines = [

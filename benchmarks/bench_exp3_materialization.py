@@ -18,7 +18,7 @@ from __future__ import annotations
 
 import pytest
 
-from benchmarks.conftest import run_once
+from benchmarks.conftest import BENCH_SCALE, run_once
 from repro.experiments.common import taxi_scenario, url_scenario
 from repro.experiments.exp3_materialization import (
     FIG7_RATES,
@@ -29,12 +29,12 @@ from repro.experiments.exp3_materialization import (
 )
 
 _SCENARIOS = {
-    "url": url_scenario("bench"),
-    "taxi": taxi_scenario("bench"),
+    "url": url_scenario(BENCH_SCALE),
+    "taxi": taxi_scenario(BENCH_SCALE),
 }
 
 
-def test_table4(benchmark, report):
+def test_table4(benchmark, report, bench_record):
     cells = run_once(
         benchmark,
         lambda: table4(
@@ -63,6 +63,19 @@ def test_table4(benchmark, report):
                 )
         lines.append(" ".join(row))
     report("table4", "\n".join(lines))
+    bench_record(
+        "exp3_table4",
+        quality={
+            f"mu_{c.sampler}_{c.rate:g}": c.empirical for c in cells
+        },
+        seed=0,
+        params={
+            "num_chunks": 12_000,
+            "sample_size": 100,
+            "window_size": 6_000,
+            "sample_every": 4,
+        },
+    )
 
     # Closed forms match the simulation (the Table 4 agreement).
     for cell in cells:
@@ -81,7 +94,7 @@ def test_table4(benchmark, report):
 
 
 @pytest.mark.parametrize("dataset", ["url", "taxi"])
-def test_fig7(benchmark, report, dataset):
+def test_fig7(benchmark, report, bench_record, dataset):
     scenario = _SCENARIOS[dataset]
 
     def run():
@@ -103,6 +116,18 @@ def test_fig7(benchmark, report, dataset):
         lines.append(f"{sampler:<10} {row}")
     lines.append(f"NoOptimization: {no_opt:.3f}")
     report(f"fig7_{dataset}", "\n".join(lines))
+    bench_record(
+        f"exp3_fig7_{scenario.name.replace('-', '_')}",
+        scenario=scenario,
+        cost={
+            **{
+                f"cost_{sampler}_{rate:g}": costs[(sampler, rate)]
+                for sampler in SAMPLERS
+                for rate in FIG7_RATES
+            },
+            "cost_no_optimization": no_opt,
+        },
+    )
 
     for sampler in SAMPLERS:
         series = [costs[(sampler, rate)] for rate in FIG7_RATES]

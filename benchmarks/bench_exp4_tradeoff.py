@@ -9,7 +9,7 @@ from __future__ import annotations
 
 import pytest
 
-from benchmarks.conftest import run_once
+from benchmarks.conftest import BENCH_SCALE, run_once
 from repro.experiments.common import taxi_scenario, url_scenario
 from repro.experiments.exp4_tradeoff import (
     headline_claims,
@@ -17,16 +17,24 @@ from repro.experiments.exp4_tradeoff import (
 )
 
 _SCENARIOS = {
-    "url": url_scenario("bench"),
-    "taxi": taxi_scenario("bench"),
+    "url": url_scenario(BENCH_SCALE),
+    "taxi": taxi_scenario(BENCH_SCALE),
 }
 
 
 @pytest.mark.parametrize("dataset", ["url", "taxi"])
-def test_fig8(benchmark, report, dataset):
+def test_fig8(benchmark, report, bench_record, dataset):
     scenario = _SCENARIOS[dataset]
     points = run_once(benchmark, lambda: run_tradeoff(scenario))
     claims = headline_claims(points)
+    bench_record(
+        f"exp4_fig8_{scenario.name.replace('-', '_')}",
+        scenario=scenario,
+        cost={f"cost_{p.approach}": p.total_cost for p in points},
+        quality={
+            f"avg_error_{p.approach}": p.average_error for p in points
+        },
+    )
 
     lines = [
         f"Figure 8 ({dataset}): average quality vs total cost",

@@ -99,7 +99,7 @@ class TestSamplingThroughput:
 
 
 class TestStorageThroughput:
-    def test_insert_with_eviction(self, benchmark):
+    def test_insert_with_eviction(self, benchmark, bench_record):
         def insert_run():
             storage = ChunkStorage(max_materialized=64)
             for t in range(256):
@@ -115,3 +115,11 @@ class TestStorageThroughput:
 
         storage = benchmark(insert_run)
         assert storage.num_materialized == 64
+
+        bench_record(
+            "micro_storage_eviction",
+            count={"materialized": storage.num_materialized},
+            wall={"insert_run_s": benchmark.stats.stats.mean},
+            seed=0,
+            params={"inserts": 256, "max_materialized": 64},
+        )

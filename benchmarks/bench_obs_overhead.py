@@ -47,7 +47,7 @@ def _noop_span_seconds(iterations: int = _NOOP_ITERATIONS) -> float:
     return (time.perf_counter() - started) / iterations
 
 
-def test_noop_tracer_overhead(benchmark, report):
+def test_noop_tracer_overhead(benchmark, report, bench_record):
     scenario = url_scenario("test")
 
     untraced = run_continuous(scenario)
@@ -78,3 +78,14 @@ def test_noop_tracer_overhead(benchmark, report):
 
     assert events > 0
     assert projected < budget
+
+    bench_record(
+        "obs_overhead",
+        scenario=scenario,
+        count={"telemetry_events": events},
+        wall={
+            "noop_span_s": per_span,
+            "untraced_wall_s": untraced.wall_seconds,
+        },
+        params={"noop_iterations": _NOOP_ITERATIONS, "scale": "test"},
+    )

@@ -16,7 +16,7 @@ from __future__ import annotations
 
 import pytest
 
-from benchmarks.conftest import run_once
+from benchmarks.conftest import BENCH_SCALE, run_once
 from repro.experiments.common import (
     run_continuous,
     run_periodical,
@@ -25,13 +25,13 @@ from repro.experiments.common import (
 )
 
 _SCENARIOS = {
-    "url": url_scenario("bench"),
-    "taxi": taxi_scenario("bench"),
+    "url": url_scenario(BENCH_SCALE),
+    "taxi": taxi_scenario(BENCH_SCALE),
 }
 
 
 @pytest.mark.parametrize("dataset", ["url", "taxi"])
-def test_staleness(benchmark, report, dataset):
+def test_staleness(benchmark, report, bench_record, dataset):
     scenario = _SCENARIOS[dataset]
 
     def run():
@@ -66,4 +66,23 @@ def test_staleness(benchmark, report, dataset):
     assert (
         periodical.max_training_duration
         > continuous.max_training_duration * 10
+    )
+
+    bench_record(
+        f"staleness_{scenario.name.replace('-', '_')}",
+        scenario=scenario,
+        cost={
+            "proactive_avg_duration": (
+                continuous.average_training_duration
+            ),
+            "proactive_max_duration": continuous.max_training_duration,
+            "retrain_avg_duration": (
+                periodical.average_training_duration
+            ),
+            "retrain_max_duration": periodical.max_training_duration,
+        },
+        count={
+            "proactive_instances": len(continuous.training_durations),
+            "retrain_instances": len(periodical.training_durations),
+        },
     )

@@ -8,10 +8,27 @@ shows it) and to ``benchmarks/results/<name>.txt`` for later reading.
 The deployment runs are expensive, so results are cached at session
 scope and shared between the quality-figure and cost-figure benchmarks
 of the same experiment.
+
+Two environment knobs parameterize a suite run:
+
+* ``REPRO_BENCH_SCALE`` — scenario scale the bench modules build
+  (``bench`` by default; ``test`` gives the seconds-long miniatures,
+  which is what the CI perf-smoke job runs);
+* ``REPRO_BENCH_STORE`` — directory of ``BENCH_<name>.json`` baseline
+  trajectories the :func:`bench_record` fixture appends to (default:
+  ``benchmarks/baselines``, the committed store).
+
+Each benchmark condenses its run into a schema-versioned record via
+``bench_record`` — headline metrics tagged with the clock they were
+measured on, the RNG seed and scenario knobs needed to reproduce the
+run from the JSON alone, the git SHA, and the environment fingerprint.
+``repro perf check`` gates fresh runs against these trajectories and
+``repro perf report`` renders them.
 """
 
 from __future__ import annotations
 
+import os
 import warnings
 from pathlib import Path
 
@@ -19,9 +36,30 @@ import pytest
 
 RESULTS_DIR = Path(__file__).parent / "results"
 
+#: Scenario scale every bench module builds its ``_SCENARIOS`` at.
+BENCH_SCALE = os.environ.get("REPRO_BENCH_SCALE", "bench")
+
+#: Baseline store the ``bench_record`` fixture appends to.
+BASELINE_DIR = Path(
+    os.environ.get(
+        "REPRO_BENCH_STORE", str(Path(__file__).parent / "baselines")
+    )
+)
+
 # Deployment-scale runs emit ConvergenceWarning by design (retraining
 # at an iteration cap); keep the bench output readable.
 warnings.filterwarnings("ignore", message="SGD stopped at")
+
+
+def scenario_params(scenario) -> dict:
+    """The knobs that reproduce a scenario run from the record alone."""
+    return {
+        "scenario": scenario.name,
+        "scale": BENCH_SCALE,
+        "seed": scenario.seed,
+        "num_chunks": scenario.num_chunks,
+        "online_batch_rows": scenario.online_batch_rows,
+    }
 
 
 @pytest.fixture(scope="session")
@@ -47,6 +85,80 @@ def report(capsys, emit):
             emit(name, text)
 
     return _report
+
+
+@pytest.fixture(scope="session")
+def bench_record():
+    """Append one benchmark's record to its baseline trajectory.
+
+    Usage::
+
+        bench_record(
+            "exp1_url_bench_continuous",
+            scenario=scenario,
+            cost={"total_cost": result.total_cost},
+            quality={"final_error": result.final_error},
+            count={"chunks": result.chunks_processed},
+            wall={"wall_s": result.wall_seconds},
+        )
+
+    ``cost``/``quality``/``count`` metrics are virtual-clock numbers
+    (exact-match gated by ``repro perf check``); ``wall`` metrics are
+    wall-clock seconds (median-of-K gated). The record always carries
+    the RNG seed and scenario knobs (via ``scenario`` or explicit
+    ``seed``/``params``), so a trajectory entry is reproducible from
+    the JSON alone.
+    """
+    from repro.obs import BaselineStore, MetricValue, make_record
+
+    store = BaselineStore(BASELINE_DIR)
+    repo_root = Path(__file__).parent.parent
+
+    def _record(
+        name: str,
+        scenario=None,
+        cost=None,
+        quality=None,
+        count=None,
+        wall=None,
+        seed=None,
+        params=None,
+        profile_digest=None,
+    ):
+        metrics = {}
+        for kind, group in (
+            ("cost", cost),
+            ("quality", quality),
+            ("count", count),
+            ("wall", wall),
+        ):
+            for key, value in (group or {}).items():
+                metrics[key] = MetricValue(float(value), kind)
+        merged = dict(params or {})
+        if scenario is not None:
+            for key, value in scenario_params(scenario).items():
+                merged.setdefault(key, value)
+            if seed is None:
+                seed = scenario.seed
+        record = make_record(
+            name=name,
+            metrics=metrics,
+            seed=seed,
+            params=merged,
+            profile_digest=profile_digest,
+            repo_root=repo_root,
+        )
+        path = store.append(record)
+        knobs = ", ".join(
+            f"{key}={value}" for key, value in sorted(merged.items())
+        )
+        print(
+            f"\nBENCH record {name}: seed={record.seed} "
+            f"[{knobs}] -> {path}"
+        )
+        return record
+
+    return _record
 
 
 def run_once(benchmark, function):

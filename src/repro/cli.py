@@ -43,6 +43,16 @@ exp6`` measures checkpoint cadence vs recovery cost::
         --checkpoint-dir ./ckpt --dataset url --scale test
     python -m repro exp6 --dataset url --scale test
 
+Performance: ``repro perf`` is the performance observatory — profile
+where a run's cost goes, persist benchmark baselines, and gate fresh
+runs against them (exit 0 = no regressions, 1 = regressions)::
+
+    python -m repro exp1 --dataset url --scale test --profile p.json
+    python -m repro perf profile --dataset url --scale test
+    python -m repro perf record --dataset url --scale test --store ./b
+    python -m repro perf check  --dataset url --scale test --against ./b
+    python -m repro perf report --store benchmarks/baselines
+
 Static analysis: ``repro lint`` runs reprolint, the AST-based
 invariant linter enforcing the determinism, checkpoint, and telemetry
 contracts (exit 0 = clean, 1 = findings, 2 = config error)::
@@ -103,6 +113,16 @@ def build_parser() -> argparse.ArgumentParser:
             help="override the scenario seed",
         )
 
+    def add_profile_option(sub: argparse.ArgumentParser) -> None:
+        sub.add_argument(
+            "--profile",
+            metavar="PATH",
+            default=None,
+            help="profile the instrumented runs: fold the span stream "
+            "into a cost-attribution tree, write it as JSON to PATH, "
+            "and print the rendered tree (see 'repro perf')",
+        )
+
     exp1 = commands.add_parser(
         "exp1", help="Figure 4: online vs periodical vs continuous"
     )
@@ -114,6 +134,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="record the continuous run as a JSONL event trace and "
         "print its telemetry summary (see 'repro obs')",
     )
+    add_profile_option(exp1)
 
     table3 = commands.add_parser(
         "table3", help="Table 3: hyperparameter grid"
@@ -124,11 +145,13 @@ def build_parser() -> argparse.ArgumentParser:
         "fig5", help="Figure 5: best configs deployed on a prefix"
     )
     add_scenario_options(fig5)
+    add_profile_option(fig5)
 
     fig6 = commands.add_parser(
         "fig6", help="Figure 6: sampling strategies vs quality"
     )
     add_scenario_options(fig6)
+    add_profile_option(fig6)
 
     table4 = commands.add_parser(
         "table4", help="Table 4: empirical vs analytical μ"
@@ -144,11 +167,13 @@ def build_parser() -> argparse.ArgumentParser:
         "fig7", help="Figure 7: cost vs materialization rate"
     )
     add_scenario_options(fig7)
+    add_profile_option(fig7)
 
     fig8 = commands.add_parser(
         "fig8", help="Figure 8: quality/cost trade-off"
     )
     add_scenario_options(fig8)
+    add_profile_option(fig8)
 
     obs = commands.add_parser(
         "obs", help="summarize or tail a JSONL telemetry trace"
@@ -169,6 +194,103 @@ def build_parser() -> argparse.ArgumentParser:
         "exp5", help="gated canary rollout vs blind promotion"
     )
     add_scenario_options(exp5)
+    add_profile_option(exp5)
+
+    perf = commands.add_parser(
+        "perf",
+        help="performance observatory: profile a run, record a bench "
+        "baseline, or gate a fresh run against one",
+    )
+    perf.add_argument(
+        "action",
+        choices=("profile", "record", "check", "report"),
+        help="profile = run a workload (or fold --trace) into a "
+        "cost-attribution tree; record = append the run to its "
+        "BENCH_<name>.json trajectory; check = gate a fresh run "
+        "against the stored trajectory (exit 1 on regression); "
+        "report = render stored trajectories",
+    )
+    add_scenario_options(perf)
+    perf.add_argument(
+        "--approach",
+        choices=("online", "periodical", "threshold", "continuous"),
+        default="continuous",
+        help="deployment approach the workload runs (default: "
+        "continuous)",
+    )
+    perf.add_argument(
+        "--store",
+        metavar="DIR",
+        default="benchmarks/baselines",
+        help="baseline store directory (default: benchmarks/baselines)",
+    )
+    perf.add_argument(
+        "--against",
+        metavar="DIR",
+        default=None,
+        help="store 'check' compares against (default: --store)",
+    )
+    perf.add_argument(
+        "--name",
+        default=None,
+        help="trajectory name for 'report' (default: all in the store)",
+    )
+    perf.add_argument(
+        "--trace",
+        metavar="PATH",
+        default=None,
+        help="'profile' folds this JSONL trace instead of running a "
+        "workload",
+    )
+    perf.add_argument(
+        "--json",
+        metavar="PATH",
+        dest="json_out",
+        default=None,
+        help="'profile' also writes the tree as JSON to PATH",
+    )
+    perf.add_argument(
+        "--collapsed",
+        metavar="PATH",
+        default=None,
+        help="'profile' also writes collapsed-stack (flamegraph) text",
+    )
+    perf.add_argument(
+        "--depth", type=int, default=None,
+        help="'profile' rendering depth limit",
+    )
+    perf.add_argument(
+        "--min-fraction",
+        type=float,
+        default=0.0,
+        help="'profile' hides paths below this share of total cost",
+    )
+    perf.add_argument(
+        "--wall-budget",
+        type=float,
+        default=0.5,
+        help="'check' relative budget for wall-clock metrics "
+        "(default: 0.5 = +50%%)",
+    )
+    perf.add_argument(
+        "--window",
+        type=int,
+        default=5,
+        help="'check' median-of-K window for wall metrics (default: 5)",
+    )
+    perf.add_argument(
+        "--gate-profile",
+        action="store_true",
+        help="'check' fails when the profile digest changed, not just "
+        "when totals moved",
+    )
+    perf.add_argument(
+        "--record",
+        action="store_true",
+        dest="record_after_check",
+        help="'check' appends the fresh record to the trajectory when "
+        "the gate passes",
+    )
 
     serve = commands.add_parser(
         "serve",
@@ -348,6 +470,7 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="N",
         help="checkpoint intervals to sweep (default: 4 7 13)",
     )
+    add_profile_option(exp6)
 
     return parser
 
@@ -392,17 +515,67 @@ def _scenario(args: argparse.Namespace) -> Scenario:
     return builder(args.scale)
 
 
+def _telemetry_from_flags(args: argparse.Namespace):
+    """Build one telemetry bundle for ``--trace`` and/or ``--profile``.
+
+    Returns ``None`` when neither flag was given, so un-instrumented
+    invocations stay byte-identical to pre-observability builds.
+    """
+    trace = getattr(args, "trace", None)
+    profile = getattr(args, "profile", None)
+    if trace is None and profile is None:
+        return None
+    from repro.obs import Telemetry
+
+    if trace is not None:
+        from repro.obs import JsonlSink
+
+        return Telemetry(sink=JsonlSink(trace))
+    return Telemetry()
+
+
+def _finish_telemetry(args: argparse.Namespace, telemetry) -> None:
+    """Flush, close, and render whatever ``--trace``/``--profile`` asked
+    for; shared epilogue of every instrumentable experiment command."""
+    if telemetry is None:
+        return
+    import json
+
+    telemetry.flush_metrics()
+    telemetry.close()
+    trace = getattr(args, "trace", None)
+    if trace is not None:
+        from repro.obs import format_summary
+
+        print(f"\ntrace written to {trace}")
+        print(format_summary(telemetry.summary()))
+    profile = getattr(args, "profile", None)
+    if profile is not None:
+        from pathlib import Path
+
+        from repro.obs import (
+            build_profile,
+            format_profile,
+            profile_to_dict,
+        )
+
+        root = build_profile(telemetry.events)
+        Path(profile).write_text(
+            json.dumps(profile_to_dict(root), indent=2, sort_keys=True)
+            + "\n",
+            encoding="utf-8",
+        )
+        print(f"\nprofile written to {profile}")
+        print(format_profile(root))
+
+
 def _command_exp1(args: argparse.Namespace) -> None:
     from repro.experiments.exp1_deployment import (
         cost_ratios,
         run_experiment1,
     )
 
-    telemetry = None
-    if args.trace is not None:
-        from repro.obs import JsonlSink, Telemetry
-
-        telemetry = Telemetry(sink=JsonlSink(args.trace))
+    telemetry = _telemetry_from_flags(args)
     results = run_experiment1(_scenario(args), telemetry=telemetry)
     print("cumulative error over time:")
     for name, result in results.items():
@@ -430,12 +603,7 @@ def _command_exp1(args: argparse.Namespace) -> None:
         "\nfinal-cost ratio vs continuous: "
         + ", ".join(f"{k}={v:.2f}x" for k, v in sorted(ratios.items()))
     )
-    if telemetry is not None:
-        from repro.obs import format_summary
-
-        telemetry.close()
-        print(f"\ntrace written to {args.trace}")
-        print(format_summary(telemetry.summary()))
+    _finish_telemetry(args, telemetry)
 
 
 def _command_obs(args: argparse.Namespace) -> None:
@@ -485,13 +653,15 @@ def _command_fig5(args: argparse.Namespace) -> None:
     scenario = _scenario(args)
     grid = table3(scenario)
     best = best_per_adaptation(grid)
-    histories = figure5(scenario, best)
+    telemetry = _telemetry_from_flags(args)
+    histories = figure5(scenario, best, telemetry=telemetry)
     for adaptation, history in histories.items():
         print(format_series(adaptation, history, points=12))
     print(
         "initial-training winner also wins deployment: "
         f"{ranking_agreement(grid, histories)}"
     )
+    _finish_telemetry(args, telemetry)
 
 
 def _command_fig6(args: argparse.Namespace) -> None:
@@ -500,7 +670,10 @@ def _command_fig6(args: argparse.Namespace) -> None:
         run_sampling_experiment,
     )
 
-    results = run_sampling_experiment(_scenario(args))
+    telemetry = _telemetry_from_flags(args)
+    results = run_sampling_experiment(
+        _scenario(args), telemetry=telemetry
+    )
     for name, result in results.items():
         print(format_series(name, result.error_history, points=12))
     averages = average_errors(results)
@@ -510,6 +683,7 @@ def _command_fig6(args: argparse.Namespace) -> None:
             f"{k}={v:.4f}" for k, v in sorted(averages.items())
         )
     )
+    _finish_telemetry(args, telemetry)
 
 
 def _command_table4(args: argparse.Namespace) -> None:
@@ -542,7 +716,8 @@ def _command_fig7(args: argparse.Namespace) -> None:
     )
 
     scenario = _scenario(args)
-    costs = figure7(scenario)
+    telemetry = _telemetry_from_flags(args)
+    costs = figure7(scenario, telemetry=telemetry)
     print(
         f"{'sampler':<10} "
         + " ".join(f"m/n={r:<6}" for r in FIG7_RATES)
@@ -553,8 +728,10 @@ def _command_fig7(args: argparse.Namespace) -> None:
         )
         print(f"{sampler:<10} {row}")
     print(
-        f"NoOptimization: {figure7_no_optimization(scenario):.3f}"
+        f"NoOptimization: "
+        f"{figure7_no_optimization(scenario, telemetry=telemetry):.3f}"
     )
+    _finish_telemetry(args, telemetry)
 
 
 def _command_fig8(args: argparse.Namespace) -> None:
@@ -563,7 +740,8 @@ def _command_fig8(args: argparse.Namespace) -> None:
         run_tradeoff,
     )
 
-    points = run_tradeoff(_scenario(args))
+    telemetry = _telemetry_from_flags(args)
+    points = run_tradeoff(_scenario(args), telemetry=telemetry)
     print(f"{'approach':<12} {'avg error':>10} {'total cost':>12}")
     for point in sorted(points, key=lambda p: p.approach):
         print(
@@ -575,6 +753,7 @@ def _command_fig8(args: argparse.Namespace) -> None:
         f"cost ratio {claims['cost_ratio']:.2f}x, quality delta "
         f"{claims['quality_delta']:+.4f}"
     )
+    _finish_telemetry(args, telemetry)
 
 
 def _command_exp5(args: argparse.Namespace) -> None:
@@ -584,7 +763,10 @@ def _command_exp5(args: argparse.Namespace) -> None:
         run_serving_experiment,
     )
 
-    results = run_serving_experiment(_scenario(args))
+    telemetry = _telemetry_from_flags(args)
+    results = run_serving_experiment(
+        _scenario(args), telemetry=telemetry
+    )
     print("prequential serving error over time:")
     for policy in POLICIES:
         print(
@@ -609,6 +791,7 @@ def _command_exp5(args: argparse.Namespace) -> None:
         f"(promotions={claims['gated_promotions']:.0f}, "
         f"rejections={claims['gated_rejections']:.0f})"
     )
+    _finish_telemetry(args, telemetry)
 
 
 def _command_serve(args: argparse.Namespace) -> None:
@@ -1018,6 +1201,7 @@ def _command_exp6(args: argparse.Namespace) -> None:
     )
 
     scenario = _scenario(args)
+    telemetry = _telemetry_from_flags(args)
     cadences = (
         tuple(args.cadences)
         if args.cadences is not None
@@ -1028,6 +1212,7 @@ def _command_exp6(args: argparse.Namespace) -> None:
         cadences=cadences,
         kill_after_chunks=args.kill_after,
         approach=args.approach,
+        telemetry=telemetry,
     )
     print(
         f"checkpoint cadence sweep (crash after "
@@ -1064,6 +1249,95 @@ def _command_exp6(args: argparse.Namespace) -> None:
         f"all_identical={claims['all_identical']:.0f} "
         f"retry_masked={claims['retry_masked']:.0f}"
     )
+    _finish_telemetry(args, telemetry)
+
+
+def _command_perf(args: argparse.Namespace) -> int:
+    import json
+    from pathlib import Path
+
+    from repro.obs import (
+        BaselineStore,
+        TolerancePolicy,
+        check_record,
+        format_profile,
+        format_report,
+        format_trajectory,
+        profile_to_dict,
+        run_workload,
+        to_collapsed,
+    )
+
+    if args.action == "report":
+        store = BaselineStore(args.store)
+        names = [args.name] if args.name is not None else store.names()
+        if not names:
+            print(f"no BENCH_*.json trajectories under {store.root}")
+            return 0
+        for index, name in enumerate(names):
+            if index:
+                print()
+            print(format_trajectory(name, store.load(name)))
+        return 0
+
+    if args.action == "profile" and args.trace is not None:
+        from repro.obs import profile_trace
+
+        root = profile_trace(args.trace)
+        record = None
+    else:
+        record, root = run_workload(_scenario(args), args.approach)
+
+    if args.action == "profile":
+        if args.json_out is not None:
+            Path(args.json_out).write_text(
+                json.dumps(
+                    profile_to_dict(root), indent=2, sort_keys=True
+                )
+                + "\n",
+                encoding="utf-8",
+            )
+            print(f"profile written to {args.json_out}")
+        if args.collapsed is not None:
+            Path(args.collapsed).write_text(
+                to_collapsed(root) + "\n", encoding="utf-8"
+            )
+            print(f"collapsed stacks written to {args.collapsed}")
+        print(
+            format_profile(
+                root,
+                max_depth=args.depth,
+                min_fraction=args.min_fraction,
+            )
+        )
+        return 0
+
+    if args.action == "record":
+        store = BaselineStore(args.store)
+        path = store.append(record)
+        print(
+            f"recorded {record.name} "
+            f"({len(store.load(record.name))} record(s)) -> {path}"
+        )
+        print(f"profile digest: {record.profile_digest}")
+        return 0
+
+    # check
+    store = BaselineStore(
+        args.against if args.against is not None else args.store
+    )
+    history = store.load(record.name)
+    policy = TolerancePolicy(
+        wall_budget=args.wall_budget,
+        window=args.window,
+        gate_profile=args.gate_profile,
+    )
+    report = check_record(record, history, policy=policy)
+    print(format_report(report))
+    if report.ok and args.record_after_check:
+        path = store.append(record)
+        print(f"recorded passing run -> {path}")
+    return report.exit_code()
 
 
 _COMMANDS = {
@@ -1082,6 +1356,7 @@ _COMMANDS = {
     "recover": _command_recover,
     "exp6": _command_exp6,
     "lint": _command_lint,
+    "perf": _command_perf,
 }
 
 

@@ -12,12 +12,13 @@ reproduce in shape:
 
 from __future__ import annotations
 
-from typing import Dict, List, Mapping
+from typing import Dict, List, Mapping, Optional
 
 import numpy as np
 
 from repro.core.deployment.base import DeploymentResult
 from repro.experiments.common import Scenario, run_continuous
+from repro.obs.telemetry import Telemetry
 
 SAMPLERS = ("time", "window", "uniform")
 
@@ -25,12 +26,16 @@ SAMPLERS = ("time", "window", "uniform")
 def run_sampling_experiment(
     scenario: Scenario,
     window_fraction: float = 0.25,
+    telemetry: Optional[Telemetry] = None,
 ) -> Dict[str, DeploymentResult]:
     """One continuous run per sampling strategy.
 
     The window sampler's active window defaults to a quarter of the
     stream (the paper's Experiment 3 uses half of the total chunks;
     a tighter window accentuates the recency effect for quality).
+    ``telemetry`` (when given) instruments every run into one shared
+    bundle; profile folding only uses durations, so the aggregate
+    stays well-defined.
     """
     window_size = max(int(scenario.num_chunks * window_fraction), 1)
     results: Dict[str, DeploymentResult] = {}
@@ -39,7 +44,7 @@ def run_sampling_experiment(
             sampler=sampler,
             window_size=window_size if sampler == "window" else None,
         )
-        results[sampler] = run_continuous(adapted)
+        results[sampler] = run_continuous(adapted, telemetry=telemetry)
     return results
 
 

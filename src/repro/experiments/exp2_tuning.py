@@ -14,13 +14,14 @@ deploying.
 from __future__ import annotations
 
 from itertools import islice
-from typing import Dict, List, Mapping, Sequence, Tuple
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.core.deployment import ContinuousDeployment
 from repro.execution.engine import LocalExecutionEngine
 from repro.experiments.common import Scenario
+from repro.obs.telemetry import Telemetry
 from repro.ml.metrics import misclassification_rate, rmsle_from_log
 from repro.ml.optim import make_optimizer
 from repro.ml.regularizers import L2
@@ -108,6 +109,7 @@ def figure5(
     scenario: Scenario,
     best: Mapping[str, float],
     deploy_fraction: float = 0.1,
+    telemetry: Optional[Telemetry] = None,
 ) -> Dict[str, List[float]]:
     """Deploy the per-adaptation best configs on a stream prefix.
 
@@ -130,6 +132,7 @@ def figure5(
             config=scenario.continuous_config,
             metric=scenario.metric,
             seed=scenario.seed,
+            telemetry=telemetry,
         )
         deployment.initial_fit(
             scenario.make_initial_data(),

@@ -25,6 +25,7 @@ from repro.data.materialization import (
 )
 from repro.data.sampling import make_sampler
 from repro.experiments.common import Scenario, run_continuous
+from repro.obs.telemetry import Telemetry
 
 #: Paper-scale Table 4 defaults.
 PAPER_NUM_CHUNKS = 12_000
@@ -106,6 +107,7 @@ def figure7(
     rates: Sequence[float] = FIG7_RATES,
     samplers: Sequence[str] = SAMPLERS,
     window_fraction: float = 0.5,
+    telemetry: Optional[Telemetry] = None,
 ) -> Dict[Tuple[str, float], float]:
     """Total deployment cost per (sampler, materialization rate).
 
@@ -124,12 +126,15 @@ def figure7(
                 window_size=window_size if name == "window" else None,
                 max_materialized_chunks=budget,
             )
-            result = run_continuous(adapted)
+            result = run_continuous(adapted, telemetry=telemetry)
             costs[(name, rate)] = result.total_cost
     return costs
 
 
-def figure7_no_optimization(scenario: Scenario) -> float:
+def figure7_no_optimization(
+    scenario: Scenario,
+    telemetry: Optional[Telemetry] = None,
+) -> float:
     """The NoOptimization bar of Figure 7.
 
     Online statistics computation off and materialization budget zero:
@@ -142,4 +147,4 @@ def figure7_no_optimization(scenario: Scenario) -> float:
         max_materialized_chunks=0,
         online_statistics=False,
     )
-    return run_continuous(adapted).total_cost
+    return run_continuous(adapted, telemetry=telemetry).total_cost

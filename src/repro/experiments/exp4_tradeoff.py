@@ -9,11 +9,12 @@ for 6–15x less cost.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Mapping
+from typing import Dict, List, Mapping, Optional
 
 from repro.core.deployment.base import DeploymentResult
 from repro.experiments.common import Scenario
 from repro.experiments.exp1_deployment import run_experiment1
+from repro.obs.telemetry import Telemetry
 
 
 @dataclass(frozen=True)
@@ -39,9 +40,14 @@ def tradeoff_points(
     ]
 
 
-def run_tradeoff(scenario: Scenario) -> List[TradeoffPoint]:
+def run_tradeoff(
+    scenario: Scenario,
+    telemetry: Optional[Telemetry] = None,
+) -> List[TradeoffPoint]:
     """Run Experiment 1 and condense it into Figure 8 points."""
-    return tradeoff_points(run_experiment1(scenario))
+    return tradeoff_points(
+        run_experiment1(scenario, telemetry=telemetry)
+    )
 
 
 def headline_claims(points: List[TradeoffPoint]) -> Dict[str, float]:

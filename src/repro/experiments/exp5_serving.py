@@ -37,6 +37,7 @@ import numpy as np
 from repro.core.platform import ContinuousDeploymentPlatform
 from repro.experiments.common import Scenario
 from repro.ml.metrics import PrequentialTracker
+from repro.obs.telemetry import Telemetry
 from repro.serving.controller import RolloutController
 from repro.serving.endpoint import ServingEndpoint
 from repro.serving.gate import GateConfig
@@ -163,17 +164,22 @@ def run_policy(
     registry_root,
     gate_config: Optional[GateConfig] = None,
     canary_fraction: float = 0.4,
+    telemetry: Optional[Telemetry] = None,
 ) -> ServingPoint:
     """Replay the serving stream under one adoption policy."""
     if policy not in POLICIES:
         raise ValueError(f"unknown policy {policy!r}")
-    registry = ModelRegistry(Path(registry_root) / policy)
+    registry = ModelRegistry(
+        Path(registry_root) / policy, telemetry=telemetry
+    )
     pipeline, model, optimizer = copy.deepcopy(initial)
     first = registry.register(
         pipeline, model, optimizer, metrics={"origin": 0.0}
     )
     registry.promote(first.version, reason="initial deployment")
-    endpoint = ServingEndpoint(registry, seed=scenario.seed)
+    endpoint = ServingEndpoint(
+        registry, seed=scenario.seed, telemetry=telemetry
+    )
     controller = None
     if policy == "gated":
         controller = RolloutController(
@@ -181,6 +187,7 @@ def run_policy(
             endpoint,
             metric=scenario.metric,
             config=gate_config,
+            telemetry=telemetry,
         )
     arrivals = {c.arrival_chunk: c for c in candidates}
     tracker = PrequentialTracker(
@@ -241,6 +248,7 @@ def run_serving_experiment(
     corrupt_every: int = 3,
     gate_config: Optional[GateConfig] = None,
     canary_fraction: float = 0.4,
+    telemetry: Optional[Telemetry] = None,
 ) -> Dict[str, ServingPoint]:
     """All three policies over the identical candidate sequence."""
     if gate_config is None:
@@ -262,6 +270,7 @@ def run_serving_experiment(
                 root,
                 gate_config=gate_config,
                 canary_fraction=canary_fraction,
+                telemetry=telemetry,
             )
 
     if workdir is not None:

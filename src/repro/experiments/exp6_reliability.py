@@ -32,6 +32,7 @@ from typing import Dict, List, Optional, Sequence
 from repro.core.deployment.base import DeploymentResult
 from repro.exceptions import ReliabilityError
 from repro.experiments.common import Scenario, make_deployment
+from repro.obs.telemetry import Telemetry
 from repro.reliability import (
     STREAM_READ,
     CheckpointConfig,
@@ -98,6 +99,7 @@ def run_cadence_sweep(
     kill_after_chunks: int = 19,
     approach: str = "continuous",
     directory: Optional[str] = None,
+    telemetry: Optional[Telemetry] = None,
 ) -> List[CadencePoint]:
     """Crash after ``kill_after_chunks`` chunks at each cadence.
 
@@ -105,14 +107,16 @@ def run_cadence_sweep(
     ``kill_after_chunks + 1`` — the run fully processes that many
     chunks, then dies pulling the next one. Recovery resumes at the
     last checkpoint at or before the kill point; the redo work is the
-    distance between them.
+    distance between them. ``telemetry`` (when given) instruments the
+    uninterrupted reference run — the crashing/recovering runs stay
+    untraced so the byte-identity check compares bare runs.
     """
     if kill_after_chunks < 1:
         raise ReliabilityError(
             f"kill_after_chunks must be >= 1, got {kill_after_chunks}"
         )
     reference = _fit_and(
-        scenario, make_deployment(scenario, approach)
+        scenario, make_deployment(scenario, approach, telemetry=telemetry)
     ).run(scenario.make_stream())
     points: List[CadencePoint] = []
     with tempfile.TemporaryDirectory(dir=directory) as root:
@@ -166,6 +170,7 @@ def run_retry_demo(
     scenario: Scenario,
     approach: str = "continuous",
     occurrences: Sequence[int] = DEFAULT_TRANSIENT_OCCURRENCES,
+    telemetry: Optional[Telemetry] = None,
 ) -> RetryDemoResult:
     """Same transient fault plan, with and without a retry policy."""
     plan = FaultPlan.of(
@@ -175,7 +180,7 @@ def run_retry_demo(
         )
     )
     reference = _fit_and(
-        scenario, make_deployment(scenario, approach)
+        scenario, make_deployment(scenario, approach, telemetry=telemetry)
     ).run(scenario.make_stream())
 
     unprotected_crashed = False

@@ -9,7 +9,13 @@ A cross-cutting observability layer with three primitives:
   clocks (deterministic cost units and wall seconds), with a no-op
   :class:`NullTracer` so disabled tracing costs one attribute check;
 * sinks and exporters — an in-memory ring buffer, a JSONL file sink,
-  and summary rendering (``repro obs summary`` / ``repro obs tail``).
+  and summary rendering (``repro obs summary`` / ``repro obs tail``);
+* the performance observatory — a cost-attribution profiler folding
+  span streams into a hierarchical profile tree
+  (:func:`build_profile`), persisted benchmark baselines
+  (:class:`BaselineStore` / ``BENCH_<name>.json`` trajectories), and
+  a noise-aware regression gate (:func:`check_record`), surfaced as
+  ``repro perf {profile,record,check,report}``.
 
 Enable telemetry on any deployment by passing a bundle::
 
@@ -22,11 +28,38 @@ Enable telemetry on any deployment by passing a bundle::
     telemetry.close()
 """
 
+from repro.obs.baseline import (
+    BaselineStore,
+    BenchRecord,
+    MetricValue,
+    current_git_sha,
+    environment_fingerprint,
+    make_record,
+)
 from repro.obs.metrics import (
     Counter,
     Gauge,
     MetricsRegistry,
     StreamingHistogram,
+)
+from repro.obs.perf import (
+    MetricCheck,
+    RegressionReport,
+    TolerancePolicy,
+    check_record,
+    format_report,
+    format_trajectory,
+    run_workload,
+)
+from repro.obs.profile import (
+    ProfileNode,
+    build_profile,
+    format_profile,
+    profile_digest,
+    profile_to_dict,
+    profile_trace,
+    subsystem_totals,
+    to_collapsed,
 )
 from repro.obs.sink import (
     EventSink,
@@ -84,4 +117,28 @@ __all__ = [
     "format_tail",
     "summarize_events",
     "summarize_trace",
+    # profiling
+    "ProfileNode",
+    "build_profile",
+    "format_profile",
+    "profile_digest",
+    "profile_to_dict",
+    "profile_trace",
+    "subsystem_totals",
+    "to_collapsed",
+    # baselines
+    "BaselineStore",
+    "BenchRecord",
+    "MetricValue",
+    "current_git_sha",
+    "environment_fingerprint",
+    "make_record",
+    # regression gating
+    "MetricCheck",
+    "RegressionReport",
+    "TolerancePolicy",
+    "check_record",
+    "format_report",
+    "format_trajectory",
+    "run_workload",
 ]

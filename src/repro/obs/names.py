@@ -13,7 +13,8 @@ Names follow the ``subsystem.event`` dotted convention: lowercase
 ``[a-z0-9_]`` segments joined by dots, at least two segments, the
 first naming the owning subsystem (``engine``, ``cache``,
 ``scheduler``, ``platform``, ``serving``, ``registry``, ``rollout``,
-``reliability``, ``drift``, ``sampler``, ``span``).
+``reliability``, ``drift``, ``sampler``, ``span``, ``perf``,
+``profile``).
 
 Families whose tail is data-dependent (``registry.<event>``,
 ``rollout.<action>``, ``span.<span-name>``) are declared as prefixes
@@ -76,6 +77,14 @@ REGISTRY_PREFIX = "registry."
 ROLLOUT_PREFIX = "rollout."
 #: ``span.<span-name>`` — the tracer's per-span duration histograms.
 SPAN_PREFIX = "span."
+
+# -- performance observatory --------------------------------------------
+PERF_RECORD = "perf.record"
+PERF_RECORDS_APPENDED = "perf.records_appended"
+PERF_CHECK = "perf.check"
+PERF_REGRESSIONS = "perf.regressions"
+PROFILE_BUILT = "profile.built"
+PROFILE_NODES = "profile.nodes"
 
 # -- reliability --------------------------------------------------------
 RELIABILITY_CHECKPOINT_WRITTEN = "reliability.checkpoint_written"

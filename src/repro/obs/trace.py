@@ -41,8 +41,14 @@ from repro.obs.sink import EventSink
 #:            point emission;
 #: ``dur``  — virtual-clock duration of the span (0 for points);
 #: ``wall_s`` — wall-clock duration in seconds (0 for points);
+#: ``stack``  — names of the spans enclosing this event, outermost
+#:              first (empty for top-level events); the cost-
+#:              attribution profiler folds span streams into a tree
+#:              along this field;
 #: ``attrs``  — free-form attributes (chunk index, values scanned, …).
-EVENT_FIELDS = ("seq", "kind", "name", "t", "dur", "wall_s", "attrs")
+EVENT_FIELDS = (
+    "seq", "kind", "name", "t", "dur", "wall_s", "stack", "attrs",
+)
 
 
 @dataclass
@@ -55,6 +61,7 @@ class TraceEvent:
     t: float
     dur: float = 0.0
     wall_s: float = 0.0
+    stack: tuple = ()
     attrs: Dict[str, object] = field(default_factory=dict)
 
     def to_dict(self) -> Dict[str, object]:
@@ -65,6 +72,7 @@ class TraceEvent:
             "t": self.t,
             "dur": self.dur,
             "wall_s": self.wall_s,
+            "stack": list(self.stack),
             "attrs": self.attrs,
         }
 
@@ -72,7 +80,7 @@ class TraceEvent:
 class Span:
     """Context manager measuring one traced operation."""
 
-    __slots__ = ("_tracer", "name", "attrs", "_t0", "_w0")
+    __slots__ = ("_tracer", "name", "attrs", "_t0", "_w0", "_stack")
 
     def __init__(self, tracer: "Tracer", name: str, attrs: Dict) -> None:
         self._tracer = tracer
@@ -80,23 +88,29 @@ class Span:
         self.attrs = attrs
         self._t0 = 0.0
         self._w0 = 0.0
+        self._stack: tuple = ()
 
     def set(self, **attrs: object) -> None:
         """Attach attributes discovered while the span is open."""
         self.attrs.update(attrs)
 
     def __enter__(self) -> "Span":
+        self._stack = self._tracer.enter_span(self.name)
         self._t0 = self._tracer.clock()
         self._w0 = time.perf_counter()
         return self
 
     def __exit__(self, *exc_info: object) -> None:
+        dur = self._tracer.clock() - self._t0
+        wall_s = time.perf_counter() - self._w0
+        self._tracer.exit_span()
         self._tracer.finish_span(
             self.name,
             self.attrs,
             started_at=self._t0,
-            dur=self._tracer.clock() - self._t0,
-            wall_s=time.perf_counter() - self._w0,
+            dur=dur,
+            wall_s=wall_s,
+            stack=self._stack,
         )
 
 
@@ -147,6 +161,12 @@ class Tracer:
         self.sink = sink
         self.metrics = metrics
         self._seq = 0
+        #: Names of the currently open spans, outermost first. Spans
+        #: are context managers, so entries/exits pair LIFO and the
+        #: stack mirrors the live nesting; each finished span records
+        #: the ancestors it was opened under, which is what the
+        #: cost-attribution profiler folds into a tree.
+        self._stack: list = []
 
     def bind_clock(self, clock: Callable[[], float]) -> None:
         """Point the tracer at a run's virtual clock."""
@@ -157,6 +177,17 @@ class Tracer:
         """Open a span; use as a context manager."""
         return Span(self, name, attrs)
 
+    def enter_span(self, name: str) -> tuple:
+        """Push ``name`` onto the live stack; returns its ancestors."""
+        ancestors = tuple(self._stack)
+        self._stack.append(name)
+        return ancestors
+
+    def exit_span(self) -> None:
+        """Pop the innermost open span (called by :class:`Span`)."""
+        if self._stack:
+            self._stack.pop()
+
     def point(self, name: str, **attrs: object) -> None:
         """Emit an instantaneous event."""
         self._emit(
@@ -165,6 +196,7 @@ class Tracer:
                 kind="point",
                 name=name,
                 t=self.clock(),
+                stack=tuple(self._stack),
                 attrs=attrs,
             )
         )
@@ -176,6 +208,7 @@ class Tracer:
         started_at: float,
         dur: float,
         wall_s: float,
+        stack: tuple = (),
     ) -> None:
         """Record a completed span (called by :class:`Span`)."""
         self._emit(
@@ -186,6 +219,7 @@ class Tracer:
                 t=started_at,
                 dur=dur,
                 wall_s=wall_s,
+                stack=stack,
                 attrs=attrs,
             )
         )
@@ -227,6 +261,12 @@ class NullTracer:
     enabled = False
 
     def bind_clock(self, clock: Callable[[], float]) -> None:
+        pass
+
+    def enter_span(self, name: str) -> tuple:
+        return ()
+
+    def exit_span(self) -> None:
         pass
 
     def span(self, name: str, **attrs: object) -> _NullSpan:

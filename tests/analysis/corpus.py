@@ -134,6 +134,8 @@ _add(
         telemetry.metrics.counter(names.CACHE_HITS).inc()
         telemetry.tracer.point(names.SCHEDULER_DECISION, x=1)
         telemetry.tracer.point(names.ROLLOUT_PREFIX + "promote", x=1)
+        telemetry.tracer.point(names.PERF_CHECK, regressions=0)
+        telemetry.metrics.counter(names.PERF_REGRESSIONS).inc()
     """,
     noqa="""\
     def record(telemetry):

@@ -350,3 +350,141 @@ class TestExp6Command:
         assert "redo_monotone=1" in out
         assert "all_identical=1" in out
         assert "retry_masked=1" in out
+
+
+class TestPerfParser:
+    def test_defaults(self):
+        args = build_parser().parse_args(["perf", "profile"])
+        assert args.action == "profile"
+        assert args.approach == "continuous"
+        assert args.store == "benchmarks/baselines"
+        assert args.against is None
+        assert args.wall_budget == 0.5
+        assert args.window == 5
+        assert args.gate_profile is False
+        assert args.record_after_check is False
+
+    def test_options(self):
+        args = build_parser().parse_args(
+            ["perf", "check", "--dataset", "taxi", "--approach",
+             "online", "--against", "./b", "--wall-budget", "2.0",
+             "--window", "3", "--gate-profile", "--record"]
+        )
+        assert args.against == "./b"
+        assert args.wall_budget == 2.0
+        assert args.window == 3
+        assert args.gate_profile is True
+        assert args.record_after_check is True
+
+    def test_invalid_action_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["perf", "flamegraph"])
+
+    def test_profile_option_on_experiments(self):
+        for command in ("exp1", "fig5", "fig6", "fig7", "fig8",
+                        "exp5", "exp6"):
+            args = build_parser().parse_args(
+                [command, "--profile", "p.json"]
+            )
+            assert args.profile == "p.json"
+
+
+class TestPerfCommands:
+    """The perf observatory loop: profile, record, check, report."""
+
+    def test_profile_prints_tree_and_digest(self, capsys, tmp_path):
+        json_out = tmp_path / "profile.json"
+        collapsed = tmp_path / "profile.folded"
+        assert main(
+            ["perf", "profile", "--scale", "test",
+             "--json", str(json_out), "--collapsed", str(collapsed)]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "platform.observe" in out
+        assert "profile digest:" in out
+        assert "self cost by subsystem:" in out
+        assert json_out.exists()
+        assert collapsed.read_text().startswith("run;")
+
+    def test_record_check_report_loop(self, capsys, tmp_path):
+        store = str(tmp_path / "baselines")
+        assert main(
+            ["perf", "record", "--scale", "test", "--store", store]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "recorded run_url_test_continuous" in out
+
+        # Identical seed: every exact metric must gate clean.
+        assert main(
+            ["perf", "check", "--scale", "test", "--against", store]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "OK — no regressions" in out
+        assert "profile_digest" in out
+
+        assert main(
+            ["perf", "report", "--store", store]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "trajectory: run_url_test_continuous" in out
+        assert "1 record(s)" in out
+
+    def test_check_on_empty_store_founds_baseline(self, capsys, tmp_path):
+        store = str(tmp_path / "empty")
+        assert main(
+            ["perf", "check", "--scale", "test", "--against", store]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "no baseline trajectory yet" in out
+
+    def test_check_flags_changed_workload(self, capsys, tmp_path):
+        store = str(tmp_path / "baselines")
+        assert main(
+            ["perf", "record", "--scale", "test", "--store", store]
+        ) == 0
+        capsys.readouterr()
+        # A different seed is a different workload: the virtual-cost
+        # metrics move and the exact gate must fail.
+        assert main(
+            ["perf", "check", "--scale", "test", "--seed", "99",
+             "--against", store, "--gate-profile"]
+        ) == 1
+        out = capsys.readouterr().out
+        assert "REGRESSION" in out
+
+    def test_check_record_appends_on_pass(self, capsys, tmp_path):
+        store = str(tmp_path / "baselines")
+        assert main(
+            ["perf", "record", "--scale", "test", "--store", store]
+        ) == 0
+        capsys.readouterr()
+        assert main(
+            ["perf", "check", "--scale", "test", "--against", store,
+             "--record"]
+        ) == 0
+        capsys.readouterr()
+        assert main(["perf", "report", "--store", store]) == 0
+        assert "2 record(s)" in capsys.readouterr().out
+
+    def test_profile_folds_existing_trace(self, capsys, tmp_path):
+        trace = tmp_path / "run.jsonl"
+        assert main(
+            ["exp1", "--scale", "test", "--trace", str(trace)]
+        ) == 0
+        capsys.readouterr()
+        assert main(
+            ["perf", "profile", "--trace", str(trace)]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "engine.online_pass" in out
+        assert "profile digest:" in out
+
+    def test_exp1_profile_flag(self, capsys, tmp_path):
+        profile = tmp_path / "exp1_profile.json"
+        assert main(
+            ["exp1", "--scale", "test", "--profile", str(profile)]
+        ) == 0
+        out = capsys.readouterr().out
+        assert f"profile written to {profile}" in out
+        assert "self cost by subsystem:" in out
+        assert profile.exists()

@@ -1,0 +1,214 @@
+"""Unit tests for the regression detector and its CLI workloads."""
+
+from dataclasses import replace
+
+import pytest
+
+from repro.exceptions import ValidationError
+from repro.experiments.common import url_scenario
+from repro.obs.baseline import BenchRecord, MetricValue
+from repro.obs.perf import (
+    FAILING_VERDICTS,
+    RegressionReport,
+    TolerancePolicy,
+    check_record,
+    format_report,
+    format_trajectory,
+    run_workload,
+    workload_name,
+)
+from repro.obs.telemetry import Telemetry
+
+
+def record(digest=None, **overrides):
+    metrics = {
+        "total_cost": MetricValue(10.0, "cost"),
+        "final_error": MetricValue(0.25, "quality"),
+        "chunks": MetricValue(40.0, "count"),
+        "wall_s": MetricValue(1.0, "wall"),
+    }
+    metrics.update(overrides)
+    return BenchRecord(
+        name="bench_a",
+        metrics=metrics,
+        seed=7,
+        profile_digest=digest,
+    )
+
+
+def verdict_of(report, metric):
+    (check,) = [c for c in report.checks if c.metric == metric]
+    return check.verdict
+
+
+class TestTolerancePolicy:
+    def test_rejects_negative_budget(self):
+        with pytest.raises(ValidationError):
+            TolerancePolicy(wall_budget=-0.1)
+
+    def test_rejects_empty_window(self):
+        with pytest.raises(ValidationError):
+            TolerancePolicy(window=0)
+
+
+class TestCheckRecord:
+    def test_empty_history_founds_baseline(self):
+        report = check_record(record(), [])
+        assert report.ok
+        assert report.exit_code() == 0
+        assert {c.verdict for c in report.checks} == {"new"}
+
+    def test_self_comparison_is_all_ok(self):
+        report = check_record(
+            record(digest="abc"), [record(digest="abc")]
+        )
+        assert report.ok
+        assert {c.verdict for c in report.checks} == {"ok"}
+
+    def test_cost_inflation_is_a_regression(self):
+        fresh = record(total_cost=MetricValue(20.0, "cost"))
+        report = check_record(fresh, [record()])
+        assert not report.ok
+        assert report.exit_code() == 1
+        assert verdict_of(report, "total_cost") == "regression"
+
+    def test_cost_drop_is_an_improvement_and_passes(self):
+        fresh = record(total_cost=MetricValue(5.0, "cost"))
+        report = check_record(fresh, [record()])
+        assert report.ok
+        assert verdict_of(report, "total_cost") == "improvement"
+
+    def test_any_count_drift_is_a_regression(self):
+        fewer = record(chunks=MetricValue(39.0, "count"))
+        report = check_record(fewer, [record()])
+        assert verdict_of(report, "chunks") == "regression"
+
+    def test_wall_within_budget_is_ok(self):
+        fresh = record(wall_s=MetricValue(1.4, "wall"))
+        report = check_record(
+            fresh, [record()], TolerancePolicy(wall_budget=0.5)
+        )
+        assert verdict_of(report, "wall_s") == "ok"
+
+    def test_wall_over_budget_regresses(self):
+        fresh = record(wall_s=MetricValue(1.6, "wall"))
+        report = check_record(
+            fresh, [record()], TolerancePolicy(wall_budget=0.5)
+        )
+        assert verdict_of(report, "wall_s") == "regression"
+
+    def test_wall_compares_against_median_of_window(self):
+        history = [
+            record(wall_s=MetricValue(w, "wall"))
+            for w in (1.0, 1.0, 9.0, 1.0, 1.0)
+        ]
+        fresh = record(wall_s=MetricValue(1.2, "wall"))
+        report = check_record(
+            fresh, history, TolerancePolicy(wall_budget=0.5, window=5)
+        )
+        # Median of {1, 1, 9, 1, 1} is 1: the one hot run in the
+        # window does not shift the gate.
+        assert verdict_of(report, "wall_s") == "ok"
+
+    def test_metric_missing_from_fresh_run_fails(self):
+        fresh = record()
+        del fresh.metrics["final_error"]
+        report = check_record(fresh, [record()])
+        assert verdict_of(report, "final_error") == "missing"
+        assert not report.ok
+
+    def test_metric_new_in_fresh_run_passes(self):
+        fresh = record(extra=MetricValue(1.0, "cost"))
+        report = check_record(fresh, [record()])
+        assert verdict_of(report, "extra") == "new"
+        assert report.ok
+
+    def test_digest_change_warns_by_default(self):
+        report = check_record(
+            record(digest="bbb"), [record(digest="aaa")]
+        )
+        assert verdict_of(report, "profile_digest") == "changed"
+        assert report.ok
+
+    def test_digest_change_gates_with_policy(self):
+        report = check_record(
+            record(digest="bbb"),
+            [record(digest="aaa")],
+            TolerancePolicy(gate_profile=True),
+        )
+        assert verdict_of(report, "profile_digest") == "regression"
+        assert not report.ok
+
+    def test_digest_absent_on_one_side_is_skipped(self):
+        report = check_record(record(), [record(digest="aaa")])
+        assert verdict_of(report, "profile_digest") == "ok"
+
+    def test_emits_telemetry_on_regression(self):
+        telemetry = Telemetry()
+        fresh = record(total_cost=MetricValue(20.0, "cost"))
+        check_record(fresh, [record()], telemetry=telemetry)
+        telemetry.flush_metrics()
+        names = [event["name"] for event in telemetry.events]
+        assert "perf.check" in names
+        snapshot = telemetry.events[-1]["attrs"]
+        assert snapshot["counters"]["perf.regressions"] == 1.0
+
+
+class TestRendering:
+    def test_format_report_states_the_verdict(self):
+        passing = check_record(record(), [record()])
+        failing = check_record(
+            record(total_cost=MetricValue(20.0, "cost")), [record()]
+        )
+        assert "OK — no regressions" in format_report(passing)
+        assert "REGRESSION in total_cost" in format_report(failing)
+
+    def test_format_trajectory_lists_each_record(self):
+        text = format_trajectory("bench_a", [record(), record()])
+        assert "2 record(s)" in text
+        assert "total_cost=10" in text
+
+    def test_failing_verdicts_vocabulary(self):
+        assert set(FAILING_VERDICTS) == {"regression", "missing"}
+        assert RegressionReport(name="x").ok
+
+
+class TestRunWorkload:
+    def test_identical_seeds_gate_clean(self):
+        scenario = url_scenario("test")
+        baseline, _ = run_workload(scenario, "continuous")
+        fresh, root = run_workload(scenario, "continuous")
+        assert baseline.name == workload_name(
+            scenario.name, "continuous"
+        )
+        assert fresh.profile_digest == baseline.profile_digest
+        assert root.cum_cost > 0.0
+        report = check_record(fresh, [baseline])
+        assert report.ok, format_report(report)
+        exact = [c for c in report.checks if c.kind != "wall"]
+        assert all(c.verdict == "ok" for c in exact)
+
+    def test_inflated_cost_is_flagged(self):
+        scenario = url_scenario("test")
+        baseline, _ = run_workload(scenario, "continuous")
+        fresh, _ = run_workload(scenario, "continuous")
+        fresh.metrics["total_cost"] = MetricValue(
+            baseline.metrics["total_cost"].value * 2.0, "cost"
+        )
+        report = check_record(fresh, [baseline])
+        assert not report.ok
+        assert verdict_of(report, "total_cost") == "regression"
+
+    def test_record_carries_reproduction_knobs(self):
+        scenario = url_scenario("test")
+        built, _ = run_workload(scenario, "online")
+        assert built.seed == scenario.seed
+        assert built.params["num_chunks"] == scenario.num_chunks
+        assert built.params["approach"] == "online"
+
+
+def test_report_dataclass_replace_keeps_contract():
+    policy = TolerancePolicy()
+    assert replace(policy, wall_budget=1.0).wall_budget == 1.0
+    with pytest.raises(ValidationError):
+        replace(policy, window=0)

@@ -100,6 +100,31 @@ class TestSummarizeEvents:
         assert summary.gauges == {"g": 2.0}
         assert summary.histograms["h"]["count"] == 3
 
+    def test_single_span_percentiles_collapse(self):
+        summary = summarize_events([span_event("only", 2.5)])
+        (span,) = summary.spans
+        assert span.count == 1
+        assert span.p50 == span.p95 == span.p99 == 2.5
+        assert span.max_dur == 2.5
+        assert summary.total_span_dur == 2.5
+
+    def test_zero_cost_spans_summarize_without_division(self):
+        # Spans from pure-bookkeeping paths can carry dur == 0; the
+        # summary (and its rendering) must cope with an all-zero
+        # total rather than dividing by it.
+        events = [
+            span_event("noop", 0.0, seq=index) for index in (1, 2, 3)
+        ]
+        summary = summarize_events(events)
+        (span,) = summary.spans
+        assert span.count == 3
+        assert span.total_dur == 0.0
+        assert span.p99 == 0.0
+        assert summary.total_span_dur == 0.0
+        text = format_summary(summary)
+        assert "noop" in text
+        assert "events: 3" in text
+
     def test_explicit_snapshot_overrides_events(self):
         events = [
             {

@@ -92,6 +92,41 @@ class TestTracer:
             clock.now = 4.0
         assert metrics.histogram("span.work").count == 1
 
+    def test_nested_spans_record_ancestor_stack(self, tracer, ring):
+        with tracer.span("outer"):
+            with tracer.span("inner"):
+                pass
+            with tracer.span("inner"):
+                pass
+        by_name = {}
+        for event in ring.events:
+            by_name.setdefault(event["name"], []).append(event)
+        assert all(
+            e["stack"] == ["outer"] for e in by_name["inner"]
+        )
+        assert by_name["outer"][0]["stack"] == []
+
+    def test_stack_unwinds_after_exit(self, tracer, ring):
+        with tracer.span("first"):
+            pass
+        with tracer.span("second"):
+            tracer.point("tick")
+        events = {e["name"]: e for e in ring.events}
+        # "first" is closed: neither the sibling span nor the point
+        # inside "second" may inherit it.
+        assert events["second"]["stack"] == []
+        assert events["tick"]["stack"] == ["second"]
+
+    def test_stack_unwinds_on_exception(self, tracer, ring):
+        with pytest.raises(RuntimeError):
+            with tracer.span("outer"):
+                raise RuntimeError("boom")
+        with tracer.span("after"):
+            pass
+        events = {e["name"]: e for e in ring.events}
+        assert events["outer"]["stack"] == []
+        assert events["after"]["stack"] == []
+
 
 class TestNullTracer:
     def test_shared_noop_span(self):
