@@ -1,0 +1,104 @@
+"""Health-monitor overhead guard.
+
+An attached :class:`~repro.obs.monitor.HealthMonitor` rides the sink
+chain of an already-instrumented run, so its marginal cost is one
+``emit`` per telemetry event. This benchmark makes the <5% budget
+executable, in the same projection style as ``bench_obs_overhead``:
+
+1. run a small continuous deployment with telemetry + monitor and
+   take its engine wall time as the work baseline (also proving the
+   monitor really closes windows on a live stream);
+2. microbenchmark the monitor's per-event intake cost — priced
+   pessimistically on a *watched* signal event, which pays window
+   advancement plus two series samples (the common case, an unwatched
+   event, exits after one dict lookup);
+3. project that cost onto the run's real event count and assert the
+   projection stays under 5% of the baseline.
+"""
+
+from __future__ import annotations
+
+import time
+
+from benchmarks.conftest import run_once
+from repro.experiments.common import run_continuous, url_scenario
+from repro.obs import HealthMonitor, Telemetry
+
+#: Maximum tolerated projected overhead of an attached monitor,
+#: relative to the monitored run's engine wall time.
+MAX_OVERHEAD_FRACTION = 0.05
+
+_EMIT_ITERATIONS = 50_000
+
+
+def _monitor_emit_seconds(iterations: int = _EMIT_ITERATIONS) -> float:
+    """Average wall cost of one watched-signal monitor intake."""
+    monitor = HealthMonitor()
+    event = {
+        "seq": 0,
+        "kind": "point",
+        "name": "platform.chunk",
+        "t": 0.0,
+        "dur": 0.0,
+        "wall_s": 0.0,
+        "attrs": {"chunk": 1, "rows": 20, "error": 0.4},
+    }
+    emit = monitor.emit
+    step = 1e-7  # stays inside one window: prices intake, not closes
+    started = time.perf_counter()
+    for index in range(iterations):
+        event["t"] = index * step
+        emit(event)
+    return (time.perf_counter() - started) / iterations
+
+
+def test_monitor_overhead(benchmark, report, bench_record):
+    scenario = url_scenario("test")
+
+    telemetry = Telemetry()
+    monitor = telemetry.attach_monitor()
+    result = run_continuous(scenario, telemetry=telemetry)
+    telemetry.close()
+    events = monitor.events_seen
+
+    per_event = run_once(benchmark, _monitor_emit_seconds)
+    projected = events * per_event
+    budget = MAX_OVERHEAD_FRACTION * result.wall_seconds
+
+    report(
+        "monitor_overhead",
+        "\n".join(
+            [
+                "health-monitor overhead projection",
+                f"engine wall time (monitored run): "
+                f"{result.wall_seconds * 1e3:.2f} ms",
+                f"events consumed by the monitor: {events}",
+                f"windows closed: {monitor.windows_closed}",
+                f"watched-signal intake cost: "
+                f"{per_event * 1e9:.1f} ns/event",
+                f"projected overhead: {projected * 1e6:.1f} us "
+                f"({projected / result.wall_seconds:.4%} of wall)",
+                f"budget ({MAX_OVERHEAD_FRACTION:.0%}): "
+                f"{budget * 1e3:.2f} ms",
+            ]
+        ),
+    )
+
+    assert events > 0
+    assert monitor.windows_closed > 0
+    assert projected < budget
+
+    bench_record(
+        "monitor_overhead",
+        scenario=scenario,
+        count={
+            "monitor_events": events,
+            "windows_closed": monitor.windows_closed,
+            "incidents": len(monitor.incidents),
+        },
+        wall={
+            "monitor_emit_s": per_event,
+            "monitored_wall_s": result.wall_seconds,
+        },
+        params={"emit_iterations": _EMIT_ITERATIONS, "scale": "test"},
+    )

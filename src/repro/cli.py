@@ -53,6 +53,19 @@ runs against them (exit 0 = no regressions, 1 = regressions)::
     python -m repro perf check  --dataset url --scale test --against ./b
     python -m repro perf report --store benchmarks/baselines
 
+Health: ``--monitor`` attaches the live health monitor to an
+instrumented run — streaming virtual-clock windows, declarative alert
+rules, and a deterministic incident timeline written as
+``health.json`` — and ``repro obs health``/``repro obs alerts``
+render a timeline (or replay a JSONL trace through the monitor
+offline)::
+
+    python -m repro exp1 --dataset url --scale test \
+        --monitor health.json
+    python -m repro obs health health.json
+    python -m repro obs alerts health.json
+    python -m repro obs health run.jsonl --window 0.02
+
 Static analysis: ``repro lint`` runs reprolint, the AST-based
 invariant linter enforcing the determinism, checkpoint, and telemetry
 contracts (exit 0 = clean, 1 = findings, 2 = config error)::
@@ -123,6 +136,25 @@ def build_parser() -> argparse.ArgumentParser:
             "and print the rendered tree (see 'repro perf')",
         )
 
+    def add_monitor_option(sub: argparse.ArgumentParser) -> None:
+        sub.add_argument(
+            "--monitor",
+            metavar="PATH",
+            default=None,
+            help="attach the live health monitor to the instrumented "
+            "runs, write the deterministic incident timeline as "
+            "health.json to PATH, and print it (see 'repro obs "
+            "health')",
+        )
+        sub.add_argument(
+            "--monitor-window",
+            type=float,
+            default=None,
+            metavar="COST",
+            help="tumbling-window width in virtual-cost units "
+            "(default: 0.01)",
+        )
+
     exp1 = commands.add_parser(
         "exp1", help="Figure 4: online vs periodical vs continuous"
     )
@@ -135,6 +167,7 @@ def build_parser() -> argparse.ArgumentParser:
         "print its telemetry summary (see 'repro obs')",
     )
     add_profile_option(exp1)
+    add_monitor_option(exp1)
 
     table3 = commands.add_parser(
         "table3", help="Table 3: hyperparameter grid"
@@ -146,12 +179,14 @@ def build_parser() -> argparse.ArgumentParser:
     )
     add_scenario_options(fig5)
     add_profile_option(fig5)
+    add_monitor_option(fig5)
 
     fig6 = commands.add_parser(
         "fig6", help="Figure 6: sampling strategies vs quality"
     )
     add_scenario_options(fig6)
     add_profile_option(fig6)
+    add_monitor_option(fig6)
 
     table4 = commands.add_parser(
         "table4", help="Table 4: empirical vs analytical μ"
@@ -168,26 +203,59 @@ def build_parser() -> argparse.ArgumentParser:
     )
     add_scenario_options(fig7)
     add_profile_option(fig7)
+    add_monitor_option(fig7)
 
     fig8 = commands.add_parser(
         "fig8", help="Figure 8: quality/cost trade-off"
     )
     add_scenario_options(fig8)
     add_profile_option(fig8)
+    add_monitor_option(fig8)
 
     obs = commands.add_parser(
-        "obs", help="summarize or tail a JSONL telemetry trace"
+        "obs",
+        help="summarize, tail, or health-monitor a telemetry trace",
     )
     obs.add_argument(
         "action",
-        choices=("summary", "tail"),
+        choices=("summary", "tail", "health", "alerts"),
         help="summary = per-span percentile table + counters; "
-        "tail = the last events, one line each",
+        "tail = the last events, one line each; health = the "
+        "incident timeline (from a health.json or by replaying a "
+        "JSONL trace through the monitor); alerts = the rule table "
+        "with firing counts",
     )
-    obs.add_argument("trace", help="path to a .jsonl trace file")
+    obs.add_argument(
+        "trace",
+        help="path to a .jsonl trace file (or, for health/alerts, a "
+        "health.json timeline)",
+    )
     obs.add_argument(
         "--limit", type=int, default=20,
         help="number of events shown by 'tail' (default: 20)",
+    )
+    obs.add_argument(
+        "--rules",
+        metavar="PATH",
+        default=None,
+        help="health/alerts replay: JSON list of alert-rule "
+        "declarations overriding the default rule set",
+    )
+    obs.add_argument(
+        "--window",
+        type=float,
+        default=None,
+        metavar="COST",
+        help="health/alerts replay: tumbling-window width in "
+        "virtual-cost units (default: 0.01)",
+    )
+    obs.add_argument(
+        "--json",
+        metavar="PATH",
+        dest="json_out",
+        default=None,
+        help="health/alerts: also write the health payload as JSON "
+        "to PATH",
     )
 
     exp5 = commands.add_parser(
@@ -195,6 +263,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     add_scenario_options(exp5)
     add_profile_option(exp5)
+    add_monitor_option(exp5)
 
     perf = commands.add_parser(
         "perf",
@@ -363,6 +432,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     add_scenario_options(run)
     _add_reliability_options(run)
+    add_monitor_option(run)
     run.add_argument(
         "--kill-at",
         type=int,
@@ -387,6 +457,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     add_scenario_options(recover)
     _add_reliability_options(recover)
+    add_monitor_option(recover)
 
     lint = commands.add_parser(
         "lint",
@@ -471,6 +542,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="checkpoint intervals to sweep (default: 4 7 13)",
     )
     add_profile_option(exp6)
+    add_monitor_option(exp6)
 
     return parser
 
@@ -516,22 +588,35 @@ def _scenario(args: argparse.Namespace) -> Scenario:
 
 
 def _telemetry_from_flags(args: argparse.Namespace):
-    """Build one telemetry bundle for ``--trace`` and/or ``--profile``.
+    """Build one telemetry bundle for ``--trace``, ``--profile``,
+    and/or ``--monitor``.
 
-    Returns ``None`` when neither flag was given, so un-instrumented
-    invocations stay byte-identical to pre-observability builds.
+    Returns ``None`` when none of the flags were given, so
+    un-instrumented invocations stay byte-identical to
+    pre-observability builds.
     """
     trace = getattr(args, "trace", None)
     profile = getattr(args, "profile", None)
-    if trace is None and profile is None:
+    monitor = getattr(args, "monitor", None)
+    if trace is None and profile is None and monitor is None:
         return None
     from repro.obs import Telemetry
 
     if trace is not None:
         from repro.obs import JsonlSink
 
-        return Telemetry(sink=JsonlSink(trace))
-    return Telemetry()
+        telemetry = Telemetry(sink=JsonlSink(trace))
+    else:
+        telemetry = Telemetry()
+    if monitor is not None:
+        from repro.obs import MonitorConfig
+
+        window = getattr(args, "monitor_window", None)
+        config = (
+            MonitorConfig(window=window) if window is not None else None
+        )
+        telemetry.attach_monitor(config=config)
+    return telemetry
 
 
 def _finish_telemetry(args: argparse.Namespace, telemetry) -> None:
@@ -541,8 +626,19 @@ def _finish_telemetry(args: argparse.Namespace, telemetry) -> None:
         return
     import json
 
+    monitor_path = getattr(args, "monitor", None)
+    if monitor_path is not None and telemetry.monitor is not None:
+        from repro.obs import names
+
+        telemetry.tracer.point(names.HEALTH_EXPORTED, path=monitor_path)
     telemetry.flush_metrics()
     telemetry.close()
+    if monitor_path is not None and telemetry.monitor is not None:
+        from repro.obs import format_timeline
+
+        payload = telemetry.monitor.write_health(monitor_path)
+        print(f"\nhealth timeline written to {monitor_path}")
+        print(format_timeline(payload))
     trace = getattr(args, "trace", None)
     if trace is not None:
         from repro.obs import format_summary
@@ -610,11 +706,66 @@ def _command_obs(args: argparse.Namespace) -> None:
     from repro.obs import format_summary, format_tail, load_jsonl
     from repro.obs.summary import summarize_events
 
+    if args.action in ("health", "alerts"):
+        _obs_health(args)
+        return
     events = load_jsonl(args.trace)
     if args.action == "summary":
         print(format_summary(summarize_events(events)))
     else:
         print(format_tail(events, limit=args.limit))
+
+
+def _load_health_payload(args: argparse.Namespace):
+    """Health payload for ``repro obs health/alerts``: either read a
+    ``health.json`` written by ``--monitor``, or replay a JSONL trace
+    through a fresh monitor (deterministic, so both routes agree)."""
+    import json
+    from pathlib import Path
+
+    from repro.obs import AlertRule, MonitorConfig, load_jsonl, replay_trace
+
+    text = Path(args.trace).read_text(encoding="utf-8")
+    try:
+        payload = json.loads(text)
+    except ValueError:
+        payload = None
+    if isinstance(payload, dict) and "incidents" in payload:
+        return payload
+    rules = None
+    if args.rules is not None:
+        declarations = json.loads(
+            Path(args.rules).read_text(encoding="utf-8")
+        )
+        rules = [AlertRule.from_dict(d) for d in declarations]
+    config = (
+        MonitorConfig(window=args.window)
+        if args.window is not None
+        else None
+    )
+    monitor = replay_trace(
+        load_jsonl(args.trace), rules=rules, config=config
+    )
+    return monitor.health()
+
+
+def _obs_health(args: argparse.Namespace) -> None:
+    import json
+    from pathlib import Path
+
+    from repro.obs import format_alerts, format_timeline
+
+    payload = _load_health_payload(args)
+    if args.json_out is not None:
+        Path(args.json_out).write_text(
+            json.dumps(payload, indent=2, sort_keys=True) + "\n",
+            encoding="utf-8",
+        )
+        print(f"health payload written to {args.json_out}")
+    if args.action == "alerts":
+        print(format_alerts(payload))
+    else:
+        print(format_timeline(payload))
 
 
 def _command_table3(args: argparse.Namespace) -> None:
@@ -1079,9 +1230,11 @@ def _command_run(args: argparse.Namespace) -> None:
     stream = scenario.make_stream()
     if args.sigkill_at is not None:
         stream = _sigkill_stream(stream, args.sigkill_at)
+    telemetry = _telemetry_from_flags(args)
     deployment = make_deployment(
         scenario,
         args.approach,
+        telemetry=telemetry,
         checkpoint=_checkpoint_config(args),
         fault_plan=fault_plan,
         retry=_retry_policy(args, scenario),
@@ -1104,8 +1257,14 @@ def _command_run(args: argparse.Namespace) -> None:
             if cursor is not None
             else "no checkpoint was written; the run is lost"
         )
+        # No health export on the crash path — the monitor state rides
+        # in the checkpoint and 'repro recover --monitor' finishes the
+        # timeline; just flush the trace file.
+        if telemetry is not None:
+            telemetry.close()
         raise SystemExit(17) from None
     _print_run_result(result, deployment)
+    _finish_telemetry(args, telemetry)
 
 
 def _command_recover(args: argparse.Namespace) -> None:
@@ -1114,15 +1273,18 @@ def _command_recover(args: argparse.Namespace) -> None:
     if args.checkpoint_dir is None:
         raise SystemExit("recover requires --checkpoint-dir")
     scenario = _scenario(args)
+    telemetry = _telemetry_from_flags(args)
     deployment = make_deployment(
         scenario,
         args.approach,
+        telemetry=telemetry,
         checkpoint=_checkpoint_config(args),
         retry=_retry_policy(args, scenario),
     )
     # No initial_fit: all fitted state comes from the checkpoint.
     result = deployment.recover(scenario.make_stream())
     _print_run_result(result, deployment)
+    _finish_telemetry(args, telemetry)
 
 
 def _command_lint(args: argparse.Namespace) -> int:

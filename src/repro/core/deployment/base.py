@@ -30,6 +30,7 @@ from repro.ml.metrics import PrequentialTracker
 from repro.ml.models.base import LinearSGDModel
 from repro.ml.optim.base import Optimizer
 from repro.ml.sgd import TrainingResult
+from repro.obs import names
 from repro.obs.telemetry import NULL_TELEMETRY, Telemetry
 from repro.persistence import DeploymentBundle
 from repro.pipeline.pipeline import Pipeline
@@ -308,10 +309,23 @@ class Deployment(ABC):
             except StopIteration:
                 break
             predictions, labels = self._predict(table)
+            chunk_error: Optional[float] = None
             if len(labels):
                 error_sum = self._chunk_error(predictions, labels)
                 self.prequential.add_chunk(error_sum, len(labels))
+                chunk_error = error_sum / len(labels)
             result.error_history.append(self.prequential.value())
+            if self.telemetry.enabled:
+                # Point (not span): the per-chunk quality signal the
+                # health monitor windows, kept out of the span stream
+                # so profile digests are unaffected.
+                self.telemetry.tracer.point(
+                    names.PLATFORM_CHUNK,
+                    chunk=chunk_index,
+                    rows=int(len(labels)),
+                    error=chunk_error,
+                    cumulative=self.prequential.value(),
+                )
             self._observe(table, chunk_index)
             result.cost_history.append(self._current_cost())
             if self.reliability.due(chunk_index + 1):
@@ -342,6 +356,12 @@ class Deployment(ABC):
                 if self.telemetry.enabled
                 else None
             ),
+            "monitor": (
+                self.telemetry.monitor.state_dict()
+                if self.telemetry.enabled
+                and self.telemetry.monitor is not None
+                else None
+            ),
             "deployment": self._checkpoint_state(),
         }
         checkpoint = PlatformCheckpoint(
@@ -370,6 +390,12 @@ class Deployment(ABC):
         result.cost_history = list(state["cost_history"])
         if state.get("metrics") is not None and self.telemetry.enabled:
             self.telemetry.metrics.load_state_dict(state["metrics"])
+        if (
+            state.get("monitor") is not None
+            and self.telemetry.enabled
+            and self.telemetry.monitor is not None
+        ):
+            self.telemetry.monitor.load_state_dict(state["monitor"])
         storage = self._chunk_store()
         if storage is not None and checkpoint.manifest is not None:
             self.reliability.store.restore_storage(

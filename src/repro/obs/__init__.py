@@ -15,7 +15,14 @@ A cross-cutting observability layer with three primitives:
   (:func:`build_profile`), persisted benchmark baselines
   (:class:`BaselineStore` / ``BENCH_<name>.json`` trajectories), and
   a noise-aware regression gate (:func:`check_record`), surfaced as
-  ``repro perf {profile,record,check,report}``.
+  ``repro perf {profile,record,check,report}``;
+* the live health monitor — a :class:`HealthMonitor` spliced into the
+  sink chain (``telemetry.attach_monitor()``) aggregates the event
+  stream into tumbling/sliding virtual-clock windows, evaluates
+  declarative :class:`AlertRule` sets, manages the pending → firing →
+  resolved incident lifecycle, and exports a deterministic
+  ``health.json`` timeline, surfaced as ``repro obs
+  {health,alerts}`` and ``--monitor`` on the experiment commands.
 
 Enable telemetry on any deployment by passing a bundle::
 
@@ -36,11 +43,25 @@ from repro.obs.baseline import (
     environment_fingerprint,
     make_record,
 )
+from repro.obs.incident import (
+    HEALTH_SCHEMA,
+    Incident,
+    IncidentLog,
+    format_alerts,
+    format_timeline,
+    health_digest,
+)
 from repro.obs.metrics import (
     Counter,
     Gauge,
     MetricsRegistry,
     StreamingHistogram,
+)
+from repro.obs.monitor import (
+    HealthMonitor,
+    MonitorConfig,
+    default_rules,
+    replay_trace,
 )
 from repro.obs.perf import (
     MetricCheck,
@@ -77,6 +98,7 @@ from repro.obs.summary import (
     summarize_events,
     summarize_trace,
 )
+from repro.obs.rules import AlertRule, Evaluation, RuleState
 from repro.obs.telemetry import NULL_TELEMETRY, Telemetry
 from repro.obs.trace import (
     EVENT_FIELDS,
@@ -85,6 +107,11 @@ from repro.obs.trace import (
     Span,
     TraceEvent,
     Tracer,
+)
+from repro.obs.windows import (
+    SeriesWindows,
+    SlidingView,
+    WindowAggregate,
 )
 
 __all__ = [
@@ -141,4 +168,21 @@ __all__ = [
     "format_report",
     "format_trajectory",
     "run_workload",
+    # health monitor
+    "AlertRule",
+    "Evaluation",
+    "RuleState",
+    "HEALTH_SCHEMA",
+    "HealthMonitor",
+    "Incident",
+    "IncidentLog",
+    "MonitorConfig",
+    "SeriesWindows",
+    "SlidingView",
+    "WindowAggregate",
+    "default_rules",
+    "format_alerts",
+    "format_timeline",
+    "health_digest",
+    "replay_trace",
 ]

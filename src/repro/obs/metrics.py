@@ -145,30 +145,75 @@ class StreamingHistogram:
             "p99": self.quantile(0.99),
         }
 
+    def merge(self, other: "StreamingHistogram") -> None:
+        """Fold another sketch's samples into this one.
+
+        Both sketches must share the same bucket base; merging is how
+        the health monitor combines per-window sketches into a sliding
+        view without re-observing samples.
+        """
+        if other._base != self._base:
+            raise ValidationError(
+                f"cannot merge histograms with bases {self._base} "
+                f"and {other._base}"
+            )
+        for index, count in other._buckets.items():
+            self._buckets[index] = self._buckets.get(index, 0) + count
+        self._zero_count += other._zero_count
+        self.count += other.count
+        self.total += other.total
+        if other.count:
+            if other.min < self.min:
+                self.min = other.min
+            if other.max > self.max:
+                self.max = other.max
+
     def state_dict(self) -> Dict[str, object]:
-        """Full sketch state (unlike the lossy snapshot percentiles)."""
+        """Full sketch state (unlike the lossy snapshot percentiles).
+
+        The dump is strict-JSON safe: bucket indices are a sorted
+        ``[index, count]`` list (JSON objects cannot carry int keys)
+        and the min/max of an empty sketch are ``None`` rather than
+        the non-JSON infinities — a ``json.dumps``/``loads`` round
+        trip restores the sketch bit-identically.
+        """
         return {
             "base": self._base,
-            "buckets": dict(self._buckets),
+            "buckets": [
+                [index, self._buckets[index]]
+                for index in sorted(self._buckets)
+            ],
             "zero_count": self._zero_count,
             "count": self.count,
             "total": self.total,
-            "min": self.min,
-            "max": self.max,
+            "min": self.min if self.count else None,
+            "max": self.max if self.count else None,
         }
 
     def load_state_dict(self, state: Dict[str, object]) -> None:
-        """Restore sketch state captured by :meth:`state_dict`."""
+        """Restore sketch state captured by :meth:`state_dict`.
+
+        Accepts both the list-of-pairs bucket encoding and the legacy
+        ``{index: count}`` mapping from pre-JSON-safe checkpoints.
+        """
         self._base = float(state["base"])
         self._log_base = math.log(self._base)
-        self._buckets = {
-            int(k): int(v) for k, v in state["buckets"].items()
-        }
+        buckets = state["buckets"]
+        if isinstance(buckets, dict):
+            self._buckets = {
+                int(k): int(v) for k, v in buckets.items()
+            }
+        else:
+            self._buckets = {
+                int(index): int(count) for index, count in buckets
+            }
         self._zero_count = int(state["zero_count"])
         self.count = int(state["count"])
         self.total = float(state["total"])
-        self.min = float(state["min"])
-        self.max = float(state["max"])
+        saved_min = state.get("min")
+        saved_max = state.get("max")
+        self.min = math.inf if saved_min is None else float(saved_min)
+        self.max = -math.inf if saved_max is None else float(saved_max)
 
     def __repr__(self) -> str:
         return (

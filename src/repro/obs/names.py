@@ -14,7 +14,7 @@ Names follow the ``subsystem.event`` dotted convention: lowercase
 first naming the owning subsystem (``engine``, ``cache``,
 ``scheduler``, ``platform``, ``serving``, ``registry``, ``rollout``,
 ``reliability``, ``drift``, ``sampler``, ``span``, ``perf``,
-``profile``).
+``profile``, ``monitor``, ``alert``, ``health``).
 
 Families whose tail is data-dependent (``registry.<event>``,
 ``rollout.<action>``, ``span.<span-name>``) are declared as prefixes
@@ -50,6 +50,7 @@ SAMPLER_CHUNK_AGE = "sampler.chunk_age"
 
 # -- platform / scheduler -----------------------------------------------
 PLATFORM_OBSERVE = "platform.observe"
+PLATFORM_CHUNK = "platform.chunk"
 PLATFORM_PROACTIVE_TRAINING = "platform.proactive_training"
 PLATFORM_FULL_RETRAIN = "platform.full_retrain"
 PLATFORM_REGISTER_CANDIDATE = "platform.register_candidate"
@@ -70,6 +71,7 @@ SERVING_BATCHES = "serving.batches"
 SERVING_ROWS = "serving.rows"
 SERVING_CANARY_ROWS = "serving.canary_rows"
 SERVING_SHADOW_ROWS = "serving.shadow_rows"
+SERVING_LATENCY = "serving.latency"
 
 #: ``registry.<event>`` — event ∈ register/promote/rollback/reject/gc…
 REGISTRY_PREFIX = "registry."
@@ -96,6 +98,18 @@ RELIABILITY_FAULTS_INJECTED = "reliability.faults_injected"
 RELIABILITY_RETRY = "reliability.retry"
 RELIABILITY_RETRIES = "reliability.retries"
 RELIABILITY_RETRIES_EXHAUSTED = "reliability.retries_exhausted"
+
+# -- health monitor -----------------------------------------------------
+MONITOR_EVENTS = "monitor.events"
+MONITOR_SAMPLES = "monitor.samples"
+MONITOR_WINDOWS = "monitor.windows"
+MONITOR_INCIDENTS = "monitor.incidents"
+ALERT_PENDING = "alert.pending"
+ALERT_FIRING = "alert.firing"
+ALERT_RESOLVED = "alert.resolved"
+ALERTS_FIRED = "alert.fired"
+ALERTS_RESOLVED = "alert.resolved_total"
+HEALTH_EXPORTED = "health.exported"
 
 #: Every fixed telemetry name the platform may emit.
 KNOWN_NAMES = frozenset(

@@ -56,11 +56,43 @@ class Telemetry:
         self.tracer = (
             Tracer(chain, metrics=self.metrics) if enabled else NULL_TRACER
         )
+        #: Attached :class:`~repro.obs.monitor.HealthMonitor`, if any.
+        self.monitor = None
 
     # ------------------------------------------------------------------
     def bind_clock(self, clock: Callable[[], float]) -> None:
         """Bind the run's virtual clock (the engine's ``total_cost``)."""
         self.tracer.bind_clock(clock)
+
+    def attach_monitor(self, monitor=None, *, rules=None, config=None):
+        """Splice a :class:`~repro.obs.monitor.HealthMonitor` into the
+        sink chain so it sees every event live.
+
+        Pass a prebuilt ``monitor`` or let one be constructed from
+        ``rules``/``config``. The monitor gets this bundle's tracer
+        and metrics bound, so alert transitions show up in the event
+        stream (``alert.firing`` points, ``alert.fired`` counters)
+        next to the signals that caused them. Returns the monitor.
+        """
+        from repro.exceptions import ValidationError
+        from repro.obs.monitor import HealthMonitor
+
+        if not self.enabled:
+            raise ValidationError(
+                "cannot attach a monitor to disabled telemetry"
+            )
+        if self.monitor is not None:
+            raise ValidationError(
+                "this telemetry bundle already has a monitor attached"
+            )
+        if monitor is None:
+            monitor = HealthMonitor(rules=rules, config=config)
+        monitor.bind(tracer=self.tracer, metrics=self.metrics)
+        chain = MultiSink([self.sink, monitor])
+        self.sink = chain
+        self.tracer.sink = chain
+        self.monitor = monitor
+        return monitor
 
     @property
     def events(self) -> List[Dict[str, object]]:
@@ -84,7 +116,14 @@ class Telemetry:
         return summarize_events(self.events, self.metrics.snapshot())
 
     def close(self) -> None:
-        """Close the sink chain (flushes JSONL files)."""
+        """Close the sink chain (flushes JSONL files).
+
+        An attached monitor is flushed *first*, while the chain is
+        still open — its final-window alert points must reach the
+        other sinks before files close.
+        """
+        if self.monitor is not None:
+            self.monitor.flush()
         self.sink.close()
 
     def __enter__(self) -> "Telemetry":

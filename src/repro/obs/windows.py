@@ -1,0 +1,239 @@
+"""Windowed aggregation over telemetry signals.
+
+The health monitor chops the virtual-clock axis into fixed-width
+**tumbling windows** (window ``k`` covers ``[k*width, (k+1)*width)``
+cost units). Each watched signal keeps one :class:`WindowAggregate`
+for the open window plus a bounded deque of closed ones
+(:class:`SeriesWindows`); a **sliding view** over the last *K* closed
+windows (:class:`SlidingView`) is what alert rules evaluate.
+
+Aggregates are count/sum/min/max/last plus an optional
+:class:`~repro.obs.metrics.StreamingHistogram` for quantile stats —
+everything is mergeable, so a sliding stat never re-observes samples.
+All timestamps are virtual (cost units); nothing here reads a wall
+clock, which is what makes monitor output byte-reproducible.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import deque
+from typing import Dict, List, Optional, Sequence
+
+from repro.exceptions import ValidationError
+from repro.obs.metrics import StreamingHistogram
+
+#: Stats a rule may ask of a sliding view.
+STATS = (
+    "count", "sum", "mean", "min", "max", "last", "rate",
+    "p50", "p95", "p99",
+)
+
+
+class WindowAggregate:
+    """Aggregates of one signal within one tumbling window."""
+
+    __slots__ = ("count", "total", "min", "max", "last", "hist")
+
+    def __init__(self, track_quantiles: bool = False) -> None:
+        self.count = 0
+        self.total = 0.0
+        self.min = math.inf
+        self.max = -math.inf
+        self.last: Optional[float] = None
+        self.hist: Optional[StreamingHistogram] = (
+            StreamingHistogram("window") if track_quantiles else None
+        )
+
+    def add(self, value: float) -> None:
+        value = float(value)
+        self.count += 1
+        self.total += value
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+        self.last = value
+        if self.hist is not None:
+            self.hist.add(value)
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-ready stats for health snapshots."""
+        stats: Dict[str, object] = {
+            "count": self.count,
+            "sum": self.total,
+            "mean": self.mean if self.count else None,
+            "min": self.min if self.count else None,
+            "max": self.max if self.count else None,
+            "last": self.last,
+        }
+        if self.hist is not None and self.count:
+            stats.update(self.hist.percentiles())
+        return stats
+
+    def state_dict(self) -> Dict[str, object]:
+        return {
+            "count": self.count,
+            "total": self.total,
+            "min": self.min if self.count else None,
+            "max": self.max if self.count else None,
+            "last": self.last,
+            "hist": (
+                self.hist.state_dict() if self.hist is not None else None
+            ),
+        }
+
+    def load_state_dict(self, state: Dict[str, object]) -> None:
+        self.count = int(state["count"])
+        self.total = float(state["total"])
+        saved_min = state.get("min")
+        saved_max = state.get("max")
+        self.min = math.inf if saved_min is None else float(saved_min)
+        self.max = -math.inf if saved_max is None else float(saved_max)
+        last = state.get("last")
+        self.last = None if last is None else float(last)
+        hist_state = state.get("hist")
+        if hist_state is not None:
+            self.hist = StreamingHistogram("window")
+            self.hist.load_state_dict(hist_state)
+        else:
+            self.hist = None
+
+
+class SlidingView:
+    """Read-only stats over the last *K* closed windows of a signal."""
+
+    __slots__ = ("_windows", "_width")
+
+    def __init__(
+        self, windows: Sequence[WindowAggregate], width: float
+    ) -> None:
+        self._windows = list(windows)
+        self._width = width
+
+    @property
+    def windows(self) -> List[WindowAggregate]:
+        return list(self._windows)
+
+    def stat(self, name: str) -> Optional[float]:
+        """The requested stat, or ``None`` when there is no data.
+
+        ``count``/``sum``/``rate`` are always defined (0 over empty
+        windows); value stats (``mean``/``min``/``max``/``last``/
+        quantiles) are ``None`` until at least one sample landed in
+        the view — rules treat ``None`` as "cannot breach".
+        """
+        if name not in STATS:
+            raise ValidationError(
+                f"unknown window stat {name!r}; expected one of {STATS}"
+            )
+        count = sum(w.count for w in self._windows)
+        if name == "count":
+            return float(count)
+        if name == "rate":
+            span = len(self._windows) * self._width
+            return count / span if span > 0 else 0.0
+        if name == "sum":
+            return float(sum(w.total for w in self._windows))
+        if not count:
+            return None
+        if name == "mean":
+            return sum(w.total for w in self._windows) / count
+        if name == "min":
+            return min(w.min for w in self._windows if w.count)
+        if name == "max":
+            return max(w.max for w in self._windows if w.count)
+        if name == "last":
+            for window in reversed(self._windows):
+                if window.last is not None:
+                    return window.last
+            return None
+        merged = StreamingHistogram("view")
+        for window in self._windows:
+            if window.hist is not None:
+                merged.merge(window.hist)
+        if not merged.count:
+            return None
+        quantile = {"p50": 0.50, "p95": 0.95, "p99": 0.99}[name]
+        return merged.quantile(quantile)
+
+
+class SeriesWindows:
+    """Tumbling-window history of one watched signal.
+
+    ``history`` bounds how many closed windows are retained — it must
+    cover the widest sliding view any rule on this signal asks for.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        width: float,
+        history: int = 4,
+        track_quantiles: bool = False,
+    ) -> None:
+        if width <= 0:
+            raise ValidationError(
+                f"window width must be > 0, got {width}"
+            )
+        if history < 1:
+            raise ValidationError(
+                f"window history must be >= 1, got {history}"
+            )
+        self.name = name
+        self.width = width
+        self.history = history
+        self.track_quantiles = track_quantiles
+        self.current = WindowAggregate(track_quantiles)
+        self.closed: deque = deque(maxlen=history)
+        #: Virtual timestamp of the newest sample ever (absence rules).
+        self.last_sample_t: Optional[float] = None
+
+    def observe(self, t: float, value: float) -> None:
+        self.current.add(value)
+        if self.last_sample_t is None or t > self.last_sample_t:
+            self.last_sample_t = t
+
+    def close_window(self) -> WindowAggregate:
+        """Seal the open window and start a fresh one."""
+        sealed = self.current
+        self.closed.append(sealed)
+        self.current = WindowAggregate(self.track_quantiles)
+        return sealed
+
+    def view(self, windows: int) -> SlidingView:
+        """Sliding view over the last ``windows`` closed windows."""
+        if windows < 1:
+            raise ValidationError(
+                f"sliding view needs >= 1 window, got {windows}"
+            )
+        tail = list(self.closed)[-windows:]
+        return SlidingView(tail, self.width)
+
+    def state_dict(self) -> Dict[str, object]:
+        return {
+            "current": self.current.state_dict(),
+            "closed": [w.state_dict() for w in self.closed],
+            "last_sample_t": self.last_sample_t,
+        }
+
+    def load_state_dict(self, state: Dict[str, object]) -> None:
+        self.current = WindowAggregate(self.track_quantiles)
+        self.current.load_state_dict(state["current"])
+        self.closed = deque(maxlen=self.history)
+        for window_state in state["closed"]:
+            window = WindowAggregate(self.track_quantiles)
+            window.load_state_dict(window_state)
+            self.closed.append(window)
+        last = state.get("last_sample_t")
+        self.last_sample_t = None if last is None else float(last)
+
+    def __repr__(self) -> str:
+        return (
+            f"SeriesWindows({self.name!r}, width={self.width}, "
+            f"closed={len(self.closed)}, open={self.current.count})"
+        )

@@ -227,6 +227,7 @@ class ServingEndpoint:
         index = (
             chunk_index if chunk_index is not None else self._batch_index
         )
+        cost_before = self.engine.total_cost()
         if self._mode == "canary":
             served = self._predict_canary(table, index)
         elif self._mode == "shadow":
@@ -241,6 +242,19 @@ class ServingEndpoint:
                 primary_labels=labels,
             )
         if self.telemetry.enabled:
+            # Per-batch serving latency on the virtual clock — the
+            # health monitor's SLO signal. A point + histogram, not a
+            # span, so profile digests stay stable.
+            batch_cost = self.engine.total_cost() - cost_before
+            self.telemetry.metrics.observe(
+                names.SERVING_LATENCY, batch_cost
+            )
+            self.telemetry.tracer.point(
+                names.SERVING_LATENCY,
+                cost=batch_cost,
+                rows=table.num_rows,
+                mode=served.mode,
+            )
             self.telemetry.metrics.counter(names.SERVING_BATCHES).inc()
             self.telemetry.metrics.counter(names.SERVING_ROWS).inc(
                 table.num_rows

@@ -136,6 +136,12 @@ _add(
         telemetry.tracer.point(names.ROLLOUT_PREFIX + "promote", x=1)
         telemetry.tracer.point(names.PERF_CHECK, regressions=0)
         telemetry.metrics.counter(names.PERF_REGRESSIONS).inc()
+        telemetry.tracer.point(names.ALERT_FIRING, rule="drift")
+        telemetry.metrics.counter(names.ALERTS_FIRED).inc()
+        telemetry.metrics.gauge(names.MONITOR_WINDOWS).set(24)
+        telemetry.metrics.observe(names.SERVING_LATENCY, 0.01)
+        telemetry.tracer.point(names.PLATFORM_CHUNK, error=0.4)
+        telemetry.tracer.point(names.HEALTH_EXPORTED, path="h.json")
     """,
     noqa="""\
     def record(telemetry):

@@ -110,3 +110,99 @@ class TestMetricsRegistry:
         registry.counter("c").inc()
         registry.reset()
         assert registry.snapshot()["counters"] == {}
+
+
+class TestHistogramStateRoundTrip:
+    """The checkpoint contract: state_dict restores the full sketch
+    bit-identically, including through strict-JSON serialization (the
+    monitor's windows ride in platform checkpoints as JSON-safe
+    state)."""
+
+    def _populated(self):
+        hist = StreamingHistogram("h")
+        rng = np.random.default_rng(11)
+        for value in rng.exponential(scale=3.0, size=500):
+            hist.add(float(value))
+        hist.add(0.0)
+        hist.add(-2.5)
+        return hist
+
+    def test_json_round_trip_is_bit_identical(self):
+        import json
+
+        hist = self._populated()
+        state = json.loads(
+            json.dumps(hist.state_dict(), allow_nan=False)
+        )
+        clone = StreamingHistogram("h")
+        clone.load_state_dict(state)
+        assert clone.state_dict() == hist.state_dict()
+        assert clone.count == hist.count
+        assert clone.total == hist.total
+        assert clone.min == hist.min
+        assert clone.max == hist.max
+        for q in (0.0, 0.25, 0.5, 0.9, 0.95, 0.99, 1.0):
+            assert clone.quantile(q) == hist.quantile(q)
+        # The restored sketch keeps absorbing samples identically.
+        hist.add(7.7)
+        clone.add(7.7)
+        assert clone.state_dict() == hist.state_dict()
+
+    def test_empty_sketch_round_trip(self):
+        import json
+
+        state = json.loads(
+            json.dumps(
+                StreamingHistogram("h").state_dict(), allow_nan=False
+            )
+        )
+        clone = StreamingHistogram("h")
+        clone.load_state_dict(state)
+        assert clone.count == 0
+        assert clone.quantile(0.5) == 0.0
+        clone.add(4.0)
+        assert clone.min == 4.0 and clone.max == 4.0
+
+    def test_legacy_dict_buckets_accepted(self):
+        # Pre-JSON-safe checkpoints stored buckets as {index: count}.
+        hist = self._populated()
+        state = hist.state_dict()
+        state["buckets"] = {
+            index: count for index, count in state["buckets"]
+        }
+        state["min"] = hist.min
+        state["max"] = hist.max
+        clone = StreamingHistogram("h")
+        clone.load_state_dict(state)
+        assert clone.state_dict() == hist.state_dict()
+
+
+class TestHistogramMerge:
+    def test_merge_equals_combined_stream(self):
+        left = StreamingHistogram("l")
+        right = StreamingHistogram("r")
+        combined = StreamingHistogram("c")
+        rng = np.random.default_rng(5)
+        for index, value in enumerate(rng.uniform(0.1, 9.0, size=200)):
+            (left if index % 2 else right).add(float(value))
+            combined.add(float(value))
+        left.merge(right)
+        assert left.count == combined.count
+        assert left.total == pytest.approx(combined.total)
+        assert left.min == combined.min
+        assert left.max == combined.max
+        for q in (0.5, 0.95, 0.99):
+            assert left.quantile(q) == combined.quantile(q)
+
+    def test_merge_empty_keeps_minmax(self):
+        left = StreamingHistogram("l")
+        left.add(2.0)
+        left.merge(StreamingHistogram("r"))
+        assert left.min == 2.0 and left.max == 2.0
+        assert left.count == 1
+
+    def test_merge_base_mismatch_rejected(self):
+        with pytest.raises(ValidationError):
+            StreamingHistogram("l").merge(
+                StreamingHistogram("r", base=1.5)
+            )

@@ -1,0 +1,415 @@
+"""Tests for the live health monitor (repro.obs.monitor).
+
+Covers the window mechanics' edge cases (empty windows, boundary
+samples, single events), the pending → firing → resolved incident
+lifecycle, checkpoint round-trips, and the determinism contract:
+identical event streams produce byte-identical ``health.json``.
+"""
+
+import json
+
+import pytest
+
+from repro.exceptions import ValidationError
+from repro.obs import (
+    AlertRule,
+    HealthMonitor,
+    JsonlSink,
+    MonitorConfig,
+    Telemetry,
+    default_rules,
+    format_alerts,
+    format_timeline,
+    health_digest,
+    load_jsonl,
+    replay_trace,
+)
+from tests.obs.test_instrumentation import run_continuous
+
+pytestmark = pytest.mark.filterwarnings(
+    "ignore::repro.exceptions.ConvergenceWarning"
+)
+
+
+def point(name, t, seq=0, **attrs):
+    """A synthetic point event as the tracer would emit it."""
+    return {
+        "seq": seq,
+        "kind": "point",
+        "name": name,
+        "t": t,
+        "dur": 0.0,
+        "wall_s": 0.123,
+        "attrs": attrs,
+    }
+
+
+def span(name, t, dur, seq=0, **attrs):
+    return {
+        "seq": seq,
+        "kind": "span",
+        "name": name,
+        "t": t,
+        "dur": dur,
+        "wall_s": 0.123,
+        "attrs": attrs,
+    }
+
+
+def count_rule(name="hit", signal="sig", **overrides):
+    kwargs = {
+        "name": name,
+        "signal": signal,
+        "kind": "threshold",
+        "stat": "count",
+        "op": ">=",
+        "value": 1.0,
+    }
+    kwargs.update(overrides)
+    return AlertRule(**kwargs)
+
+
+def monitor_with(*rules, window=1.0, **config):
+    return HealthMonitor(
+        rules=list(rules),
+        config=MonitorConfig(window=window, **config),
+    )
+
+
+class TestWindowMechanics:
+    def test_empty_windows_close_without_incident(self):
+        monitor = monitor_with(count_rule())
+        # A gap from window 0 to window 5: four empty windows close.
+        monitor.emit(point("tick", 0.5))
+        monitor.emit(point("tick", 5.5))
+        monitor.flush()
+        assert monitor.windows_closed == 6
+        assert len(monitor.incidents) == 0
+
+    def test_single_event_stream(self):
+        monitor = monitor_with(count_rule())
+        monitor.emit(point("sig", 0.5))
+        monitor.flush()
+        assert monitor.windows_closed == 1
+        assert monitor.events_seen == 1
+        (incident,) = monitor.incidents.incidents
+        assert incident.state == "firing"
+        assert incident.fired_at == 1.0
+
+    def test_boundary_sample_lands_in_next_window(self):
+        monitor = monitor_with(count_rule())
+        # Exactly on the tick: t=1.0 belongs to window [1.0, 2.0) —
+        # and its arrival closes window 0 as empty.
+        monitor.emit(point("tick", 0.0))
+        monitor.emit(point("sig", 1.0))
+        monitor.flush()
+        (incident,) = monitor.incidents.incidents
+        assert incident.opened_at == 2.0
+        assert monitor.windows_closed == 2
+
+    def test_span_sampled_at_emission_time(self):
+        # A span starting in window 0 but ending in window 2 counts in
+        # window 2 (where it was emitted), keeping intake monotonic.
+        monitor = monitor_with(count_rule(signal="work"))
+        monitor.emit(span("work", 0.5, 2.0))
+        monitor.flush()
+        (incident,) = monitor.incidents.incidents
+        assert incident.opened_at == 3.0
+
+    def test_span_duration_signal(self):
+        rule = AlertRule(
+            name="slow", signal="work.dur", stat="max", op=">",
+            value=1.0,
+        )
+        monitor = monitor_with(rule)
+        monitor.emit(span("work", 0.2, 0.3))
+        monitor.emit(span("work", 1.0, 1.5))
+        monitor.flush()
+        (incident,) = monitor.incidents.incidents
+        assert incident.detail.startswith("max(work.dur)")
+
+    def test_value_attr_promoted_to_signal(self):
+        rule = AlertRule(
+            name="err", signal="platform.chunk.error", stat="mean",
+            op=">", value=0.5,
+        )
+        monitor = monitor_with(rule)
+        monitor.emit(point("platform.chunk", 0.5, error=0.9))
+        monitor.flush()
+        (incident,) = monitor.incidents.incidents
+        assert incident.signal == "platform.chunk.error"
+
+    def test_own_emissions_skipped(self):
+        monitor = monitor_with(count_rule())
+        monitor.emit(point("alert.firing", 0.5, rule="hit"))
+        monitor.emit(point("monitor.windows", 0.6))
+        monitor.emit(point("health.exported", 0.7))
+        monitor.emit({"kind": "metrics", "name": "metrics", "t": 0.8})
+        monitor.flush()
+        assert monitor.events_seen == 0
+        assert monitor.windows_closed == 0
+
+    def test_flush_idempotent_and_final_partial_window(self):
+        monitor = monitor_with(count_rule())
+        monitor.emit(point("sig", 0.5))
+        monitor.flush()
+        monitor.flush()
+        monitor.emit(point("sig", 9.0))  # after close: ignored
+        assert monitor.windows_closed == 1
+        assert monitor.events_seen == 1
+
+
+class TestIncidentLifecycle:
+    def test_fires_and_resolves_within_one_window_each(self):
+        monitor = monitor_with(count_rule())
+        monitor.emit(point("sig", 0.5))
+        monitor.emit(point("tick", 1.5))  # closes w0: breach -> firing
+        monitor.emit(point("tick", 2.5))  # closes w1: clean -> resolved
+        monitor.flush()
+        (incident,) = monitor.incidents.incidents
+        assert incident.state == "resolved"
+        assert incident.opened_at == 1.0
+        assert incident.fired_at == 1.0
+        assert incident.resolved_at == 2.0
+
+    def test_for_windows_gates_firing(self):
+        rule = count_rule(for_windows=2)
+        monitor = monitor_with(rule)
+        monitor.emit(point("sig", 0.5))
+        monitor.emit(point("tick", 1.5))
+        (incident,) = monitor.incidents.incidents
+        assert incident.state == "pending"
+        monitor.emit(point("sig", 1.6))
+        monitor.emit(point("tick", 2.5))
+        assert incident.state == "firing"
+        assert incident.fired_at == 2.0
+
+    def test_pending_that_clears_resolves_unfired(self):
+        rule = count_rule(for_windows=3)
+        monitor = monitor_with(rule)
+        monitor.emit(point("sig", 0.5))
+        monitor.emit(point("tick", 1.5))
+        monitor.emit(point("tick", 2.5))
+        monitor.flush()
+        (incident,) = monitor.incidents.incidents
+        assert incident.state == "resolved"
+        assert incident.fired_at is None
+        assert monitor.incidents.fired_count == 0
+        assert monitor.incidents.resolved_count == 0
+
+    def test_dedup_one_open_incident_per_rule(self):
+        monitor = monitor_with(count_rule(clear_windows=2))
+        for t in (0.5, 1.5, 2.5):
+            monitor.emit(point("sig", t))
+        monitor.emit(point("tick", 3.5))
+        incidents = monitor.incidents.incidents
+        assert len(incidents) == 1
+        assert incidents[0].windows_breached == 3
+
+    def test_rebreach_after_resolution_opens_fresh_incident(self):
+        monitor = monitor_with(count_rule())
+        monitor.emit(point("sig", 0.5))
+        monitor.emit(point("tick", 1.5))
+        monitor.emit(point("tick", 2.5))  # resolves #1
+        monitor.emit(point("sig", 3.5))
+        monitor.flush()
+        assert [i.id for i in monitor.incidents.incidents] == [1, 2]
+        assert monitor.incidents.incidents[1].state == "firing"
+
+    def test_evidence_is_sanitized(self):
+        monitor = monitor_with(count_rule())
+        monitor.emit(point("sig", 0.5, chunk=7))
+        monitor.emit(point("tick", 1.5))
+        (incident,) = monitor.incidents.incidents
+        (evidence,) = incident.evidence
+        assert evidence["name"] == "sig"
+        assert evidence["attrs"] == {"chunk": 7}
+        assert "wall_s" not in evidence
+
+    def test_duplicate_rule_names_rejected(self):
+        with pytest.raises(ValidationError):
+            monitor_with(count_rule(), count_rule())
+
+
+class TestHealthPayload:
+    def _stream(self):
+        events = []
+        for index in range(40):
+            t = index * 0.25
+            events.append(point("tick", t, seq=index))
+            if 10 <= index < 20:
+                events.append(point("sig", t + 0.01, seq=100 + index))
+        return events
+
+    def test_identical_streams_byte_identical_health(self, tmp_path):
+        first = replay_trace(self._stream(), rules=[count_rule()])
+        second = replay_trace(self._stream(), rules=[count_rule()])
+        a = first.write_health(tmp_path / "a.json")
+        b = second.write_health(tmp_path / "b.json")
+        assert a["digest"] == b["digest"]
+        assert (tmp_path / "a.json").read_bytes() == (
+            tmp_path / "b.json"
+        ).read_bytes()
+
+    def test_digest_detects_mutation(self):
+        payload = replay_trace(
+            self._stream(), rules=[count_rule()]
+        ).health()
+        assert payload["digest"] == health_digest(payload)
+        payload["incidents"][0]["opened_at"] += 1.0
+        assert payload["digest"] != health_digest(payload)
+
+    def test_payload_is_strict_json(self):
+        payload = replay_trace(
+            self._stream(), rules=[count_rule()]
+        ).health()
+        json.dumps(payload, allow_nan=False)
+
+    def test_snapshots_bounded_and_periodic(self):
+        monitor = replay_trace(
+            self._stream(),
+            rules=[count_rule()],
+            config=MonitorConfig(
+                window=1.0, snapshot_every=2, max_snapshots=3
+            ),
+        )
+        assert len(monitor.snapshots) == 3
+        assert [s["window"] for s in monitor.snapshots] == [1, 3, 5]
+
+    def test_timeline_and_alerts_render(self):
+        payload = replay_trace(
+            self._stream(), rules=[count_rule()]
+        ).health()
+        timeline = format_timeline(payload)
+        assert "health timeline" in timeline
+        assert "hit" in timeline
+        alerts = format_alerts(payload)
+        assert "alert rules (1):" in alerts
+
+    def test_empty_timeline_renders(self):
+        payload = replay_trace([], rules=[count_rule()]).health()
+        assert "no incidents" in format_timeline(payload)
+
+
+class TestCheckpointRoundTrip:
+    def _stream(self):
+        events = []
+        for index in range(30):
+            events.append(point("tick", index * 0.3, seq=index))
+            if index % 7 == 0:
+                events.append(
+                    point("sig", index * 0.3 + 0.01, seq=100 + index)
+                )
+        return events
+
+    def test_mid_stream_restore_matches_uninterrupted(self):
+        rules = [count_rule(for_windows=2, clear_windows=2)]
+        events = self._stream()
+        straight = replay_trace(
+            events, rules=rules, config=MonitorConfig(window=1.0)
+        )
+
+        left = HealthMonitor(rules=rules, config=MonitorConfig(window=1.0))
+        for event in events[:17]:
+            left.emit(event)
+        state = json.loads(json.dumps(left.state_dict(), allow_nan=False))
+        resumed = HealthMonitor(
+            rules=rules, config=MonitorConfig(window=1.0)
+        )
+        resumed.load_state_dict(state)
+        for event in events[17:]:
+            resumed.emit(event)
+        resumed.flush()
+        assert resumed.health() == straight.health()
+
+    def test_restore_rejects_different_rule_set(self):
+        state = monitor_with(count_rule()).state_dict()
+        other = monitor_with(count_rule(name="other", signal="nope"))
+        with pytest.raises(ValidationError):
+            other.load_state_dict(state)
+
+
+class TestTelemetryIntegration:
+    def test_attach_monitor_sees_live_events(self, tmp_path):
+        trace_path = tmp_path / "run.jsonl"
+        telemetry = Telemetry(sink=JsonlSink(trace_path))
+        clock = {"now": 0.0}
+        telemetry.bind_clock(lambda: clock["now"])
+        monitor = telemetry.attach_monitor(
+            rules=[count_rule()], config=MonitorConfig(window=1.0)
+        )
+        clock["now"] = 0.5
+        telemetry.tracer.point("sig")
+        clock["now"] = 1.5
+        telemetry.tracer.point("tick")
+        telemetry.flush_metrics()
+        telemetry.close()
+        # close() flushed the monitor: the clean partial window after
+        # the breach resolved the incident before the file sealed.
+        (incident,) = monitor.incidents.incidents
+        assert incident.state == "resolved"
+        # Alert announcements reach the JSONL sink, and the monitor's
+        # flush-before-close kept the file intact.
+        events = load_jsonl(trace_path)
+        names_seen = [e["name"] for e in events]
+        assert "alert.firing" in names_seen
+        assert names_seen[0] == "sig"
+
+    def test_attach_monitor_guards(self):
+        from repro.obs.telemetry import NULL_TELEMETRY
+
+        with pytest.raises(ValidationError):
+            NULL_TELEMETRY.attach_monitor()
+        telemetry = Telemetry()
+        telemetry.attach_monitor(rules=[count_rule()])
+        with pytest.raises(ValidationError):
+            telemetry.attach_monitor(rules=[count_rule()])
+
+    def test_alert_counters_registered(self):
+        telemetry = Telemetry()
+        clock = {"now": 0.0}
+        telemetry.bind_clock(lambda: clock["now"])
+        telemetry.attach_monitor(
+            rules=[count_rule()], config=MonitorConfig(window=1.0)
+        )
+        clock["now"] = 0.5
+        telemetry.tracer.point("sig")
+        clock["now"] = 2.5
+        telemetry.tracer.point("tick")
+        telemetry.close()
+        snapshot = telemetry.metrics.snapshot()
+        assert snapshot["counters"]["alert.fired"] == 1
+        assert snapshot["counters"]["alert.resolved_total"] == 1
+        assert snapshot["gauges"]["monitor.windows"] == 3.0
+
+
+class TestDeploymentIntegration:
+    def test_monitored_runs_byte_identical_health(self, tmp_path):
+        paths = []
+        for label in ("a", "b"):
+            telemetry = Telemetry()
+            telemetry.attach_monitor()
+            run_continuous(telemetry)
+            telemetry.close()
+            path = tmp_path / f"{label}.json"
+            telemetry.monitor.write_health(path)
+            paths.append(path)
+        first, second = (p.read_bytes() for p in paths)
+        assert first == second
+
+    def test_monitor_does_not_change_results(self):
+        plain = run_continuous(None)
+        telemetry = Telemetry()
+        telemetry.attach_monitor()
+        monitored = run_continuous(telemetry)
+        telemetry.close()
+        assert monitored.error_history == plain.error_history
+        assert monitored.total_cost == plain.total_cost
+        assert telemetry.monitor.windows_closed > 0
+
+    def test_default_rules_cover_platform_signals(self):
+        signals = {rule.signal for rule in default_rules()}
+        assert "drift.signal" in signals
+        assert "platform.chunk.error" in signals
+        assert "serving.latency.cost" in signals
+        assert "reliability.recovered" in signals

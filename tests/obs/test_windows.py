@@ -1,0 +1,181 @@
+"""Unit tests for tumbling-window aggregation (repro.obs.windows)."""
+
+import json
+
+import pytest
+
+from repro.exceptions import ValidationError
+from repro.obs.windows import (
+    STATS,
+    SeriesWindows,
+    SlidingView,
+    WindowAggregate,
+)
+
+
+class TestWindowAggregate:
+    def test_empty_window_stats_are_none(self):
+        agg = WindowAggregate()
+        stats = agg.to_dict()
+        assert stats["count"] == 0
+        assert stats["sum"] == 0.0
+        assert stats["mean"] is None
+        assert stats["min"] is None
+        assert stats["max"] is None
+        assert stats["last"] is None
+
+    def test_single_sample(self):
+        agg = WindowAggregate()
+        agg.add(3.5)
+        assert agg.count == 1
+        assert agg.mean == 3.5
+        assert agg.min == 3.5
+        assert agg.max == 3.5
+        assert agg.last == 3.5
+
+    def test_tracks_running_stats(self):
+        agg = WindowAggregate()
+        for value in (2.0, -1.0, 5.0):
+            agg.add(value)
+        assert agg.count == 3
+        assert agg.total == 6.0
+        assert agg.min == -1.0
+        assert agg.max == 5.0
+        assert agg.last == 5.0
+
+    def test_quantile_tracking_optional(self):
+        plain = WindowAggregate()
+        plain.add(1.0)
+        assert plain.hist is None
+        assert "p95" not in plain.to_dict()
+        tracked = WindowAggregate(track_quantiles=True)
+        tracked.add(1.0)
+        assert tracked.to_dict()["p95"] == pytest.approx(1.0, rel=0.1)
+
+    def test_state_round_trip_is_json_safe(self):
+        agg = WindowAggregate(track_quantiles=True)
+        for value in (0.5, 1.5, 2.5):
+            agg.add(value)
+        state = json.loads(json.dumps(agg.state_dict()))
+        clone = WindowAggregate(track_quantiles=True)
+        clone.load_state_dict(state)
+        assert clone.state_dict() == agg.state_dict()
+        assert clone.to_dict() == agg.to_dict()
+
+    def test_empty_state_round_trip(self):
+        # inf/-inf sentinels must serialize as None, not break JSON.
+        state = json.loads(
+            json.dumps(WindowAggregate().state_dict(), allow_nan=False)
+        )
+        clone = WindowAggregate()
+        clone.load_state_dict(state)
+        assert clone.count == 0
+        clone.add(4.0)
+        assert clone.min == 4.0 and clone.max == 4.0
+
+
+class TestSlidingView:
+    def _view(self, *windows):
+        return SlidingView(list(windows), width=1.0)
+
+    def test_empty_view_counts_zero_and_values_none(self):
+        view = self._view(WindowAggregate(), WindowAggregate())
+        assert view.stat("count") == 0.0
+        assert view.stat("sum") == 0.0
+        assert view.stat("rate") == 0.0
+        for stat in ("mean", "min", "max", "last"):
+            assert view.stat(stat) is None
+
+    def test_stats_merge_across_windows(self):
+        first, second = WindowAggregate(), WindowAggregate()
+        first.add(1.0)
+        first.add(3.0)
+        second.add(5.0)
+        view = self._view(first, second)
+        assert view.stat("count") == 3.0
+        assert view.stat("sum") == 9.0
+        assert view.stat("mean") == pytest.approx(3.0)
+        assert view.stat("min") == 1.0
+        assert view.stat("max") == 5.0
+        assert view.stat("last") == 5.0
+        assert view.stat("rate") == pytest.approx(1.5)
+
+    def test_last_skips_trailing_empty_window(self):
+        first, empty = WindowAggregate(), WindowAggregate()
+        first.add(2.0)
+        assert self._view(first, empty).stat("last") == 2.0
+
+    def test_quantiles_merge_histograms(self):
+        first = WindowAggregate(track_quantiles=True)
+        second = WindowAggregate(track_quantiles=True)
+        for value in range(1, 51):
+            first.add(float(value))
+        for value in range(51, 101):
+            second.add(float(value))
+        view = self._view(first, second)
+        assert view.stat("p50") == pytest.approx(50.0, rel=0.15)
+        assert view.stat("p99") == pytest.approx(99.0, rel=0.15)
+
+    def test_unknown_stat_rejected(self):
+        with pytest.raises(ValidationError):
+            self._view(WindowAggregate()).stat("median")
+
+    def test_stat_names_cover_contract(self):
+        assert set(STATS) == {
+            "count", "sum", "mean", "min", "max", "last", "rate",
+            "p50", "p95", "p99",
+        }
+
+
+class TestSeriesWindows:
+    def test_close_rotates_current_window(self):
+        series = SeriesWindows("sig", width=1.0, history=2)
+        series.observe(0.5, 1.0)
+        sealed = series.close_window()
+        assert sealed.count == 1
+        assert series.current.count == 0
+        assert list(series.closed) == [sealed]
+
+    def test_history_bound_drops_oldest(self):
+        series = SeriesWindows("sig", width=1.0, history=2)
+        for index in range(4):
+            series.observe(float(index), float(index))
+            series.close_window()
+        assert len(series.closed) == 2
+        assert series.view(2).stat("max") == 3.0
+
+    def test_last_sample_t_tracks_newest(self):
+        series = SeriesWindows("sig", width=1.0)
+        assert series.last_sample_t is None
+        series.observe(1.5, 1.0)
+        series.observe(0.5, 1.0)  # out-of-order sample cannot rewind
+        assert series.last_sample_t == 1.5
+
+    def test_view_width_validated(self):
+        series = SeriesWindows("sig", width=1.0)
+        with pytest.raises(ValidationError):
+            series.view(0)
+
+    def test_constructor_validation(self):
+        with pytest.raises(ValidationError):
+            SeriesWindows("sig", width=0.0)
+        with pytest.raises(ValidationError):
+            SeriesWindows("sig", width=1.0, history=0)
+
+    def test_state_round_trip_through_json(self):
+        series = SeriesWindows(
+            "sig", width=0.5, history=3, track_quantiles=True
+        )
+        for index in range(5):
+            series.observe(index * 0.5, float(index))
+            if index % 2:
+                series.close_window()
+        state = json.loads(
+            json.dumps(series.state_dict(), allow_nan=False)
+        )
+        clone = SeriesWindows(
+            "sig", width=0.5, history=3, track_quantiles=True
+        )
+        clone.load_state_dict(state)
+        assert clone.state_dict() == series.state_dict()
+        assert clone.view(3).stat("mean") == series.view(3).stat("mean")
