@@ -46,6 +46,10 @@ bench-record:
 		benchmarks/bench_exp1_deployment.py::test_run_deployment \
 		benchmarks/bench_exp3_materialization.py::test_table4 \
 		--benchmark-only -q
+	PYTHONPATH=src REPRO_BENCH_SCALE=test \
+		REPRO_BENCH_STORE=$(BENCH_STORE) pytest \
+		benchmarks/bench_serving_throughput.py \
+		--benchmark-only -q
 	PYTHONPATH=src python -m repro perf record \
 		--dataset url --scale test --store $(BENCH_STORE)
 
@@ -53,6 +57,10 @@ bench-check:
 	PYTHONPATH=src python -m repro perf check \
 		--dataset url --scale test --against $(BENCH_STORE) \
 		--wall-budget 4.0
+	PYTHONPATH=src REPRO_BENCH_SCALE=test REPRO_BENCH_CHECK=1 \
+		REPRO_BENCH_STORE=$(BENCH_STORE) pytest \
+		benchmarks/bench_serving_throughput.py \
+		--benchmark-only -q
 
 examples:
 	python examples/quickstart.py

@@ -265,6 +265,70 @@ def build_parser() -> argparse.ArgumentParser:
     add_profile_option(exp5)
     add_monitor_option(exp5)
 
+    exp7 = commands.add_parser(
+        "exp7",
+        help="canary + shadow rollout under an open-loop traffic "
+        "spike: micro-batching, load shedding, SLO alerts",
+    )
+    add_scenario_options(exp7)
+    exp7.add_argument(
+        "--skip-identity-check",
+        action="store_true",
+        help="skip the batched-vs-row-at-a-time and replay "
+        "verification passes (faster smoke runs)",
+    )
+    add_profile_option(exp7)
+    add_monitor_option(exp7)
+
+    traffic = commands.add_parser(
+        "traffic",
+        help="open-loop load generation: synthesize a seeded arrival "
+        "stream, or replay a simulation twice and compare digests",
+    )
+    traffic.add_argument(
+        "action",
+        choices=("synth", "replay"),
+        help="synth = generate an arrival stream and print its "
+        "stats + digest (twice, proving byte-identity); replay = "
+        "simulate the stream against a freshly trained endpoint "
+        "twice and compare the result digests (exit 1 on mismatch)",
+    )
+    add_scenario_options(traffic)
+    traffic.add_argument(
+        "--rate",
+        type=float,
+        default=60.0,
+        help="base arrival rate per cost unit (default: 60)",
+    )
+    traffic.add_argument(
+        "--horizon",
+        type=float,
+        default=2.0,
+        help="stream length in cost units (default: 2.0)",
+    )
+    traffic.add_argument(
+        "--users",
+        type=int,
+        default=1_000_000,
+        help="synthetic user population (default: 1000000)",
+    )
+    traffic.add_argument(
+        "--burst",
+        type=float,
+        nargs=3,
+        metavar=("START", "DURATION", "MULTIPLIER"),
+        default=None,
+        help="add one burst episode to the rate curve",
+    )
+    traffic.add_argument(
+        "--pool-rows",
+        type=int,
+        default=256,
+        metavar="N",
+        help="synth only: replay-pool size requests sample from "
+        "(default: 256)",
+    )
+
     perf = commands.add_parser(
         "perf",
         help="performance observatory: profile a run, record a bench "
@@ -587,13 +651,14 @@ def _scenario(args: argparse.Namespace) -> Scenario:
     return builder(args.scale)
 
 
-def _telemetry_from_flags(args: argparse.Namespace):
+def _telemetry_from_flags(args: argparse.Namespace, rules=None):
     """Build one telemetry bundle for ``--trace``, ``--profile``,
     and/or ``--monitor``.
 
-    Returns ``None`` when none of the flags were given, so
-    un-instrumented invocations stay byte-identical to
-    pre-observability builds.
+    ``rules`` overrides the monitor's default rule set (``repro exp7``
+    swaps in the traffic/SLO rules). Returns ``None`` when none of
+    the flags were given, so un-instrumented invocations stay
+    byte-identical to pre-observability builds.
     """
     trace = getattr(args, "trace", None)
     profile = getattr(args, "profile", None)
@@ -615,7 +680,7 @@ def _telemetry_from_flags(args: argparse.Namespace):
         config = (
             MonitorConfig(window=window) if window is not None else None
         )
-        telemetry.attach_monitor(config=config)
+        telemetry.attach_monitor(rules=rules, config=config)
     return telemetry
 
 
@@ -943,6 +1008,140 @@ def _command_exp5(args: argparse.Namespace) -> None:
         f"rejections={claims['gated_rejections']:.0f})"
     )
     _finish_telemetry(args, telemetry)
+
+
+def _command_exp7(args: argparse.Namespace) -> None:
+    from repro.experiments.exp7_traffic import (
+        PHASES,
+        default_traffic_config,
+        headline_claims,
+        run_traffic_experiment,
+    )
+
+    scenario = _scenario(args)
+    config = default_traffic_config(scenario)
+    rules = None
+    if getattr(args, "monitor", None) is not None:
+        from repro.traffic.slo import monitor_rules_for_traffic
+
+        rules = monitor_rules_for_traffic(
+            p99_budget=config.p99_budget,
+            shed_per_window=config.shed_per_window,
+        )
+    telemetry = _telemetry_from_flags(args, rules=rules)
+    result = run_traffic_experiment(
+        scenario,
+        config=config,
+        telemetry=telemetry,
+        verify_identity=not args.skip_identity_check,
+    )
+    print(
+        f"{'phase':<10} {'mode':<7} {'arrivals':>8} {'shed':>6} "
+        f"{'p99 lat':>9} {'batches':>8} {'mean size':>9}"
+    )
+    for phase in PHASES:
+        outcome = result.phases[phase]
+        report = outcome.result.report
+        print(
+            f"{phase:<10} {outcome.mode:<7} {report.arrivals:>8} "
+            f"{report.shed:>6} {report.latency['p99']:>9.4f} "
+            f"{report.batches:>8} {report.mean_batch_size:>9.2f}"
+        )
+    claims = headline_claims(result)
+    print(
+        f"\nspike vs steady p99 ratio: "
+        f"{claims['spike_vs_steady_p99_ratio']:.2f}x, "
+        f"shed during spike: {claims['spike_shed']:.0f}, "
+        f"training chunks during run: "
+        f"{claims['training_chunks_during_run']:.0f}"
+    )
+    if not args.skip_identity_check:
+        print(
+            "batched == row-at-a-time: "
+            f"{'yes' if result.bit_identical else 'NO'}; "
+            "replay byte-identical: "
+            f"{'yes' if result.replay_identical else 'NO'}"
+        )
+    _finish_telemetry(args, telemetry)
+    if not (result.bit_identical and result.replay_identical):
+        return 1
+
+
+def _command_traffic(args: argparse.Namespace) -> int:
+    import tempfile
+
+    from repro.traffic import (
+        BurstEpisode,
+        OpenLoopGenerator,
+        SimulationConfig,
+        TrafficPattern,
+        TrafficSimulator,
+    )
+
+    scenario = _scenario(args)
+    bursts = ()
+    if args.burst is not None:
+        start, duration, multiplier = args.burst
+        bursts = (
+            BurstEpisode(
+                start=start, duration=duration, multiplier=multiplier
+            ),
+        )
+    pattern = TrafficPattern(base_rate=args.rate, bursts=bursts)
+
+    def generate(pool_rows: int):
+        generator = OpenLoopGenerator(
+            pattern,
+            num_users=args.users,
+            pool_rows=pool_rows,
+            seed=scenario.seed,
+        )
+        return generator.generate(args.horizon)
+
+    if args.action == "synth":
+        first = generate(args.pool_rows)
+        second = generate(args.pool_rows)
+        identical = first.digest() == second.digest()
+        print(
+            f"requests={first.num_requests} rows={first.num_rows} "
+            f"distinct_users={len(set(first.users.tolist()))}"
+        )
+        print(f"digest={first.digest()}")
+        print(
+            "second generation "
+            + ("byte-identical" if identical else "DIVERGED")
+        )
+        return 0 if identical else 1
+
+    # replay: simulate the same stream twice on fresh endpoints.
+    from repro.experiments.exp7_traffic import (
+        _build_world,
+        default_traffic_config,
+    )
+    from repro.serving.endpoint import ServingEndpoint
+
+    config = default_traffic_config(scenario)
+
+    def simulate(root):
+        _, registry, pool, _, _, _ = _build_world(
+            scenario, config, root
+        )
+        endpoint = ServingEndpoint(registry, seed=scenario.seed)
+        simulator = TrafficSimulator(
+            endpoint, pool, SimulationConfig()
+        )
+        return simulator.run(generate(pool.num_rows))
+
+    with tempfile.TemporaryDirectory() as root_a:
+        first = simulate(root_a)
+    with tempfile.TemporaryDirectory() as root_b:
+        second = simulate(root_b)
+    for line in first.report.summary_lines():
+        print(line)
+    identical = first.digest() == second.digest()
+    print(f"digest={first.digest()}")
+    print("replay " + ("byte-identical" if identical else "DIVERGED"))
+    return 0 if identical else 1
 
 
 def _command_serve(args: argparse.Namespace) -> None:
@@ -1512,6 +1711,8 @@ _COMMANDS = {
     "fig8": _command_fig8,
     "obs": _command_obs,
     "exp5": _command_exp5,
+    "exp7": _command_exp7,
+    "traffic": _command_traffic,
     "serve": _command_serve,
     "registry": _command_registry,
     "run": _command_run,

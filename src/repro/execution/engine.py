@@ -195,6 +195,31 @@ class LocalExecutionEngine:
                 self.tracker.charge_prediction(values, "predict")
         return predictions
 
+    def predict_batch(self, model, matrices) -> "list[np.ndarray]":
+        """Score many feature blocks with one vectorized kernel.
+
+        The micro-batched serving path: a single ``model.predict``
+        over the stacked blocks, one prediction charge for the total
+        value count, and per-block results that are bit-identical to
+        per-block :meth:`predict` calls (row-independent kernels; see
+        :mod:`repro.ml.batch`).
+        """
+        from repro.ml.batch import predict_batch
+
+        values = sum(_matrix_values(m) for m in matrices)
+        if self._obs is None:
+            with self.wall:
+                predictions = predict_batch(model, matrices)
+                self.tracker.charge_prediction(values, "predict")
+            return predictions
+        with self._obs.tracer.span(
+            names.ENGINE_PREDICT, values=values, blocks=len(matrices)
+        ):
+            with self.wall:
+                predictions = predict_batch(model, matrices)
+                self.tracker.charge_prediction(values, "predict")
+        return predictions
+
     # ------------------------------------------------------------------
     # Simulated storage I/O
     # ------------------------------------------------------------------

@@ -7,6 +7,12 @@ Momentum/AdaGrad/constant for completeness. Everything accepts dense
 ``ndarray`` or sparse CSR feature matrices.
 """
 
+from repro.ml.batch import (
+    predict_batch,
+    predict_batch_pairs,
+    split_rows,
+    stack_matrices,
+)
 from repro.ml.losses import HingeLoss, LogisticLoss, Loss, SquaredLoss
 from repro.ml.metrics import (
     PrequentialTracker,
@@ -65,6 +71,10 @@ __all__ = [
     "MatrixFactorization",
     "SGDTrainer",
     "TrainingResult",
+    "predict_batch",
+    "predict_batch_pairs",
+    "split_rows",
+    "stack_matrices",
     "misclassification_rate",
     "accuracy",
     "mean_squared_error",

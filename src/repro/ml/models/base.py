@@ -73,13 +73,23 @@ class LinearSGDModel:
     # Inference
     # ------------------------------------------------------------------
     def decision_function(self, features: Matrix) -> np.ndarray:
-        """Raw decision values ``X w + b``."""
+        """Raw decision values ``X w + b``.
+
+        The dense path reduces each row independently (elementwise
+        product, then a per-row sum) instead of calling BLAS ``X @ w``:
+        gemv kernels block over *rows*, so the low bits of a row's
+        score would depend on how many rows share the call — breaking
+        the serving guarantee that a micro-batched prediction is
+        bit-identical to the same row served alone. The per-row
+        reduction order depends only on ``num_features``.
+        """
         self._check_features(features)
         if sp.issparse(features):
             scores = features.dot(self.weights)
             scores = np.asarray(scores).ravel()
         else:
-            scores = np.asarray(features, dtype=np.float64) @ self.weights
+            dense = np.asarray(features, dtype=np.float64)
+            scores = np.add.reduce(dense * self.weights, axis=1)
         return scores + self.intercept
 
     def predict(self, features: Matrix) -> np.ndarray:

@@ -55,6 +55,7 @@ _SKIP_PREFIXES = ("monitor.", "alert.", "health.")
 DEFAULT_VALUE_ATTRS: Dict[str, str] = {
     names.PLATFORM_CHUNK: "error",
     names.SERVING_LATENCY: "cost",
+    names.SLO_LATENCY: "cost",
 }
 
 

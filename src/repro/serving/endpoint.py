@@ -20,8 +20,9 @@ compares.
 
 from __future__ import annotations
 
+import pickle
 from dataclasses import dataclass, field
-from typing import Optional
+from typing import Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -32,6 +33,7 @@ from repro.execution.engine import LocalExecutionEngine
 from repro.obs.telemetry import NULL_TELEMETRY, Telemetry
 from repro.obs import names
 from repro.persistence import DeploymentBundle
+from repro.pipeline.pipeline import Pipeline
 from repro.serving.registry import ModelRegistry
 from repro.serving.routing import derive_routing_seed, route_mask, row_keys
 from repro.utils.rng import SeedLike
@@ -40,6 +42,37 @@ from repro.utils.rng import SeedLike
 MODES = ("shadow", "canary")
 
 _EMPTY = np.empty(0, dtype=np.float64)
+
+
+def shared_stateless_prefix(primary: Pipeline, candidate: Pipeline) -> int:
+    """Length of the leading run of equivalent *stateless* components.
+
+    Shadow scoring runs two pipelines over the same rows; the leading
+    stateless components (parsers, feature extraction, filters) are
+    usually identical between the champion and a candidate trained
+    from the same code, so their work can be computed once and shared.
+    Equivalence is checked conservatively — same class, same name,
+    same pickled configuration — and stateful components stop the
+    scan, because their fitted statistics may legitimately differ
+    between versions. Capped at ``len - 1`` so each side always runs
+    its own terminal stage.
+    """
+    limit = min(len(primary), len(candidate)) - 1
+    shared = 0
+    for ours, theirs in zip(primary.components, candidate.components):
+        if shared >= limit:
+            break
+        if ours.is_stateful or theirs.is_stateful:
+            break
+        if type(ours) is not type(theirs) or ours.name != theirs.name:
+            break
+        try:
+            if pickle.dumps(ours) != pickle.dumps(theirs):
+                break
+        except (pickle.PicklingError, TypeError, AttributeError):
+            break
+        shared += 1
+    return shared
 
 
 @dataclass
@@ -108,6 +141,12 @@ class ServingEndpoint:
         self._mode: Optional[str] = None
         self._fraction = 0.0
         self._batch_index = -1
+        #: Shadow transform dedup: ``(prefix, primary_rest,
+        #: candidate_rest)`` pipelines when the attached shadow shares
+        #: a leading stateless run with the primary, else ``None``.
+        self._shadow_shared: Optional[
+            Tuple[Pipeline, Pipeline, Pipeline]
+        ] = None
         if registry.live_version is not None:
             self.reload_live()
 
@@ -143,6 +182,8 @@ class ServingEndpoint:
             )
         self._primary = self.registry.load(version)
         self._primary_version = version
+        if self._mode == "shadow" and self._candidate is not None:
+            self._shadow_shared = self._build_shadow_shared()
         return version
 
     def attach_candidate(
@@ -178,6 +219,9 @@ class ServingEndpoint:
         self._candidate_version = version
         self._mode = mode
         self._fraction = fraction if mode == "canary" else 0.0
+        self._shadow_shared = (
+            self._build_shadow_shared() if mode == "shadow" else None
+        )
         if self.telemetry.enabled:
             self.telemetry.tracer.point(
                 names.SERVING_ATTACH,
@@ -193,6 +237,7 @@ class ServingEndpoint:
         self._candidate_version = None
         self._mode = None
         self._fraction = 0.0
+        self._shadow_shared = None
         return version
 
     def promote_candidate(self) -> str:
@@ -241,42 +286,138 @@ class ServingEndpoint:
                 primary_predictions=predictions,
                 primary_labels=labels,
             )
-        if self.telemetry.enabled:
-            # Per-batch serving latency on the virtual clock — the
-            # health monitor's SLO signal. A point + histogram, not a
-            # span, so profile digests stay stable.
-            batch_cost = self.engine.total_cost() - cost_before
-            self.telemetry.metrics.observe(
-                names.SERVING_LATENCY, batch_cost
-            )
-            self.telemetry.tracer.point(
-                names.SERVING_LATENCY,
-                cost=batch_cost,
-                rows=table.num_rows,
-                mode=served.mode,
-            )
-            self.telemetry.metrics.counter(names.SERVING_BATCHES).inc()
-            self.telemetry.metrics.counter(names.SERVING_ROWS).inc(
-                table.num_rows
-            )
-            if served.mode == "canary":
-                self.telemetry.metrics.counter(
-                    names.SERVING_CANARY_ROWS
-                ).inc(len(served.candidate_predictions))
-            elif served.mode == "shadow":
-                self.telemetry.metrics.counter(
-                    names.SERVING_SHADOW_ROWS
-                ).inc(len(served.candidate_predictions))
+        self._emit_served(served, table.num_rows, cost_before)
         return served
 
-    # ------------------------------------------------------------------
-    def _predict_shadow(self, table: Table) -> ServedBatch:
-        # The primary path runs first and exactly as in solo mode, so
-        # its predictions stay byte-identical with a shadow attached.
-        predictions, labels = self._score(self._primary, table)
-        shadow_predictions, shadow_labels = self._score(
-            self._candidate, table
+    def predict_requests(
+        self,
+        tables: Sequence[Table],
+        keys: Optional[Sequence[int]] = None,
+    ) -> ServedBatch:
+        """Serve many queued requests as one micro-batch.
+
+        The batched front end (:mod:`repro.traffic`): the requests'
+        tables are concatenated and each pipeline/model runs once over
+        the merged rows, amortizing per-call transform and kernel
+        dispatch. ``keys`` are the stable per-request routing keys —
+        canary routing is computed per request *before* merging, so
+        every row lands on the same side it would have landed on had
+        its request been served alone, and the flattened per-side
+        prediction streams are bit-identical to request-at-a-time
+        serving (pipelines may filter rows, so the merged result is
+        reported batch-level, not re-split per request).
+        """
+        if self._primary is None:
+            raise ServingError("endpoint has no live version to serve")
+        tables = list(tables)
+        if not tables:
+            raise ServingError(
+                "predict_requests needs at least one request"
+            )
+        if keys is None:
+            keys = [self._batch_index + 1 + i for i in range(len(tables))]
+        elif len(keys) != len(tables):
+            raise ServingError(
+                f"predict_requests got {len(tables)} tables but "
+                f"{len(keys)} routing keys"
+            )
+        self._batch_index += len(tables)
+        total_rows = sum(t.num_rows for t in tables)
+        cost_before = self.engine.total_cost()
+        if self._mode == "canary":
+            served = self._predict_canary_requests(tables, keys)
+        elif self._mode == "shadow":
+            served = self._predict_shadow(Table.concat(tables))
+        else:
+            merged = Table.concat(tables)
+            predictions, labels = self._score(self._primary, merged)
+            served = ServedBatch(
+                predictions=predictions,
+                labels=labels,
+                primary_version=str(self._primary_version),
+                primary_predictions=predictions,
+                primary_labels=labels,
+            )
+        self._emit_served(
+            served, total_rows, cost_before, requests=len(tables)
         )
+        return served
+
+    def _emit_served(
+        self,
+        served: ServedBatch,
+        rows: int,
+        cost_before: float,
+        requests: int = 1,
+    ) -> None:
+        if not self.telemetry.enabled:
+            return
+        # Per-batch serving latency on the virtual clock — the
+        # health monitor's SLO signal. A point + histogram, not a
+        # span, so profile digests stay stable.
+        batch_cost = self.engine.total_cost() - cost_before
+        self.telemetry.metrics.observe(names.SERVING_LATENCY, batch_cost)
+        self.telemetry.tracer.point(
+            names.SERVING_LATENCY,
+            cost=batch_cost,
+            rows=rows,
+            mode=served.mode,
+        )
+        self.telemetry.metrics.counter(names.SERVING_BATCHES).inc(
+            requests
+        )
+        self.telemetry.metrics.counter(names.SERVING_ROWS).inc(rows)
+        if served.mode == "canary":
+            self.telemetry.metrics.counter(
+                names.SERVING_CANARY_ROWS
+            ).inc(len(served.candidate_predictions))
+        elif served.mode == "shadow":
+            self.telemetry.metrics.counter(
+                names.SERVING_SHADOW_ROWS
+            ).inc(len(served.candidate_predictions))
+
+    # ------------------------------------------------------------------
+    def _build_shadow_shared(
+        self,
+    ) -> Optional[Tuple[Pipeline, Pipeline, Pipeline]]:
+        """Split primary/candidate pipelines around their shared prefix.
+
+        Component equality is pickle-based, so the transforms the
+        prefix pipeline applies are exactly what each side would have
+        applied — the split changes cost, never predictions.
+        """
+        assert self._primary is not None and self._candidate is not None
+        shared = shared_stateless_prefix(
+            self._primary.pipeline, self._candidate.pipeline
+        )
+        if shared == 0:
+            return None
+        components = self._primary.pipeline.components
+        return (
+            Pipeline(components[:shared]),
+            Pipeline(components[shared:]),
+            Pipeline(self._candidate.pipeline.components[shared:]),
+        )
+
+    def _predict_shadow(self, table: Table) -> ServedBatch:
+        # The primary path runs first and, transform for transform,
+        # computes what solo mode would (the shared prefix is pickle-
+        # equal to the primary's own leading components), so its
+        # predictions stay byte-identical with a shadow attached.
+        if self._shadow_shared is not None and table.num_rows:
+            prefix, primary_rest, candidate_rest = self._shadow_shared
+            stem = self.engine.serve_transform(prefix, table)
+            predictions, labels = self._score_tail(
+                self._primary, primary_rest, stem
+            )
+            shadow_predictions, shadow_labels = self._score_tail(
+                self._candidate, candidate_rest, stem
+            )
+        else:
+            predictions, labels = self._score(self._primary, table)
+            shadow_predictions, shadow_labels = self._score(
+                self._candidate, table
+            )
         return ServedBatch(
             predictions=predictions,
             labels=labels,
@@ -325,10 +466,73 @@ class ServingEndpoint:
             canary_share=canary_rows / max(table.num_rows, 1),
         )
 
+    def _predict_canary_requests(
+        self, tables: Sequence[Table], keys: Sequence[int]
+    ) -> ServedBatch:
+        # Route each request by its own stable key, exactly as
+        # request-at-a-time serving would, then merge the per-side
+        # slices and score each side once.
+        primary_parts = []
+        candidate_parts = []
+        canary_rows = 0
+        total_rows = 0
+        for key, table in zip(keys, tables):
+            total_rows += table.num_rows
+            mask = route_mask(
+                row_keys(int(key), table.num_rows),
+                self._fraction,
+                salt=self._routing_salt,
+            )
+            routed = int(np.count_nonzero(mask))
+            canary_rows += routed
+            if routed == 0:
+                primary_parts.append(table)
+            elif routed == table.num_rows:
+                candidate_parts.append(table)
+            else:
+                primary_parts.append(table.filter_rows(~mask))
+                candidate_parts.append(table.filter_rows(mask))
+        if primary_parts:
+            primary_predictions, primary_labels = self._score(
+                self._primary, Table.concat(primary_parts)
+            )
+        else:
+            primary_predictions = primary_labels = _EMPTY
+        if candidate_parts:
+            candidate_predictions, candidate_labels = self._score(
+                self._candidate, Table.concat(candidate_parts)
+            )
+        else:
+            candidate_predictions = candidate_labels = _EMPTY
+        return ServedBatch(
+            predictions=np.concatenate(
+                [primary_predictions, candidate_predictions]
+            ),
+            labels=np.concatenate([primary_labels, candidate_labels]),
+            primary_version=str(self._primary_version),
+            mode="canary",
+            candidate_version=self._candidate_version,
+            primary_predictions=primary_predictions,
+            primary_labels=primary_labels,
+            candidate_predictions=candidate_predictions,
+            candidate_labels=candidate_labels,
+            canary_share=canary_rows / max(total_rows, 1),
+        )
+
     def _score(self, bundle: DeploymentBundle, table: Table):
         if table.num_rows == 0:
             return _EMPTY, _EMPTY
         features = self.engine.transform_only(bundle.pipeline, table)
+        if features.num_rows == 0:
+            return _EMPTY, _EMPTY
+        predictions = self.engine.predict(bundle.model, features.matrix)
+        return predictions, np.asarray(features.labels)
+
+    def _score_tail(
+        self, bundle: DeploymentBundle, rest: Pipeline, stem: Table
+    ):
+        """Finish scoring from a shared-prefix transform result."""
+        features = self.engine.transform_only(rest, stem)
         if features.num_rows == 0:
             return _EMPTY, _EMPTY
         predictions = self.engine.predict(bundle.model, features.matrix)

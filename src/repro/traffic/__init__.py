@@ -1,0 +1,63 @@
+"""Open-loop traffic generation, micro-batched serving, admission.
+
+The paper's serving story (§4.5) assumes a deployed pipeline answers
+a stream of prediction queries while training continues in the
+background. This package makes that load explicit and simulable on
+the virtual clock:
+
+* :mod:`repro.traffic.generator` — a deterministic open-loop
+  generator: heavy-tailed inter-arrivals, diurnal rate curves, burst
+  episodes, and Zipf-popular synthetic users (millions of them in
+  O(1) memory) whose requests sample rows from a replay pool.
+* :mod:`repro.traffic.admission` — a bounded admission queue with a
+  deterministic shed policy.
+* :mod:`repro.traffic.batcher` — the micro-batching flush policy
+  (max batch size / max wait) in front of the serving endpoint.
+* :mod:`repro.traffic.simulate` — a discrete-event simulator wiring
+  the above to a :class:`~repro.serving.endpoint.ServingEndpoint`
+  with queue-delay/service-time accounting in virtual cost units.
+* :mod:`repro.traffic.slo` — SLO percentile tracking and the alert
+  rules that feed the health monitor.
+
+Everything is seeded through :mod:`repro.utils.rng` and timed on the
+virtual clock, so arrival streams, shed decisions, and latency
+percentiles are byte-reproducible across runs.
+"""
+
+from repro.traffic.admission import AdmissionQueue, Request
+from repro.traffic.batcher import Flush, MicroBatcher
+from repro.traffic.generator import (
+    Arrivals,
+    BurstEpisode,
+    OpenLoopGenerator,
+    TrafficPattern,
+)
+from repro.traffic.simulate import (
+    SimulationConfig,
+    TrafficSimulator,
+    VirtualClock,
+)
+from repro.traffic.slo import (
+    SloTracker,
+    TrafficReport,
+    monitor_rules_for_traffic,
+    traffic_rules,
+)
+
+__all__ = [
+    "AdmissionQueue",
+    "Arrivals",
+    "BurstEpisode",
+    "Flush",
+    "MicroBatcher",
+    "OpenLoopGenerator",
+    "Request",
+    "SimulationConfig",
+    "SloTracker",
+    "TrafficPattern",
+    "TrafficReport",
+    "TrafficSimulator",
+    "VirtualClock",
+    "monitor_rules_for_traffic",
+    "traffic_rules",
+]

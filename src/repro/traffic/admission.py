@@ -1,0 +1,97 @@
+"""Bounded admission queue with a deterministic shed policy.
+
+The serving front end cannot queue unboundedly during a burst —
+latency would grow without limit and every request would eventually
+miss its SLO. The :class:`AdmissionQueue` caps the backlog and sheds
+deterministically when full: the request ordered *last* by
+``(arrival_time, request_id)`` loses. Under live traffic (monotone
+arrival times, monotone ids) that is plain tail drop of the arriving
+request; the explicit ordering matters for replays, where a
+re-ordered offer must shed exactly the same request the live run
+shed — ties on arrival time break toward the smaller request id.
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.exceptions import ValidationError
+
+
+@dataclass(frozen=True)
+class Request:
+    """One prediction request offered to the front end."""
+
+    request_id: int
+    arrival_time: float
+    user: int
+    #: Row indices into the replay pool this request asks about.
+    rows: np.ndarray = field(repr=False)
+
+    @property
+    def num_rows(self) -> int:
+        return len(self.rows)
+
+    @property
+    def order_key(self) -> Tuple[float, int]:
+        """Total order used for queueing and shed decisions."""
+        return (self.arrival_time, self.request_id)
+
+
+class AdmissionQueue:
+    """FIFO queue bounded at ``capacity`` requests.
+
+    ``offer`` returns the shed request (``None`` when everything
+    fits): either the arriving request (the common tail-drop case) or
+    a queued one that the arriving request displaces because it is
+    ordered later. ``take`` pops up to ``limit`` requests in
+    ``(arrival_time, request_id)`` order.
+    """
+
+    def __init__(self, capacity: int) -> None:
+        if capacity < 1:
+            raise ValidationError(
+                f"queue capacity must be >= 1, got {capacity}"
+            )
+        self.capacity = int(capacity)
+        self._queue: List[Request] = []
+        self._keys: List[Tuple[float, int]] = []
+
+    def __len__(self) -> int:
+        return len(self._queue)
+
+    @property
+    def oldest_arrival(self) -> Optional[float]:
+        """Arrival time of the head request (``None`` when empty)."""
+        return self._queue[0].arrival_time if self._queue else None
+
+    def offer(self, request: Request) -> Optional[Request]:
+        """Enqueue ``request``; returns the shed request, if any."""
+        key = request.order_key
+        if len(self._queue) >= self.capacity:
+            if key >= self._keys[-1]:
+                return request
+            shed = self._queue.pop()
+            self._keys.pop()
+            self._insert(request, key)
+            return shed
+        self._insert(request, key)
+        return None
+
+    def _insert(self, request: Request, key: Tuple[float, int]) -> None:
+        at = bisect.bisect(self._keys, key)
+        self._queue.insert(at, request)
+        self._keys.insert(at, key)
+
+    def take(self, limit: int) -> List[Request]:
+        """Dequeue up to ``limit`` requests, oldest first."""
+        if limit < 1:
+            raise ValidationError(f"take limit must be >= 1, got {limit}")
+        taken = self._queue[:limit]
+        del self._queue[:limit]
+        del self._keys[:limit]
+        return taken

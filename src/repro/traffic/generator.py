@@ -1,0 +1,275 @@
+"""Deterministic open-loop load generation on the virtual clock.
+
+Open-loop means arrivals do not react to the server: the stream is a
+pure function of the traffic pattern and the seed, so overload shows
+up as queueing and shedding instead of silently throttling the
+offered load. Three ingredients shape the stream:
+
+* **Heavy-tailed inter-arrivals.** Gaps are Lomax (shifted Pareto)
+  with unit mean, scaled by the instantaneous rate — bursty like real
+  request traffic, unlike the memoryless exponential.
+* **Rate curves.** A diurnal sine modulation plus explicit
+  :class:`BurstEpisode` windows that multiply the base rate — the
+  traffic spikes Experiment 7 throws at a rollout.
+* **Synthetic users.** Each request belongs to a Zipf-popular user id
+  in ``[0, num_users)`` and samples its rows from a replay pool by
+  hashing ``(user, position)`` with SplitMix64. No per-user state is
+  kept, so "millions of users" costs the same memory as ten.
+
+Everything draws from one :mod:`repro.utils.rng` generator in a fixed
+order, so two same-seed generators produce byte-identical
+:class:`Arrivals` (asserted via :meth:`Arrivals.digest`).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import math
+from dataclasses import dataclass
+from typing import List, Tuple
+
+import numpy as np
+
+from repro.exceptions import ValidationError
+from repro.serving.routing import splitmix64
+from repro.utils.rng import SeedLike, ensure_rng
+
+#: Multiplier decorrelating a user's row draws from its raw id.
+_USER_MIX = 0x9E3779B97F4A7C15
+
+
+@dataclass(frozen=True)
+class BurstEpisode:
+    """One rate-multiplier window: ``[start, start + duration)``."""
+
+    start: float
+    duration: float
+    multiplier: float
+
+    def __post_init__(self) -> None:
+        if self.duration <= 0:
+            raise ValidationError(
+                f"burst duration must be > 0, got {self.duration}"
+            )
+        if self.multiplier <= 0:
+            raise ValidationError(
+                f"burst multiplier must be > 0, got {self.multiplier}"
+            )
+
+    def active_at(self, t: float) -> bool:
+        return self.start <= t < self.start + self.duration
+
+
+@dataclass(frozen=True)
+class TrafficPattern:
+    """The deterministic rate curve ``rate_at(t)`` is built from.
+
+    ``base_rate`` is mean arrivals per virtual cost unit. The diurnal
+    term modulates it by ``1 + amplitude * sin(2πt / period)``; burst
+    episodes multiply on top.
+    """
+
+    base_rate: float = 10.0
+    diurnal_amplitude: float = 0.0
+    diurnal_period: float = 0.0
+    bursts: Tuple[BurstEpisode, ...] = ()
+
+    def __post_init__(self) -> None:
+        if self.base_rate <= 0:
+            raise ValidationError(
+                f"base_rate must be > 0, got {self.base_rate}"
+            )
+        if not 0.0 <= self.diurnal_amplitude < 1.0:
+            raise ValidationError(
+                "diurnal_amplitude must be in [0, 1), got "
+                f"{self.diurnal_amplitude}"
+            )
+        if self.diurnal_amplitude > 0 and self.diurnal_period <= 0:
+            raise ValidationError(
+                "diurnal modulation needs diurnal_period > 0"
+            )
+
+    def rate_at(self, t: float) -> float:
+        """Instantaneous arrival rate at virtual time ``t``."""
+        rate = self.base_rate
+        if self.diurnal_amplitude > 0:
+            rate *= 1.0 + self.diurnal_amplitude * math.sin(
+                2.0 * math.pi * t / self.diurnal_period
+            )
+        for burst in self.bursts:
+            if burst.active_at(t):
+                rate *= burst.multiplier
+        return rate
+
+
+@dataclass(frozen=True)
+class Arrivals:
+    """A generated arrival stream, struct-of-arrays.
+
+    Request ``i`` arrives at ``times[i]`` from user ``users[i]`` and
+    carries the pool rows
+    ``row_indices[row_offsets[i]:row_offsets[i + 1]]``.
+    """
+
+    times: np.ndarray
+    users: np.ndarray
+    row_offsets: np.ndarray
+    row_indices: np.ndarray
+
+    @property
+    def num_requests(self) -> int:
+        return len(self.times)
+
+    @property
+    def num_rows(self) -> int:
+        return len(self.row_indices)
+
+    def request_rows(self, i: int) -> np.ndarray:
+        """Pool row indices of request ``i``."""
+        return self.row_indices[
+            int(self.row_offsets[i]):int(self.row_offsets[i + 1])
+        ]
+
+    def digest(self) -> str:
+        """SHA-256 over the raw arrays — the byte-identity witness."""
+        h = hashlib.sha256()
+        for array in (
+            self.times,
+            self.users,
+            self.row_offsets,
+            self.row_indices,
+        ):
+            h.update(np.ascontiguousarray(array).tobytes())
+        return h.hexdigest()
+
+
+class OpenLoopGenerator:
+    """Seeded open-loop arrival generator.
+
+    Parameters
+    ----------
+    pattern:
+        The rate curve.
+    num_users:
+        Size of the synthetic user population (Zipf-popular ids).
+    pool_rows:
+        Number of rows in the replay pool requests sample from.
+    rows_per_request:
+        Inclusive ``(lo, hi)`` bounds on rows per request.
+    tail_index:
+        Lomax shape of the inter-arrival gaps; smaller is burstier.
+        Must be > 1 so the mean gap exists.
+    zipf_exponent:
+        User popularity skew; must be > 1.
+    seed:
+        Seeds every draw (via :mod:`repro.utils.rng`).
+    """
+
+    def __init__(
+        self,
+        pattern: TrafficPattern,
+        num_users: int,
+        pool_rows: int,
+        rows_per_request: Tuple[int, int] = (1, 4),
+        tail_index: float = 2.5,
+        zipf_exponent: float = 1.4,
+        seed: SeedLike = None,
+    ) -> None:
+        if num_users < 1:
+            raise ValidationError(
+                f"num_users must be >= 1, got {num_users}"
+            )
+        if pool_rows < 1:
+            raise ValidationError(
+                f"pool_rows must be >= 1, got {pool_rows}"
+            )
+        lo, hi = rows_per_request
+        if not 1 <= lo <= hi:
+            raise ValidationError(
+                "rows_per_request must satisfy 1 <= lo <= hi, got "
+                f"{rows_per_request}"
+            )
+        if tail_index <= 1.0:
+            raise ValidationError(
+                f"tail_index must be > 1 (finite mean), got {tail_index}"
+            )
+        if zipf_exponent <= 1.0:
+            raise ValidationError(
+                f"zipf_exponent must be > 1, got {zipf_exponent}"
+            )
+        self.pattern = pattern
+        self.num_users = int(num_users)
+        self.pool_rows = int(pool_rows)
+        self.rows_per_request = (int(lo), int(hi))
+        self.tail_index = float(tail_index)
+        self.zipf_exponent = float(zipf_exponent)
+        self._rng = ensure_rng(seed)
+        # Drawn first, before any arrival randomness, so the draw
+        # order (and hence byte-identity) is fixed by construction.
+        self._row_salt = int(
+            self._rng.integers(0, 2**63 - 1, dtype=np.int64)
+        )
+
+    # ------------------------------------------------------------------
+    def generate(self, horizon: float) -> Arrivals:
+        """All arrivals in ``[0, horizon)`` of virtual time.
+
+        One call consumes generator state; call ``generate`` on a
+        fresh same-seed instance to reproduce a stream, not twice on
+        the same instance.
+        """
+        if horizon <= 0:
+            raise ValidationError(
+                f"horizon must be > 0, got {horizon}"
+            )
+        shape = self.tail_index
+        times: List[float] = []
+        t = 0.0
+        while True:
+            # Lomax gap with unit mean, scaled by the local rate. The
+            # rate is sampled at the previous arrival instant — fine
+            # for curves that vary slowly relative to the mean gap.
+            gap = float(self._rng.pareto(shape)) * (shape - 1.0)
+            t += gap / self.pattern.rate_at(t)
+            if t >= horizon:
+                break
+            times.append(t)
+        n = len(times)
+        if n == 0:
+            empty_i64 = np.empty(0, dtype=np.int64)
+            return Arrivals(
+                times=np.empty(0, dtype=np.float64),
+                users=empty_i64,
+                row_offsets=np.zeros(1, dtype=np.int64),
+                row_indices=empty_i64,
+            )
+        users = (
+            self._rng.zipf(self.zipf_exponent, size=n) - 1
+        ) % self.num_users
+        users = users.astype(np.int64)
+        lo, hi = self.rows_per_request
+        if lo == hi:
+            counts = np.full(n, lo, dtype=np.int64)
+        else:
+            counts = self._rng.integers(
+                lo, hi + 1, size=n, dtype=np.int64
+            )
+        offsets = np.zeros(n + 1, dtype=np.int64)
+        np.cumsum(counts, out=offsets[1:])
+        # Per-user row sampling without per-user state: hash the
+        # (user, global position) pair so one user's requests revisit
+        # a reproducible scatter of pool rows.
+        positions = np.arange(int(offsets[-1]), dtype=np.uint64)
+        user_rep = np.repeat(users, counts).astype(np.uint64)
+        with np.errstate(over="ignore"):
+            mixed = user_rep * np.uint64(_USER_MIX) + positions
+        row_indices = (
+            splitmix64(mixed, salt=self._row_salt)
+            % np.uint64(self.pool_rows)
+        ).astype(np.int64)
+        return Arrivals(
+            times=np.asarray(times, dtype=np.float64),
+            users=users,
+            row_offsets=offsets,
+            row_indices=row_indices,
+        )

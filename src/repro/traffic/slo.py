@@ -1,0 +1,222 @@
+"""SLO accounting for simulated serving traffic.
+
+Latency here is virtual: cost units on the deterministic clock, so
+percentiles are byte-reproducible across runs. :class:`SloTracker`
+folds per-request latency (arrival → completion), queue delay
+(arrival → dispatch), and per-batch service time into
+:class:`~repro.obs.metrics.StreamingHistogram` sketches and produces
+a :class:`TrafficReport`.
+
+:func:`traffic_rules` declares the alert rules the health monitor
+evaluates over the live telemetry the simulator emits — a p99 latency
+budget on ``slo.latency.cost`` and a shed spike on ``traffic.shed``
+occurrences — so an overloaded rollout raises (and, once the burst
+passes, resolves) incidents in the exported ``health.json``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from repro.obs import names
+from repro.obs.metrics import StreamingHistogram
+from repro.obs.rules import AlertRule
+
+
+@dataclass(frozen=True)
+class TrafficReport:
+    """One simulation's SLO summary (all times in cost units)."""
+
+    arrivals: int
+    admitted: int
+    shed: int
+    completed: int
+    rows: int
+    batches: int
+    flush_full: int
+    flush_wait: int
+    duration: float
+    latency: Dict[str, float]
+    queue_delay: Dict[str, float]
+    service_time: Dict[str, float]
+
+    @property
+    def shed_rate(self) -> float:
+        """Fraction of offered requests dropped at admission."""
+        return self.shed / self.arrivals if self.arrivals else 0.0
+
+    @property
+    def throughput(self) -> float:
+        """Completed requests per cost unit."""
+        return self.completed / self.duration if self.duration > 0 else 0.0
+
+    @property
+    def mean_batch_size(self) -> float:
+        return self.completed / self.batches if self.batches else 0.0
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "arrivals": self.arrivals,
+            "admitted": self.admitted,
+            "shed": self.shed,
+            "completed": self.completed,
+            "rows": self.rows,
+            "batches": self.batches,
+            "flush_full": self.flush_full,
+            "flush_wait": self.flush_wait,
+            "duration": self.duration,
+            "shed_rate": self.shed_rate,
+            "throughput": self.throughput,
+            "mean_batch_size": self.mean_batch_size,
+            "latency": dict(self.latency),
+            "queue_delay": dict(self.queue_delay),
+            "service_time": dict(self.service_time),
+        }
+
+    def summary_lines(self) -> List[str]:
+        """Human-readable digest for CLI output."""
+        return [
+            f"arrivals={self.arrivals} admitted={self.admitted} "
+            f"shed={self.shed} ({self.shed_rate:.1%}) "
+            f"completed={self.completed}",
+            f"batches={self.batches} (full={self.flush_full} "
+            f"wait={self.flush_wait}) "
+            f"mean_size={self.mean_batch_size:.2f} "
+            f"throughput={self.throughput:.2f} req/cost",
+            "latency p50/p95/p99 = "
+            f"{self.latency['p50']:.4f}/{self.latency['p95']:.4f}/"
+            f"{self.latency['p99']:.4f} cost "
+            f"(queue p99 {self.queue_delay['p99']:.4f})",
+        ]
+
+
+class SloTracker:
+    """Streaming percentile sketches over the simulated traffic."""
+
+    def __init__(self) -> None:
+        self.latency = StreamingHistogram(names.SLO_LATENCY)
+        self.queue_delay = StreamingHistogram(names.SLO_QUEUE_DELAY)
+        self.service_time = StreamingHistogram(names.SLO_SERVICE_TIME)
+        self.arrivals = 0
+        self.admitted = 0
+        self.shed = 0
+        self.completed = 0
+        self.rows = 0
+        self.batches = 0
+        self.flush_full = 0
+        self.flush_wait = 0
+
+    def on_arrival(self) -> None:
+        self.arrivals += 1
+
+    def on_admit(self) -> None:
+        self.admitted += 1
+
+    def on_shed(self) -> None:
+        self.shed += 1
+
+    def on_batch(self, size: int, rows: int, reason: str, service: float) -> None:
+        self.batches += 1
+        self.rows += rows
+        if reason == "full":
+            self.flush_full += 1
+        elif reason == "wait":
+            self.flush_wait += 1
+        self.service_time.add(service)
+        self.completed += size
+
+    def on_completion(self, latency: float, queue_delay: float) -> None:
+        self.latency.add(latency)
+        self.queue_delay.add(queue_delay)
+
+    def report(self, duration: float) -> TrafficReport:
+        return TrafficReport(
+            arrivals=self.arrivals,
+            admitted=self.admitted,
+            shed=self.shed,
+            completed=self.completed,
+            rows=self.rows,
+            batches=self.batches,
+            flush_full=self.flush_full,
+            flush_wait=self.flush_wait,
+            duration=float(duration),
+            latency=self.latency.percentiles(),
+            queue_delay=self.queue_delay.percentiles(),
+            service_time=self.service_time.percentiles(),
+        )
+
+
+def monitor_rules_for_traffic(
+    p99_budget: float = 1.0,
+    shed_per_window: float = 1.0,
+) -> List[AlertRule]:
+    """The stock rule set adapted for micro-batched serving.
+
+    Under micro-batching, per-batch serving cost swings with batch
+    size by design, so the stock ``serving-latency-shift`` CUSUM
+    flaps on every load change; the explicit per-request p99
+    threshold supersedes it. Everything else from
+    :func:`repro.obs.monitor.default_rules` stays.
+    """
+    from repro.obs.monitor import default_rules
+
+    kept = [
+        rule
+        for rule in default_rules()
+        if rule.name != "serving-latency-shift"
+    ]
+    return kept + traffic_rules(
+        p99_budget=p99_budget, shed_per_window=shed_per_window
+    )
+
+
+def traffic_rules(
+    p99_budget: float = 1.0,
+    shed_per_window: float = 1.0,
+    window: int = 3,
+) -> List[AlertRule]:
+    """Alert rules the serving SLO surface feeds the health monitor.
+
+    ``p99_budget`` is the end-to-end latency objective in cost units,
+    evaluated as the p99 of the ``slo.latency`` point's ``cost``
+    attribute over ``window`` closed windows. ``shed_per_window``
+    bounds admissible drops per monitor window before the shed-spike
+    alert fires.
+    """
+    return [
+        AlertRule(
+            name="slo_p99_latency",
+            signal=f"{names.SLO_LATENCY}.cost",
+            kind="threshold",
+            stat="p99",
+            op=">",
+            value=p99_budget,
+            window=window,
+            for_windows=2,
+            clear_windows=2,
+            severity="critical",
+            category="slo",
+            description=(
+                "p99 serving latency (queue + service, cost units) "
+                "exceeds the SLO budget"
+            ),
+        ),
+        AlertRule(
+            name="traffic_shed_spike",
+            signal=names.TRAFFIC_SHED,
+            kind="threshold",
+            stat="count",
+            op=">",
+            value=shed_per_window,
+            window=1,
+            for_windows=1,
+            clear_windows=2,
+            severity="warning",
+            category="traffic",
+            description=(
+                "admission control is dropping requests faster than "
+                "the configured budget"
+            ),
+        ),
+    ]

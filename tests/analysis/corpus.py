@@ -142,6 +142,13 @@ _add(
         telemetry.metrics.observe(names.SERVING_LATENCY, 0.01)
         telemetry.tracer.point(names.PLATFORM_CHUNK, error=0.4)
         telemetry.tracer.point(names.HEALTH_EXPORTED, path="h.json")
+        telemetry.metrics.counter(names.TRAFFIC_ARRIVALS).inc()
+        telemetry.metrics.counter(names.TRAFFIC_SHED).inc()
+        telemetry.metrics.gauge(names.TRAFFIC_QUEUE_DEPTH).set(3)
+        telemetry.metrics.counter(names.BATCH_DISPATCHED).inc()
+        telemetry.metrics.observe(names.BATCH_WAIT, 0.002)
+        telemetry.tracer.point(names.SLO_LATENCY, cost=0.01)
+        telemetry.metrics.gauge(names.SLO_SHED_RATE).set(0.0)
     """,
     noqa="""\
     def record(telemetry):

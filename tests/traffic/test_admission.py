@@ -1,0 +1,88 @@
+"""Admission queue: bounded backlog, deterministic shed policy."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ValidationError
+from repro.traffic import AdmissionQueue, Request
+
+
+def request(request_id, arrival_time, rows=2):
+    return Request(
+        request_id=request_id,
+        arrival_time=float(arrival_time),
+        user=request_id % 5,
+        rows=np.arange(rows, dtype=np.int64),
+    )
+
+
+class TestBoundedQueue:
+    def test_admits_until_capacity(self):
+        queue = AdmissionQueue(capacity=3)
+        for i in range(3):
+            assert queue.offer(request(i, i * 0.1)) is None
+        assert len(queue) == 3
+
+    def test_tail_drop_sheds_latest_arrival(self):
+        queue = AdmissionQueue(capacity=2)
+        queue.offer(request(0, 0.0))
+        queue.offer(request(1, 0.1))
+        shed = queue.offer(request(2, 0.2))
+        assert shed is not None
+        assert shed.request_id == 2
+        assert len(queue) == 2
+
+    def test_earlier_arrival_displaces_queued_tail(self):
+        """A replayed out-of-order offer must shed exactly what the
+        in-order run shed: the request ordered last, not the one that
+        happened to arrive at a full queue."""
+        queue = AdmissionQueue(capacity=2)
+        queue.offer(request(0, 0.0))
+        queue.offer(request(2, 0.2))
+        shed = queue.offer(request(1, 0.1))
+        assert shed is not None
+        assert shed.request_id == 2
+        assert [r.request_id for r in queue.take(2)] == [0, 1]
+
+    def test_tie_breaks_toward_smaller_request_id(self):
+        queue = AdmissionQueue(capacity=1)
+        queue.offer(request(7, 0.5))
+        shed = queue.offer(request(3, 0.5))
+        assert shed is not None
+        assert shed.request_id == 7
+        assert queue.take(1)[0].request_id == 3
+
+    def test_equal_key_sheds_arrival(self):
+        queue = AdmissionQueue(capacity=1)
+        kept = request(4, 0.5)
+        queue.offer(kept)
+        shed = queue.offer(request(4, 0.5))
+        assert shed is not None
+        assert shed is not kept
+
+    def test_capacity_validation(self):
+        with pytest.raises(ValidationError, match="capacity"):
+            AdmissionQueue(capacity=0)
+
+
+class TestTake:
+    def test_oldest_first(self):
+        queue = AdmissionQueue(capacity=4)
+        for i, t in ((2, 0.3), (0, 0.1), (1, 0.2)):
+            queue.offer(request(i, t))
+        assert queue.oldest_arrival == pytest.approx(0.1)
+        taken = queue.take(2)
+        assert [r.request_id for r in taken] == [0, 1]
+        assert len(queue) == 1
+        assert queue.oldest_arrival == pytest.approx(0.3)
+
+    def test_take_drains_and_empties(self):
+        queue = AdmissionQueue(capacity=2)
+        queue.offer(request(0, 0.0))
+        assert len(queue.take(5)) == 1
+        assert len(queue) == 0
+        assert queue.oldest_arrival is None
+
+    def test_take_limit_validation(self):
+        with pytest.raises(ValidationError, match="limit"):
+            AdmissionQueue(capacity=1).take(0)

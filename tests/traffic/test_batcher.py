@@ -1,0 +1,116 @@
+"""Micro-batcher flush policy: size, wait, and drain boundaries."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ValidationError
+from repro.traffic import AdmissionQueue, MicroBatcher, Request
+
+
+def request(request_id, arrival_time, rows=1):
+    return Request(
+        request_id=request_id,
+        arrival_time=float(arrival_time),
+        user=0,
+        rows=np.arange(rows, dtype=np.int64),
+    )
+
+
+def batcher(max_batch_size=4, max_wait=0.05, capacity=16):
+    queue = AdmissionQueue(capacity=capacity)
+    return MicroBatcher(
+        queue, max_batch_size=max_batch_size, max_wait=max_wait
+    ), queue
+
+
+class TestFlushBoundaries:
+    def test_empty_queue_never_flushes(self):
+        b, __ = batcher()
+        assert b.flush_reason(10.0) is None
+        assert b.flush_reason(10.0, drain=True) is None
+        assert b.poll(10.0, drain=True) is None
+        assert b.next_deadline() is None
+
+    def test_full_at_exactly_max_batch_size(self):
+        b, queue = batcher(max_batch_size=3)
+        queue.offer(request(0, 0.0))
+        queue.offer(request(1, 0.0))
+        assert b.flush_reason(0.0) is None
+        queue.offer(request(2, 0.0))
+        assert b.flush_reason(0.0) == "full"
+
+    def test_wait_fires_exactly_at_deadline(self):
+        b, queue = batcher(max_wait=0.05)
+        queue.offer(request(0, 1.0))
+        deadline = b.next_deadline()
+        assert deadline == 1.0 + 0.05
+        assert b.flush_reason(np.nextafter(deadline, 0.0)) is None
+        assert b.flush_reason(deadline) == "wait"
+
+    def test_deadline_float_identity_regression(self):
+        """The simulator schedules the flush event at the float value
+        ``arrival + max_wait``; the policy must fire at exactly that
+        time for *any* arrival. (The subtracted form
+        ``now - oldest >= max_wait`` can round below ``max_wait`` and
+        miss its own deadline, stalling the batch until the next
+        unrelated event.)"""
+        for arrival in np.linspace(0.0, 2000.0, 257):
+            b, queue = batcher(max_wait=0.02)
+            queue.offer(request(0, float(arrival)))
+            assert b.flush_reason(b.next_deadline()) == "wait"
+
+    def test_full_wins_over_wait(self):
+        b, queue = batcher(max_batch_size=2, max_wait=0.01)
+        queue.offer(request(0, 0.0))
+        queue.offer(request(1, 0.0))
+        assert b.flush_reason(5.0) == "full"
+
+    def test_drain_flushes_partial_batch(self):
+        b, queue = batcher(max_batch_size=4, max_wait=10.0)
+        queue.offer(request(0, 0.0))
+        assert b.flush_reason(0.0) is None
+        flush = b.poll(0.0, drain=True)
+        assert flush is not None
+        assert flush.reason == "drain"
+        assert flush.size == 1
+
+
+class TestPoll:
+    def test_single_request_batch(self):
+        b, queue = batcher(max_wait=0.05)
+        queue.offer(request(9, 2.0, rows=3))
+        flush = b.poll(2.0 + 0.05)
+        assert flush is not None
+        assert flush.reason == "wait"
+        assert flush.size == 1
+        assert flush.num_rows == 3
+        assert flush.requests[0].request_id == 9
+        assert len(queue) == 0
+
+    def test_poll_caps_at_max_batch_size_oldest_first(self):
+        b, queue = batcher(max_batch_size=2)
+        for i in range(5):
+            queue.offer(request(i, i * 0.001))
+        flush = b.poll(1.0)
+        assert flush is not None
+        assert flush.reason == "full"
+        assert [r.request_id for r in flush.requests] == [0, 1]
+        assert len(queue) == 3
+
+    def test_no_flush_returns_none(self):
+        b, queue = batcher(max_wait=1.0)
+        queue.offer(request(0, 0.0))
+        assert b.poll(0.5) is None
+        assert len(queue) == 1
+
+
+class TestValidation:
+    def test_bad_batch_size(self):
+        queue = AdmissionQueue(capacity=2)
+        with pytest.raises(ValidationError, match="max_batch_size"):
+            MicroBatcher(queue, max_batch_size=0, max_wait=0.1)
+
+    def test_bad_max_wait(self):
+        queue = AdmissionQueue(capacity=2)
+        with pytest.raises(ValidationError, match="max_wait"):
+            MicroBatcher(queue, max_batch_size=1, max_wait=-0.1)

@@ -1,0 +1,135 @@
+"""Discrete-event simulator: determinism, accounting, shedding."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ValidationError
+from repro.obs import Telemetry, names
+from repro.traffic import (
+    OpenLoopGenerator,
+    SimulationConfig,
+    TrafficPattern,
+    TrafficSimulator,
+    VirtualClock,
+)
+
+
+def arrivals_for(pool, rate=80.0, horizon=1.0, seed=29):
+    generator = OpenLoopGenerator(
+        pattern=TrafficPattern(base_rate=rate),
+        num_users=500,
+        pool_rows=pool.num_rows,
+        rows_per_request=(1, 3),
+        seed=seed,
+    )
+    return generator.generate(horizon)
+
+
+def simulate(world, arrivals, config=None, telemetry=None):
+    simulator = TrafficSimulator(
+        world.make_endpoint(),
+        world.pool,
+        config=config or SimulationConfig(),
+        telemetry=telemetry,
+    )
+    return simulator.run(arrivals)
+
+
+class TestDeterminism:
+    def test_two_runs_byte_identical(self, traffic_world):
+        """Acceptance: same arrivals + fresh endpoints => the same
+        prediction stream, dispatch order, and shed set, byte for
+        byte."""
+        arrivals = arrivals_for(traffic_world.pool)
+        first = simulate(traffic_world, arrivals)
+        second = simulate(traffic_world, arrivals)
+        assert first.digest() == second.digest()
+        assert first.dispatch_order == second.dispatch_order
+        assert first.shed_ids == second.shed_ids
+        assert np.array_equal(
+            first.primary_stream, second.primary_stream
+        )
+
+    def test_report_is_reproducible(self, traffic_world):
+        arrivals = arrivals_for(traffic_world.pool)
+        first = simulate(traffic_world, arrivals).report
+        second = simulate(traffic_world, arrivals).report
+        assert first.to_dict() == second.to_dict()
+
+
+class TestAccounting:
+    def test_every_arrival_admitted_or_shed(self, traffic_world):
+        arrivals = arrivals_for(traffic_world.pool)
+        report = simulate(traffic_world, arrivals).report
+        assert report.arrivals == arrivals.num_requests
+        assert report.admitted + report.shed == report.arrivals
+        assert report.completed == report.admitted
+
+    def test_dispatch_covers_admitted(self, traffic_world):
+        arrivals = arrivals_for(traffic_world.pool)
+        result = simulate(traffic_world, arrivals)
+        assert len(result.dispatch_order) == result.report.admitted
+        assert (
+            len(result.dispatch_order) + len(result.shed_ids)
+            == arrivals.num_requests
+        )
+        assert sorted(result.dispatch_order + result.shed_ids) == list(
+            range(arrivals.num_requests)
+        )
+
+    def test_latency_includes_queue_delay(self, traffic_world):
+        arrivals = arrivals_for(traffic_world.pool)
+        report = simulate(traffic_world, arrivals).report
+        assert report.latency["p99"] >= report.queue_delay["p99"]
+        assert report.latency["p50"] > 0.0
+
+
+class TestOverload:
+    def test_tiny_queue_sheds_deterministically(self, traffic_world):
+        arrivals = arrivals_for(traffic_world.pool, rate=400.0)
+        config = SimulationConfig(
+            max_batch_size=2, max_wait=0.05, queue_capacity=2
+        )
+        first = simulate(traffic_world, arrivals, config=config)
+        second = simulate(traffic_world, arrivals, config=config)
+        assert first.report.shed > 0
+        assert first.shed_ids == second.shed_ids
+        assert 0.0 < first.report.shed_rate < 1.0
+
+    def test_roomy_queue_sheds_nothing(self, traffic_world):
+        arrivals = arrivals_for(traffic_world.pool, rate=30.0)
+        config = SimulationConfig(queue_capacity=4096)
+        report = simulate(traffic_world, arrivals, config=config).report
+        assert report.shed == 0
+
+
+class TestTelemetry:
+    def test_traffic_counters_match_report(self, traffic_world):
+        arrivals = arrivals_for(traffic_world.pool, rate=400.0)
+        telemetry = Telemetry()
+        result = simulate(
+            traffic_world,
+            arrivals,
+            config=SimulationConfig(queue_capacity=2),
+            telemetry=telemetry,
+        )
+        def count(name):
+            return telemetry.metrics.counter(name).value
+
+        assert count(names.TRAFFIC_ARRIVALS) == result.report.arrivals
+        assert count(names.TRAFFIC_SHED) == result.report.shed
+        assert count(names.TRAFFIC_COMPLETED) == result.report.completed
+        assert count(names.BATCH_DISPATCHED) == result.report.batches
+
+
+class TestVirtualClock:
+    def test_monotone(self):
+        clock = VirtualClock()
+        clock.advance(1.0)
+        assert clock() == pytest.approx(1.0)
+        clock.advance(0.5)  # never goes backwards
+        assert clock() == pytest.approx(1.0)
+
+    def test_config_validation(self):
+        with pytest.raises(ValidationError, match="concurrency"):
+            SimulationConfig(concurrency=0)
