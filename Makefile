@@ -49,6 +49,7 @@ bench-record:
 	PYTHONPATH=src REPRO_BENCH_SCALE=test \
 		REPRO_BENCH_STORE=$(BENCH_STORE) pytest \
 		benchmarks/bench_serving_throughput.py \
+		benchmarks/bench_fleet_overhead.py \
 		--benchmark-only -q
 	PYTHONPATH=src python -m repro perf record \
 		--dataset url --scale test --store $(BENCH_STORE)
@@ -60,6 +61,7 @@ bench-check:
 	PYTHONPATH=src REPRO_BENCH_SCALE=test REPRO_BENCH_CHECK=1 \
 		REPRO_BENCH_STORE=$(BENCH_STORE) pytest \
 		benchmarks/bench_serving_throughput.py \
+		benchmarks/bench_fleet_overhead.py \
 		--benchmark-only -q
 
 examples:

@@ -66,6 +66,19 @@ offline)::
     python -m repro obs alerts health.json
     python -m repro obs health run.jsonl --window 0.02
 
+Fleet: ``repro fleet`` orchestrates many tenant pipelines against
+shared bounded budgets (deterministic fair-share scheduling, byte
+quotas, nested fleet checkpoints), and ``repro exp8`` compares
+fair-share vs round-robin at an equal total training budget::
+
+    python -m repro fleet run    --tenants 6 --chunks 10
+    python -m repro fleet replay --tenants 6 --chunks 10
+    python -m repro fleet run    --tenants 6 --checkpoint-dir ./fc \
+        --cadence 2 --sigkill-at-epoch 5
+    python -m repro fleet status --checkpoint-dir ./fc
+    python -m repro recover --approach fleet --checkpoint-dir ./fc
+    python -m repro exp8 --tenants 24 --seed 11
+
 Static analysis: ``repro lint`` runs reprolint, the AST-based
 invariant linter enforcing the determinism, checkpoint, and telemetry
 contracts (exit 0 = clean, 1 = findings, 2 = config error)::
@@ -523,6 +536,124 @@ def build_parser() -> argparse.ArgumentParser:
     _add_reliability_options(recover)
     add_monitor_option(recover)
 
+    fleet = commands.add_parser(
+        "fleet",
+        help="multi-tenant fleet orchestration: run a mixed URL/taxi "
+        "fleet under shared training/materialization budgets, "
+        "inspect a fleet checkpoint, or replay for byte-identity",
+    )
+    fleet.add_argument(
+        "action",
+        choices=("run", "status", "replay"),
+        help="run = execute the fleet and print the tenant table + "
+        "digest; status = cheap summary of the latest fleet "
+        "checkpoint; replay = run the same spec twice and compare "
+        "digests (exit 1 on divergence)",
+    )
+    fleet.add_argument(
+        "--tenants",
+        type=int,
+        default=6,
+        help="fleet size for the generated spec (default: 6)",
+    )
+    fleet.add_argument(
+        "--seed", type=int, default=0, help="fleet seed (default: 0)"
+    )
+    fleet.add_argument(
+        "--policy",
+        choices=("fair_share", "round_robin"),
+        default="fair_share",
+        help="scheduling policy (default: fair_share)",
+    )
+    fleet.add_argument(
+        "--chunks",
+        type=int,
+        default=16,
+        help="stream chunks per tenant (default: 16)",
+    )
+    fleet.add_argument(
+        "--rows",
+        type=int,
+        default=12,
+        help="rows per stream chunk (default: 12)",
+    )
+    fleet.add_argument(
+        "--spec",
+        metavar="PATH",
+        default=None,
+        help="JSON fleet spec overriding the generated one "
+        "(--tenants/--seed/--policy/--chunks/--rows are ignored)",
+    )
+    fleet.add_argument(
+        "--checkpoint-dir",
+        metavar="DIR",
+        default=None,
+        help="write fleet checkpoints under DIR (required by "
+        "'fleet status' and 'repro recover --approach fleet')",
+    )
+    fleet.add_argument(
+        "--cadence",
+        type=int,
+        default=4,
+        help="checkpoint every N epochs (default: 4)",
+    )
+    fleet.add_argument(
+        "--keep",
+        type=int,
+        default=3,
+        help="checkpoints retained (default: 3)",
+    )
+    fleet.add_argument(
+        "--sigkill-at-epoch",
+        type=int,
+        default=None,
+        metavar="K",
+        help="send this process a real SIGKILL before epoch K runs "
+        "(the CI fleet-recovery smoke; no cleanup runs)",
+    )
+    add_monitor_option(fleet)
+
+    exp8 = commands.add_parser(
+        "exp8",
+        help="multi-tenant fleet: fair-share vs round-robin "
+        "scheduling at an equal total training budget, plus "
+        "byte-identity verification",
+    )
+    exp8.add_argument(
+        "--tenants",
+        type=int,
+        default=24,
+        help="fleet size (default: 24)",
+    )
+    exp8.add_argument(
+        "--seed", type=int, default=11, help="fleet seed (default: 11)"
+    )
+    exp8.add_argument(
+        "--chunks",
+        type=int,
+        default=16,
+        help="stream chunks per tenant (default: 16)",
+    )
+    exp8.add_argument(
+        "--rows",
+        type=int,
+        default=12,
+        help="rows per stream chunk (default: 12)",
+    )
+    exp8.add_argument(
+        "--bench-store",
+        metavar="DIR",
+        default=None,
+        help="append a BENCH_exp8_fleet trajectory record under DIR",
+    )
+    exp8.add_argument(
+        "--skip-identity-check",
+        action="store_true",
+        help="skip the same-seed re-runs that verify byte-identical "
+        "digests (faster smoke runs)",
+    )
+    add_monitor_option(exp8)
+
     lint = commands.add_parser(
         "lint",
         help="run reprolint, the AST-based invariant linter, over "
@@ -614,9 +745,16 @@ def build_parser() -> argparse.ArgumentParser:
 def _add_reliability_options(sub: argparse.ArgumentParser) -> None:
     sub.add_argument(
         "--approach",
-        choices=("online", "periodical", "threshold", "continuous"),
+        choices=(
+            "online",
+            "periodical",
+            "threshold",
+            "continuous",
+            "fleet",
+        ),
         default="continuous",
-        help="deployment approach (default: continuous)",
+        help="deployment approach (default: continuous); 'fleet' is "
+        "recover-only and resumes a whole fleet checkpoint",
     )
     sub.add_argument(
         "--checkpoint-dir",
@@ -1416,6 +1554,11 @@ def _command_run(args: argparse.Namespace) -> None:
     from repro.experiments.common import make_deployment
     from repro.reliability import FaultPlan, SimulatedCrash
 
+    if args.approach == "fleet":
+        raise SystemExit(
+            "'repro run' drives one pipeline; use 'repro fleet run' "
+            "to execute a fleet (--approach fleet is recover-only)"
+        )
     scenario = _scenario(args)
     fault_plan = None
     if args.kill_at is not None:
@@ -1471,6 +1614,8 @@ def _command_recover(args: argparse.Namespace) -> None:
 
     if args.checkpoint_dir is None:
         raise SystemExit("recover requires --checkpoint-dir")
+    if args.approach == "fleet":
+        return _recover_fleet(args)
     scenario = _scenario(args)
     telemetry = _telemetry_from_flags(args)
     deployment = make_deployment(
@@ -1484,6 +1629,225 @@ def _command_recover(args: argparse.Namespace) -> None:
     result = deployment.recover(scenario.make_stream())
     _print_run_result(result, deployment)
     _finish_telemetry(args, telemetry)
+
+
+def _recover_fleet(args: argparse.Namespace) -> None:
+    """``repro recover --approach fleet``: resume a whole fleet.
+
+    The spec rides inside the checkpoint, so the directory is all a
+    recovery needs; continuation is byte-identical to the
+    uninterrupted run.
+    """
+    from repro.fleet import FleetOrchestrator
+    from repro.fleet.alerts import fleet_rules
+    from repro.reliability import CheckpointConfig
+
+    rules = (
+        fleet_rules()
+        if getattr(args, "monitor", None) is not None
+        else None
+    )
+    telemetry = _telemetry_from_flags(args, rules=rules)
+    orchestrator = FleetOrchestrator.recover(
+        CheckpointConfig(
+            directory=args.checkpoint_dir,
+            cadence_chunks=args.cadence,
+            keep=args.keep,
+        ),
+        telemetry=telemetry,
+    )
+    print(
+        f"recovered fleet at epoch {orchestrator.epoch} "
+        f"({len(orchestrator.tenants)} tenants); resuming"
+    )
+    result = orchestrator.run()
+    _print_fleet_result(result)
+    _finish_telemetry(args, telemetry)
+
+
+def _print_fleet_result(result) -> None:
+    """Tenant table + fleet summary + the byte-identity digest."""
+    print(
+        f"{'tenant':<10} {'weight':>6} {'trainings':>9} "
+        f"{'error':>10}"
+    )
+    for name, weight, trainings, error in zip(
+        result.tenants,
+        result.weights,
+        result.trainings,
+        result.per_tenant_error,
+    ):
+        print(
+            f"{name:<10} {weight:>6.1f} {trainings:>9} "
+            f"{error:>10.5f}"
+        )
+    print(
+        f"\npolicy={result.policy} epochs={result.epochs} "
+        f"aggregate_error={result.aggregate_error:.5f} "
+        f"trainings={sum(result.trainings)} "
+        f"rescues={result.rescues} "
+        f"overdrafts={result.overdrafts} "
+        f"cost={result.total_cost:.3f}"
+    )
+    print(f"fleet digest={result.digest}")
+    if result.telemetry_digest is not None:
+        print(f"telemetry digest={result.telemetry_digest}")
+
+
+def _fleet_spec(args: argparse.Namespace):
+    """The fleet spec 'repro fleet' runs: --spec file or generated."""
+    from repro.fleet import FleetSpec, make_fleet
+
+    if args.spec is not None:
+        from pathlib import Path
+
+        return FleetSpec.from_json(
+            Path(args.spec).read_text(encoding="utf-8")
+        )
+    return make_fleet(
+        args.tenants,
+        seed=args.seed,
+        policy=args.policy,
+        chunks=args.chunks,
+        rows=args.rows,
+    )
+
+
+def _command_fleet(args: argparse.Namespace) -> Optional[int]:
+    from repro.fleet import FleetOrchestrator
+    from repro.fleet.alerts import fleet_rules
+    from repro.reliability import CheckpointConfig
+
+    if args.action == "status":
+        if args.checkpoint_dir is None:
+            raise SystemExit("fleet status requires --checkpoint-dir")
+        status = FleetOrchestrator.peek(args.checkpoint_dir)
+        print(
+            f"policy={status['policy']} epoch={status['epoch']} "
+            f"active={status['active']}/{status['num_tenants']} "
+            f"cost={status['clock']:.3f} "
+            f"overdrafts={status['overdrafts']}"
+        )
+        print(f"{'tenant':<10} {'cursor':>6} {'trainings':>9}")
+        for name, cursor, trainings in zip(
+            status["names"], status["cursors"], status["trainings"]
+        ):
+            print(f"{name:<10} {cursor:>6} {trainings:>9}")
+        return None
+
+    spec = _fleet_spec(args)
+    if args.action == "replay":
+        # Two fresh runs, both privately instrumented so the replay
+        # also proves the telemetry stream is deterministic.
+        from repro.obs import Telemetry
+
+        results = [
+            FleetOrchestrator(spec, telemetry=Telemetry()).run()
+            for _ in range(2)
+        ]
+        first, second = results
+        _print_fleet_result(first)
+        schedules = first.digest == second.digest
+        telemetry_ok = (
+            first.telemetry_digest == second.telemetry_digest
+        )
+        print(
+            "\nreplay byte-identical: "
+            f"schedule {'yes' if schedules else 'NO'}, "
+            f"telemetry {'yes' if telemetry_ok else 'NO'}"
+        )
+        return None if schedules and telemetry_ok else 1
+
+    rules = (
+        fleet_rules()
+        if getattr(args, "monitor", None) is not None
+        else None
+    )
+    telemetry = _telemetry_from_flags(args, rules=rules)
+    checkpoint = None
+    if args.checkpoint_dir is not None:
+        checkpoint = CheckpointConfig(
+            directory=args.checkpoint_dir,
+            cadence_chunks=args.cadence,
+            keep=args.keep,
+        )
+    orchestrator = FleetOrchestrator(
+        spec, telemetry=telemetry, checkpoint=checkpoint
+    )
+    if args.sigkill_at_epoch is not None:
+        import os
+        import signal
+
+        orchestrator.setup()
+        while orchestrator.has_work():
+            if orchestrator.epoch >= args.sigkill_at_epoch:
+                os.kill(os.getpid(), signal.SIGKILL)
+            orchestrator.run_epoch()
+        result = orchestrator.result()
+    else:
+        result = orchestrator.run()
+    _print_fleet_result(result)
+    _finish_telemetry(args, telemetry)
+    return None
+
+
+def _command_exp8(args: argparse.Namespace) -> Optional[int]:
+    from repro.experiments.exp8_fleet import (
+        bench_record,
+        format_comparison,
+        headline_claims,
+        run_fleet_experiment,
+    )
+    from repro.fleet.alerts import fleet_rules
+
+    rules = (
+        fleet_rules()
+        if getattr(args, "monitor", None) is not None
+        else None
+    )
+    telemetry = _telemetry_from_flags(args, rules=rules)
+    result = run_fleet_experiment(
+        num_tenants=args.tenants,
+        seed=args.seed,
+        chunks=args.chunks,
+        rows=args.rows,
+        telemetry=telemetry,
+        verify_identity=not args.skip_identity_check,
+    )
+    print(format_comparison(result))
+    claims = headline_claims(result)
+    print(
+        f"\nfair-share advantage at equal budget "
+        f"({claims['fair_trainings']:.0f} trainings each): "
+        f"{claims['fair_advantage']:+.5f} aggregate error "
+        f"({'fair_share' if result.fair_beats_round_robin else 'round_robin'} wins); "
+        f"rescues={claims['fair_rescues']:.0f} "
+        f"balance={claims['fair_balance']:.4f}"
+    )
+    if not args.skip_identity_check:
+        print(
+            "same-seed replay byte-identical: schedule "
+            f"{'yes' if result.digests_identical else 'NO'}, "
+            "telemetry "
+            f"{'yes' if result.telemetry_identical else 'NO'}"
+        )
+    if args.bench_store is not None:
+        from repro.obs.baseline import BaselineStore
+
+        record = bench_record(
+            result, args.tenants, args.seed, args.chunks
+        )
+        path = BaselineStore(args.bench_store).append(record)
+        print(f"trajectory record appended -> {path}")
+    _finish_telemetry(args, telemetry)
+    ok = result.fair_beats_round_robin and result.equal_budget
+    if not args.skip_identity_check:
+        ok = (
+            ok
+            and result.digests_identical
+            and result.telemetry_identical
+        )
+    return None if ok else 1
 
 
 def _command_lint(args: argparse.Namespace) -> int:
@@ -1717,6 +2081,8 @@ _COMMANDS = {
     "registry": _command_registry,
     "run": _command_run,
     "recover": _command_recover,
+    "fleet": _command_fleet,
+    "exp8": _command_exp8,
     "exp6": _command_exp6,
     "lint": _command_lint,
     "perf": _command_perf,

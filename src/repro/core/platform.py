@@ -274,6 +274,18 @@ class ContinuousDeploymentPlatform:
             self.checkpoint()
         return outcome
 
+    def train_now(self) -> ProactiveOutcome:
+        """Run one proactive training outside the scheduler's control.
+
+        The fleet orchestrator disables the per-platform schedule
+        (a huge static interval) and drives training through this
+        entry point when the fleet scheduler grants the tenant a
+        slot. Identical to a scheduler-fired training: the outcome is
+        recorded, the scheduler's EWMA sees the duration, and an
+        attached registry receives the candidate snapshot.
+        """
+        return self._run_proactive_training()
+
     def _run_proactive_training(self) -> ProactiveOutcome:
         with self.telemetry.tracer.span(
             names.PLATFORM_PROACTIVE_TRAINING, chunk=self._chunk_index

@@ -326,6 +326,23 @@ class ChunkStorage:
             self._materialized_bytes
         )
 
+    def set_byte_budget(self, max_bytes: Optional[int]) -> int:
+        """Install a new byte budget and evict down to it immediately.
+
+        The fleet orchestrator re-divides the global materialization
+        cap across tenants every scheduling epoch; this is the public
+        enforcement point. Returns the number of payloads evicted to
+        satisfy the new budget (0 when already under it).
+        """
+        if max_bytes is not None and max_bytes < 0:
+            raise StorageError(f"max_bytes must be >= 0, got {max_bytes}")
+        before = self.stats.features_evicted
+        self.max_bytes = max_bytes
+        self._evict_over_budget()
+        if self._metrics is not None:
+            self._update_level_gauges()
+        return self.stats.features_evicted - before
+
     def clear_features(self) -> None:
         """Evict every materialized payload (used by ablation benches)."""
         for timestamp in self.materialized_timestamps:

@@ -1,0 +1,49 @@
+"""Multi-tenant fleet orchestration over shared bounded resources.
+
+One :class:`~repro.fleet.orchestrator.FleetOrchestrator` runs dozens
+of concurrent deployment pipelines (mixed URL/taxi tenants with
+per-tenant seeds, strategies, and drift profiles) against shared
+budgets: every scheduling epoch a deterministic
+:class:`~repro.fleet.scheduler.FleetScheduler` divides the training
+slots and materialization bytes across tenants, Ganeti-style balance
+accumulators score the resulting spread, and Modyn-style data-centric
+triggers (new-data volume, drift score, staleness) decide which
+tenant trains next. Same spec + seed => byte-identical schedules and
+BENCH trajectories.
+"""
+
+from repro.fleet.alerts import fleet_rules
+from repro.fleet.orchestrator import FleetOrchestrator, FleetResult
+from repro.fleet.scheduler import EpochAllocation, FleetScheduler
+from repro.fleet.spec import (
+    DATASETS,
+    DRIFT_PROFILES,
+    POLICIES,
+    STRATEGIES,
+    FleetSpec,
+    TenantSpec,
+    make_fleet,
+)
+from repro.fleet.stats import StdDevStatistics, SumStatistics
+from repro.fleet.tenant import TenantRuntime
+from repro.fleet.triggers import TenantSignals, TriggerPolicy
+
+__all__ = [
+    "DATASETS",
+    "DRIFT_PROFILES",
+    "POLICIES",
+    "STRATEGIES",
+    "EpochAllocation",
+    "FleetOrchestrator",
+    "FleetResult",
+    "FleetScheduler",
+    "FleetSpec",
+    "StdDevStatistics",
+    "SumStatistics",
+    "TenantRuntime",
+    "TenantSpec",
+    "TenantSignals",
+    "TriggerPolicy",
+    "fleet_rules",
+    "make_fleet",
+]

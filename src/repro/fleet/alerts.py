@@ -1,0 +1,55 @@
+"""Monitor rules for fleet health: starvation and budget breach.
+
+Attach via ``telemetry.attach_monitor(rules=fleet_rules(...))``. The
+starvation rule is an absence watch on ``fleet.training`` — if no
+tenant trains for a full silence budget of virtual cost, scheduling
+has wedged (or the budget is zero) and the fleet is drifting stale.
+The budget-breach rule fires when any tenant is found holding more
+materialized bytes than its freshly assigned quota
+(``fleet.overdraft`` points, emitted just before the orchestrator
+evicts the excess).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.obs import names
+from repro.obs.rules import AlertRule
+
+
+def fleet_rules(training_silence: float = 50.0) -> List[AlertRule]:
+    """The fleet rule pack.
+
+    ``training_silence`` is the absence budget (virtual cost units)
+    after which a quiet ``fleet.training`` signal means starvation;
+    size it to a few epochs of typical fleet cost.
+    """
+    return [
+        AlertRule(
+            name="fleet-training-starved",
+            signal=names.FLEET_TRAINING,
+            kind="absence",
+            stale_after=training_silence,
+            severity="critical",
+            category="fleet",
+            description=(
+                "no tenant has run proactive training for a full "
+                "silence budget — the scheduler is starving the fleet"
+            ),
+        ),
+        AlertRule(
+            name="fleet-budget-breach",
+            signal=names.FLEET_OVERDRAFT,
+            kind="threshold",
+            stat="count",
+            op=">=",
+            value=1.0,
+            severity="warning",
+            category="fleet",
+            description=(
+                "a tenant exceeded its materialization quota and had "
+                "to be evicted down to budget"
+            ),
+        ),
+    ]

@@ -1,0 +1,455 @@
+"""The fleet orchestrator: many pipelines, one clock, shared budgets.
+
+:class:`FleetOrchestrator` steps dozens of tenant deployments
+cooperatively on one shared :class:`~repro.traffic.simulate.VirtualClock`
+(advanced to the *sum* of the tenants' engine costs, so fleet
+telemetry timestamps reflect total work done). Every scheduling epoch
+it:
+
+1. snapshots each tenant's data signals (new rows, drift, staleness),
+2. asks the :class:`~repro.fleet.scheduler.FleetScheduler` to divide
+   the epoch's training slots and materialization bytes,
+3. enforces the per-tenant byte quotas (evicting overdrafts),
+4. lets every active tenant ingest its stream chunks (prequential
+   test-then-train),
+5. spends the granted training slots via each platform's
+   :meth:`~repro.core.platform.ContinuousDeploymentPlatform.train_now`,
+6. emits ``fleet.*`` telemetry and appends the allocation to the
+   schedule log.
+
+A fleet checkpoint (approach ``"fleet"``) nests every tenant's full
+state plus the scheduler, schedule log, clock, and spec, so
+:meth:`recover` resumes the whole fleet byte-identically — the spec
+rides inside the checkpoint, no side files needed.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Union
+
+from repro.exceptions import ReliabilityError
+from repro.fleet.scheduler import FleetScheduler
+from repro.fleet.spec import FleetSpec
+from repro.fleet.tenant import TenantRuntime
+from repro.fleet.triggers import TriggerPolicy
+from repro.obs import names
+from repro.obs.telemetry import NULL_TELEMETRY, Telemetry
+from repro.reliability.checkpoint import (
+    CheckpointConfig,
+    CheckpointStore,
+    PlatformCheckpoint,
+    as_store,
+)
+from repro.traffic.simulate import VirtualClock
+
+
+def _canonical_digest(payload: Any) -> str:
+    """SHA-256 over a canonical JSON rendering of ``payload``."""
+    text = json.dumps(
+        payload, sort_keys=True, separators=(",", ":"), default=str
+    )
+    return hashlib.sha256(text.encode()).hexdigest()
+
+
+@dataclass
+class FleetResult:
+    """What a fleet run produced (everything deterministic)."""
+
+    policy: str
+    epochs: int
+    tenants: List[str]
+    weights: List[float]
+    #: Final cumulative prequential error per tenant (0.0 when a
+    #: tenant never saw a chunk).
+    per_tenant_error: List[float]
+    #: Weighted mean of the per-tenant errors — the headline exp8
+    #: comparison number.
+    aggregate_error: float
+    trainings: List[int]
+    rescues: int
+    overdrafts: int
+    total_cost: float
+    schedule_log: List[Dict[str, Any]] = field(default_factory=list)
+    digest: str = ""
+    telemetry_digest: Optional[str] = None
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "policy": self.policy,
+            "epochs": self.epochs,
+            "tenants": self.tenants,
+            "weights": self.weights,
+            "per_tenant_error": self.per_tenant_error,
+            "aggregate_error": self.aggregate_error,
+            "trainings": self.trainings,
+            "rescues": self.rescues,
+            "overdrafts": self.overdrafts,
+            "total_cost": self.total_cost,
+            "digest": self.digest,
+            "telemetry_digest": self.telemetry_digest,
+        }
+
+
+class FleetOrchestrator:
+    """Runs one :class:`~repro.fleet.spec.FleetSpec` to completion."""
+
+    def __init__(
+        self,
+        spec: FleetSpec,
+        telemetry: Optional[Telemetry] = None,
+        checkpoint: Union[
+            CheckpointStore, CheckpointConfig, str, None
+        ] = None,
+        registry_root: Optional[str] = None,
+        triggers: Optional[TriggerPolicy] = None,
+    ) -> None:
+        self.spec = spec
+        self.telemetry = (
+            telemetry if telemetry is not None else NULL_TELEMETRY
+        )
+        self.clock = VirtualClock()
+        self.scheduler = FleetScheduler(spec, triggers)
+        self.checkpoint_store = as_store(
+            checkpoint, telemetry=self.telemetry
+        )
+        self.registry_root = registry_root
+        self.tenants: List[TenantRuntime] = []
+        self.schedule_log: List[Dict[str, Any]] = []
+        self.epoch = 0
+        self.overdrafts = 0
+
+    # ------------------------------------------------------------------
+    def setup(self, fit: bool = True) -> None:
+        """Build (and optionally initial-fit) every tenant runtime.
+
+        Rebinds the shared virtual clock to the telemetry tracer
+        *after* tenant construction: each tenant engine binds its own
+        clock when built, and the fleet clock must win.
+        """
+        if self.tenants:
+            return
+        for index, tenant_spec in enumerate(self.spec.tenants):
+            self.tenants.append(
+                TenantRuntime(
+                    index,
+                    tenant_spec,
+                    telemetry=self.telemetry,
+                    registry_root=self.registry_root,
+                    fit=fit,
+                )
+            )
+        if self.telemetry.enabled:
+            self.telemetry.bind_clock(self.clock)
+        self._sync_clock()
+
+    def _sync_clock(self) -> None:
+        self.clock.advance(
+            sum(t.total_cost() for t in self.tenants)
+        )
+
+    def has_work(self) -> bool:
+        """True while any stream has chunks and the epoch cap allows."""
+        if not self.tenants:
+            return True
+        if self.spec.max_epochs and self.epoch >= self.spec.max_epochs:
+            return False
+        return any(t.active for t in self.tenants)
+
+    # ------------------------------------------------------------------
+    def run_epoch(self) -> Dict[str, Any]:
+        """One scheduling epoch; returns the schedule-log entry."""
+        self.setup()
+        tracer = self.telemetry.tracer
+        metrics = self.telemetry.metrics
+        signals = [t.signals(self.epoch) for t in self.tenants]
+        allocation = self.scheduler.allocate(signals)
+        # Quota enforcement precedes ingest so this epoch's writes are
+        # bounded by this epoch's quotas.
+        for tenant, quota in zip(
+            self.tenants, allocation.materialize_bytes
+        ):
+            report = tenant.apply_quota(quota)
+            if report["overdraft"]:
+                self.overdrafts += 1
+                tracer.point(
+                    names.FLEET_OVERDRAFT,
+                    tenant=tenant.name,
+                    epoch=self.epoch,
+                    bytes=report["overdraft"],
+                    quota=quota,
+                )
+                if self.telemetry.enabled:
+                    metrics.counter(names.FLEET_OVERDRAFTS).inc()
+            if report["evicted"] and self.telemetry.enabled:
+                metrics.counter(names.FLEET_EVICTIONS).inc(
+                    report["evicted"]
+                )
+        for tenant in self.tenants:
+            ingested = 0
+            for _ in range(self.spec.chunks_per_epoch):
+                if not tenant.ingest_chunk():
+                    break
+                ingested += 1
+            self._sync_clock()
+            if ingested:
+                tracer.point(
+                    names.FLEET_TENANT_CHUNK,
+                    tenant=tenant.name,
+                    cursor=tenant.cursor,
+                    error=tenant.chunk_errors[-1],
+                )
+        trainings_run = 0
+        for tenant_index in allocation.order:
+            tenant = self.tenants[tenant_index]
+            outcome = tenant.train(self.epoch)
+            self._sync_clock()
+            if outcome is None:
+                continue
+            trainings_run += 1
+            tracer.point(
+                names.FLEET_TRAINING,
+                tenant=tenant.name,
+                epoch=self.epoch,
+                objective=outcome.objective,
+                rows=outcome.rows,
+            )
+            if self.telemetry.enabled:
+                metrics.counter(names.FLEET_TRAININGS).inc()
+        aggregate = self.aggregate_error()
+        active = sum(1 for t in self.tenants if t.active)
+        if self.telemetry.enabled:
+            metrics.gauge(names.FLEET_BALANCE).set(allocation.balance)
+            metrics.gauge(names.FLEET_ACTIVE_TENANTS).set(active)
+            metrics.gauge(names.FLEET_AGGREGATE_ERROR).set(aggregate)
+            if allocation.rescued:
+                metrics.counter(names.FLEET_RESCUES).inc(
+                    len(allocation.rescued)
+                )
+        tracer.point(
+            names.FLEET_EPOCH,
+            epoch=self.epoch,
+            balance=allocation.balance,
+            aggregate_error=aggregate,
+            trainings=trainings_run,
+            active=active,
+        )
+        entry = allocation.to_dict()
+        entry["aggregate_error"] = aggregate
+        entry["cost"] = self.clock.now
+        entry["active"] = active
+        self.schedule_log.append(entry)
+        self.epoch += 1
+        if (
+            self.checkpoint_store is not None
+            and self.epoch % self.checkpoint_store.cadence == 0
+        ):
+            self.checkpoint()
+        return entry
+
+    def run(self) -> FleetResult:
+        """Run every remaining epoch and summarize."""
+        self.setup()
+        while self.has_work():
+            self.run_epoch()
+        return self.result()
+
+    # ------------------------------------------------------------------
+    def aggregate_error(self) -> float:
+        """Weighted mean of the tenants' cumulative prequential errors.
+
+        Tenants that have not predicted yet contribute nothing (their
+        weight is excluded), so the aggregate is always an average of
+        real error values.
+        """
+        num = 0.0
+        den = 0.0
+        for tenant in self.tenants:
+            if tenant.prequential.total_count:
+                value = tenant.prequential.history[-1]
+                num += tenant.spec.weight * value
+                den += tenant.spec.weight
+        return num / den if den else 0.0
+
+    def digest(self) -> str:
+        """SHA-256 over the run's deterministic trajectory.
+
+        Covers the schedule log, every tenant's full prequential
+        history and training count, and the final clock — the
+        byte-identity contract exp8 and the CI smoke verify.
+        """
+        return _canonical_digest(
+            {
+                "schedule": self.schedule_log,
+                "errors": [
+                    t.prequential.history for t in self.tenants
+                ],
+                "trainings": [t.trainings for t in self.tenants],
+                "cost": self.clock.now,
+            }
+        )
+
+    def telemetry_digest(self) -> Optional[str]:
+        """SHA-256 over the event stream (wall-clock fields dropped).
+
+        ``None`` without live telemetry. Spans carry virtual-cost
+        timestamps/durations and deterministic attrs; only ``wall_s``
+        varies run to run, so it is excluded.
+        """
+        if not self.telemetry.enabled:
+            return None
+        events = [
+            {k: v for k, v in event.items() if k != "wall_s"}
+            for event in self.telemetry.events
+        ]
+        return _canonical_digest(
+            {
+                "events": events,
+                "metrics": self.telemetry.metrics.snapshot(),
+            }
+        )
+
+    def result(self) -> FleetResult:
+        per_tenant = [
+            t.prequential.history[-1] if t.prequential.total_count else 0.0
+            for t in self.tenants
+        ]
+        return FleetResult(
+            policy=self.spec.policy,
+            epochs=self.epoch,
+            tenants=[t.name for t in self.tenants],
+            weights=[t.spec.weight for t in self.tenants],
+            per_tenant_error=per_tenant,
+            aggregate_error=self.aggregate_error(),
+            trainings=[t.trainings for t in self.tenants],
+            rescues=self.scheduler.rescues,
+            overdrafts=self.overdrafts,
+            total_cost=self.clock.now,
+            schedule_log=list(self.schedule_log),
+            digest=self.digest(),
+            telemetry_digest=self.telemetry_digest(),
+        )
+
+    # ------------------------------------------------------------------
+    # Checkpointing and recovery
+    # ------------------------------------------------------------------
+    def checkpoint(self) -> Path:
+        """Write a fleet checkpoint (cursor = epochs completed)."""
+        if self.checkpoint_store is None:
+            raise ReliabilityError(
+                "fleet was constructed without a checkpoint= option"
+            )
+        state: Dict[str, Any] = {
+            "spec": self.spec.to_dict(),
+            "scheduler": self.scheduler.state_dict(),
+            "schedule_log": list(self.schedule_log),
+            "clock": self.clock.now,
+            "epoch": self.epoch,
+            "overdrafts": self.overdrafts,
+            "tenants": [t.capture_state() for t in self.tenants],
+        }
+        if self.telemetry.enabled:
+            state["metrics"] = self.telemetry.metrics.state_dict()
+        checkpoint = PlatformCheckpoint(
+            cursor=self.epoch,
+            approach="fleet",
+            # The fleet has no single artifact bundle; every tenant's
+            # bundle is nested in state["tenants"].
+            bundle=None,
+            state=state,
+        )
+        return self.checkpoint_store.write(checkpoint)
+
+    @classmethod
+    def recover(
+        cls,
+        checkpoint: Union[CheckpointStore, CheckpointConfig, str],
+        telemetry: Optional[Telemetry] = None,
+        registry_root: Optional[str] = None,
+        triggers: Optional[TriggerPolicy] = None,
+    ) -> "FleetOrchestrator":
+        """Resume a whole fleet from its latest valid checkpoint.
+
+        The spec rides inside the checkpoint, so a directory is all a
+        recovery needs. Continuation is byte-identical to the
+        uninterrupted run: tenants are rebuilt without initial
+        training, their artifacts/storage/state restored, streams
+        fast-forwarded, and the scheduler + schedule log + clock
+        reinstated.
+        """
+        store = as_store(checkpoint, telemetry=telemetry)
+        saved = store.load_latest()
+        if saved.approach != "fleet":
+            raise ReliabilityError(
+                f"checkpoint holds approach {saved.approach!r}, "
+                f"expected 'fleet'"
+            )
+        spec = FleetSpec.from_dict(saved.state["spec"])
+        orchestrator = cls(
+            spec,
+            telemetry=telemetry,
+            checkpoint=store,
+            registry_root=registry_root,
+            triggers=triggers,
+        )
+        orchestrator.setup(fit=False)
+        for tenant, tenant_state in zip(
+            orchestrator.tenants, saved.state["tenants"]
+        ):
+            tenant.restore_state(tenant_state)
+        orchestrator.scheduler.load_state_dict(
+            saved.state["scheduler"]
+        )
+        orchestrator.schedule_log = list(saved.state["schedule_log"])
+        orchestrator.epoch = int(saved.state["epoch"])
+        orchestrator.overdrafts = int(saved.state["overdrafts"])
+        metrics_state = saved.state.get("metrics")
+        if (
+            metrics_state is not None
+            and orchestrator.telemetry.enabled
+        ):
+            orchestrator.telemetry.metrics.load_state_dict(
+                metrics_state
+            )
+        orchestrator.clock.advance(float(saved.state["clock"]))
+        orchestrator.telemetry.tracer.point(
+            names.FLEET_RECOVERED,
+            epoch=orchestrator.epoch,
+            tenants=len(orchestrator.tenants),
+        )
+        return orchestrator
+
+    @staticmethod
+    def peek(
+        checkpoint: Union[CheckpointStore, CheckpointConfig, str],
+    ) -> Dict[str, Any]:
+        """Cheap fleet status from the latest checkpoint (no rebuild)."""
+        store = as_store(checkpoint)
+        saved = store.load_latest()
+        if saved.approach != "fleet":
+            raise ReliabilityError(
+                f"checkpoint holds approach {saved.approach!r}, "
+                f"expected 'fleet'"
+            )
+        tenants = saved.state["tenants"]
+        spec = saved.state["spec"]
+        return {
+            "epoch": saved.state["epoch"],
+            "clock": saved.state["clock"],
+            "policy": spec["policy"],
+            "num_tenants": len(tenants),
+            "active": sum(1 for t in tenants if t["active"]),
+            "trainings": [t["trainings"] for t in tenants],
+            "cursors": [t["cursor"] for t in tenants],
+            "names": [t["name"] for t in spec["tenants"]],
+            "overdrafts": saved.state["overdrafts"],
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"FleetOrchestrator(tenants={len(self.spec.tenants)}, "
+            f"policy={self.spec.policy!r}, epoch={self.epoch})"
+        )

@@ -1,0 +1,138 @@
+"""Incremental statistics accumulators (Ganeti's ``Utils/Statistics``).
+
+The fleet scheduler scores balance as the standard deviation of the
+tenants' normalized resource shares. Recomputing that from scratch
+after every single-slot grant would make an epoch O(slots x tenants);
+these accumulators instead support Ganeti's *value replacement*
+update — when one tenant's share changes, the aggregate is fixed up
+in O(1) from ``(old, new)`` — so the scheduler can re-score the fleet
+after every move (SNIPPETS.md snippet 2).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Iterable, List
+
+from repro.exceptions import ValidationError
+
+
+class SumStatistics:
+    """A running total with O(1) value replacement."""
+
+    __slots__ = ("count", "total")
+
+    def __init__(self, values: Iterable[float] = ()) -> None:
+        values = [float(v) for v in values]
+        self.count = len(values)
+        self.total = float(sum(values))
+
+    def value(self) -> float:
+        return self.total
+
+    def insert(self, value: float) -> None:
+        self.count += 1
+        self.total += float(value)
+
+    def update(self, old: float, new: float) -> None:
+        """Replace one tracked value: ``old`` leaves, ``new`` enters."""
+        if self.count == 0:
+            raise ValidationError(
+                "cannot update an empty SumStatistics accumulator"
+            )
+        self.total += float(new) - float(old)
+
+    def state_dict(self) -> Dict[str, float]:
+        return {"count": self.count, "total": self.total}
+
+    def load_state_dict(self, state: Dict[str, float]) -> None:
+        self.count = int(state["count"])
+        self.total = float(state["total"])
+
+
+class StdDevStatistics:
+    """Population standard deviation with O(1) value replacement.
+
+    Tracks ``(count, sum, sum of squares)`` — the moments Ganeti's
+    ``StdDevStatistics`` carries — so both inserting a fresh value and
+    replacing an existing one are constant-time.
+    """
+
+    __slots__ = ("count", "total", "sumsq")
+
+    def __init__(self, values: Iterable[float] = ()) -> None:
+        values = [float(v) for v in values]
+        self.count = len(values)
+        self.total = float(sum(values))
+        self.sumsq = float(sum(v * v for v in values))
+
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def value(self) -> float:
+        """Population standard deviation of the tracked values."""
+        if self.count == 0:
+            return 0.0
+        variance = self.sumsq / self.count - self.mean() ** 2
+        # Guard the tiny negative residue floating-point subtraction
+        # can leave when all values are (nearly) equal.
+        return math.sqrt(max(variance, 0.0))
+
+    def insert(self, value: float) -> None:
+        value = float(value)
+        self.count += 1
+        self.total += value
+        self.sumsq += value * value
+
+    def update(self, old: float, new: float) -> None:
+        """Replace one tracked value: ``old`` leaves, ``new`` enters."""
+        if self.count == 0:
+            raise ValidationError(
+                "cannot update an empty StdDevStatistics accumulator"
+            )
+        old, new = float(old), float(new)
+        self.total += new - old
+        self.sumsq += new * new - old * old
+
+    def state_dict(self) -> Dict[str, float]:
+        return {
+            "count": self.count,
+            "total": self.total,
+            "sumsq": self.sumsq,
+        }
+
+    def load_state_dict(self, state: Dict[str, float]) -> None:
+        self.count = int(state["count"])
+        self.total = float(state["total"])
+        self.sumsq = float(state["sumsq"])
+
+
+def largest_remainder(
+    weights: List[float], total: int
+) -> List[int]:
+    """Split integer ``total`` proportionally to ``weights``.
+
+    Hamilton's method: floor the proportional quotas, then hand the
+    leftover units to the largest fractional remainders (ties broken
+    by lowest index, so the split is deterministic). The result always
+    sums to exactly ``total``.
+    """
+    if total < 0:
+        raise ValidationError(f"total must be >= 0, got {total}")
+    if not weights:
+        return []
+    mass = float(sum(weights))
+    if mass <= 0:
+        raise ValidationError(
+            f"weights must have positive mass, got sum {mass}"
+        )
+    quotas = [total * (w / mass) for w in weights]
+    shares = [int(math.floor(q)) for q in quotas]
+    leftover = total - sum(shares)
+    order = sorted(
+        range(len(weights)),
+        key=lambda i: (-(quotas[i] - shares[i]), i),
+    )
+    for i in order[:leftover]:
+        shares[i] += 1
+    return shares

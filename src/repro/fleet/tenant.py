@@ -1,0 +1,355 @@
+"""One fleet tenant: a full deployment platform, stepped cooperatively.
+
+A :class:`TenantRuntime` owns everything one tenant needs — dataset
+generator (seeded, with the spec's drift profile), pipeline + model +
+optimizer, a :class:`~repro.core.platform.ContinuousDeploymentPlatform`
+whose *own* proactive schedule is disabled (a huge static interval),
+a prequential tracker, and optionally a per-tenant model registry.
+The orchestrator interleaves tenants chunk by chunk: `ingest_chunk`
+runs the prequential test-then-train step, ``train`` runs one
+fleet-granted proactive training through the platform's
+:meth:`~repro.core.platform.ContinuousDeploymentPlatform.train_now`
+hook, and ``capture_state``/``restore_state`` ride the fleet
+checkpoint so recovery is byte-identical.
+"""
+
+from __future__ import annotations
+
+import warnings
+from typing import Any, Dict, Iterator, List, Optional
+
+from repro.core.config import ContinuousConfig, ScheduleConfig
+from repro.core.platform import ContinuousDeploymentPlatform
+from repro.core.proactive import ProactiveOutcome
+from repro.data.table import Table
+from repro.datasets.drift import (
+    AbruptDrift,
+    DriftSchedule,
+    GradualDrift,
+    NoDrift,
+)
+from repro.datasets.taxi import (
+    TAXI_FEATURE_COLUMNS,
+    TaxiStreamGenerator,
+    make_taxi_pipeline,
+)
+from repro.datasets.url import URLStreamGenerator, make_url_pipeline
+from repro.exceptions import ConvergenceWarning
+from repro.fleet.spec import TenantSpec
+from repro.fleet.triggers import TenantSignals
+from repro.ml.metrics import PrequentialTracker
+from repro.ml.models.linear_regression import LinearRegression
+from repro.ml.models.svm import LinearSVM
+from repro.ml.optim import make_optimizer
+from repro.ml.regularizers import L2
+from repro.obs.telemetry import NULL_TELEMETRY, Telemetry
+from repro.persistence import DeploymentBundle
+from repro.serving.endpoint import ServingEndpoint
+from repro.serving.registry import ModelRegistry
+
+import numpy as np
+
+#: Static interval large enough that the tenant's own scheduler never
+#: fires — the fleet scheduler is the only source of training.
+_NEVER = 10**6
+
+#: Recent/previous window width (chunks) for the drift score.
+_DRIFT_WINDOW = 3
+
+#: Hashed feature width for fleet URL tenants (smaller than the exp1
+#: bench scenario: dozens of tenants must fit one process comfortably,
+#: but wide enough that the initial fit actually learns the concept).
+_URL_HASH_DIM = 256
+
+#: SGD iterations spent per fleet-granted training slot. A single
+#: proactive-training instance is one mini-batch iteration (§3.3), so
+#: a fleet slot grants a short burst — enough to visibly re-track a
+#: drifted concept while keeping the slot the unit of accounting.
+_TRAIN_BURST = 4
+
+
+def _drift_schedule(spec: TenantSpec) -> DriftSchedule:
+    # Drift strong enough that a tenant's error visibly climbs between
+    # retrainings — the fleet's allocation decisions must have
+    # observable consequences for the policy comparison to resolve.
+    if spec.drift == "gradual":
+        return GradualDrift(0.05)
+    if spec.drift == "abrupt":
+        return AbruptDrift([max(spec.chunks // 2, 1)], 0.8)
+    return NoDrift()
+
+
+class TenantRuntime:
+    """One tenant's live deployment inside the fleet."""
+
+    def __init__(
+        self,
+        index: int,
+        spec: TenantSpec,
+        telemetry: Optional[Telemetry] = None,
+        registry_root: Optional[str] = None,
+        fit: bool = True,
+    ) -> None:
+        self.index = index
+        self.spec = spec
+        self.telemetry = (
+            telemetry if telemetry is not None else NULL_TELEMETRY
+        )
+        self.registry: Optional[ModelRegistry] = None
+        if registry_root is not None:
+            self.registry = ModelRegistry(
+                f"{registry_root}/{spec.name}", telemetry=self.telemetry
+            )
+        # Training-strategy tenants adapt *only* through fleet-granted
+        # proactive trainings (so the scheduler's allocation decisions
+        # are what shapes their quality); ``online``-strategy tenants
+        # instead adapt through per-chunk SGD and opt out of slots.
+        config = ContinuousConfig(
+            sample_size_chunks=6,
+            schedule=ScheduleConfig(
+                kind="static", interval_chunks=_NEVER
+            ),
+            sampler="time",
+            half_life=max(spec.chunks // 8, 1),
+            online_update=spec.strategy == "online",
+        )
+        if spec.dataset == "url":
+            generator = URLStreamGenerator(
+                num_chunks=spec.chunks,
+                rows_per_chunk=spec.rows,
+                base_features=200,
+                new_features_per_chunk=2,
+                drift=_drift_schedule(spec),
+                seed=spec.seed,
+            )
+            pipeline = make_url_pipeline(hash_features=_URL_HASH_DIM)
+            model = LinearSVM(_URL_HASH_DIM, regularizer=L2(1e-3))
+            optimizer = make_optimizer("adam", learning_rate=0.05)
+            self.metric = "classification"
+            initial_rows, fit_iterations = 200, 160
+            tracker_kind = "rate"
+        else:
+            generator = TaxiStreamGenerator(
+                num_chunks=spec.chunks,
+                rows_per_chunk=spec.rows,
+                seed=spec.seed,
+            )
+            pipeline = make_taxi_pipeline()
+            model = LinearRegression(
+                len(TAXI_FEATURE_COLUMNS), regularizer=L2(1e-4)
+            )
+            optimizer = make_optimizer("rmsprop", learning_rate=0.05)
+            self.metric = "regression"
+            # Taxi tenants onboard cold: a deliberately short initial
+            # fit, with fleet-granted training doing the convergence
+            # work. Their per-slot RMSE gain is large, near-linear,
+            # and low-noise — the cleanest signal the policy
+            # comparison has.
+            initial_rows, fit_iterations = 120, 30
+            tracker_kind = "rmse"
+        self.platform = ContinuousDeploymentPlatform(
+            pipeline,
+            model,
+            optimizer,
+            config=config,
+            seed=spec.seed,
+            telemetry=self.telemetry,
+            registry=self.registry,
+        )
+        self.prequential = PrequentialTracker(kind=tracker_kind)
+        self._stream: Iterator[Table] = iter(generator.stream())
+        self.cursor = 0
+        self.active = True
+        self.new_rows = 0
+        self.last_trained_epoch = -1
+        self.trainings = 0
+        #: Per-chunk mean error series feeding the drift score.
+        self.chunk_errors: List[float] = []
+        if fit:
+            # Fleet tenants run deliberately short initial fits (the
+            # online + proactive phases do the real work); convergence
+            # warnings at this scale are expected noise.
+            with warnings.catch_warnings():
+                warnings.simplefilter("ignore", ConvergenceWarning)
+                self.platform.initial_fit(
+                    generator.initial_data(initial_rows),
+                    max_iterations=fit_iterations,
+                    tolerance=1e-4,
+                    seed=spec.seed,
+                )
+
+    # ------------------------------------------------------------------
+    @property
+    def name(self) -> str:
+        return self.spec.name
+
+    def total_cost(self) -> float:
+        """This tenant's engine clock (its share of the fleet cost)."""
+        return self.platform.engine.total_cost()
+
+    # ------------------------------------------------------------------
+    def ingest_chunk(self) -> bool:
+        """One prequential test-then-train step on the next chunk.
+
+        Returns ``False`` (and deactivates the tenant) when the
+        stream is exhausted.
+        """
+        if not self.active:
+            return False
+        try:
+            table = next(self._stream)
+        except StopIteration:
+            self.active = False
+            return False
+        predictions, labels = self.platform.predict(table)
+        error_sum = self._chunk_error(predictions, labels)
+        self.prequential.add_chunk(error_sum, len(labels))
+        self.chunk_errors.append(error_sum / len(labels))
+        self.platform.observe(table)
+        self.cursor += 1
+        self.new_rows += table.num_rows
+        if self.cursor >= self.spec.chunks:
+            # Deactivate eagerly (the generator is exhausted too) so
+            # the scheduler never allocates an epoch of dead streams.
+            self.active = False
+        return True
+
+    def _chunk_error(
+        self, predictions: np.ndarray, labels: np.ndarray
+    ) -> float:
+        if self.metric == "classification":
+            return float(np.sum(predictions != labels))
+        residual = predictions - labels
+        return float(np.sum(residual * residual))
+
+    def train(self, epoch: int) -> Optional[ProactiveOutcome]:
+        """Spend one fleet-granted training slot (a short SGD burst)."""
+        if self.cursor == 0:
+            return None
+        outcome: Optional[ProactiveOutcome] = None
+        for _ in range(_TRAIN_BURST):
+            outcome = self.platform.train_now()
+        self.trainings += 1
+        self.last_trained_epoch = epoch
+        self.new_rows = 0
+        return outcome
+
+    # ------------------------------------------------------------------
+    def drift_score(self) -> float:
+        """Recent-vs-previous prequential error inflation (>= 0)."""
+        w = _DRIFT_WINDOW
+        if len(self.chunk_errors) < 2 * w:
+            return 0.0
+        recent = sum(self.chunk_errors[-w:]) / w
+        previous = sum(self.chunk_errors[-2 * w : -w]) / w
+        if previous <= 1e-9:
+            return 0.0
+        return max(0.0, recent / previous - 1.0)
+
+    def signals(self, epoch: int) -> TenantSignals:
+        return TenantSignals(
+            tenant=self.index,
+            new_rows=self.new_rows,
+            drift_score=self.drift_score(),
+            staleness_epochs=epoch - self.last_trained_epoch,
+            weight=self.spec.weight,
+            strategy=self.spec.strategy,
+            active=self.active,
+        )
+
+    def apply_quota(self, quota_bytes: int) -> Dict[str, int]:
+        """Enforce this epoch's materialization quota.
+
+        Returns the overdraft (bytes held beyond the fresh quota at
+        enforcement time) and how many payloads were evicted for it.
+        """
+        storage = self.platform.data_manager.storage
+        overdraft = max(0, storage.materialized_bytes - quota_bytes)
+        evicted = storage.set_byte_budget(quota_bytes)
+        return {"overdraft": overdraft, "evicted": evicted}
+
+    # ------------------------------------------------------------------
+    def endpoint(self, seed: int = 0) -> ServingEndpoint:
+        """A serving endpoint over this tenant's registry."""
+        if self.registry is None:
+            from repro.exceptions import ValidationError
+
+            raise ValidationError(
+                f"tenant {self.name!r} has no registry (fleet was run "
+                f"without registry_root)"
+            )
+        return ServingEndpoint(
+            self.registry, seed=seed, telemetry=self.telemetry
+        )
+
+    # ------------------------------------------------------------------
+    # Fleet checkpoint support
+    # ------------------------------------------------------------------
+    def capture_state(self) -> Dict[str, Any]:
+        """Everything this tenant mutates, for the fleet checkpoint.
+
+        Storage payloads ride inline (fleet tenants are small by
+        construction); the artifact bundle is pickled by the
+        checkpoint envelope like any platform checkpoint.
+        """
+        storage = self.platform.data_manager.storage
+        return {
+            "bundle": DeploymentBundle(
+                pipeline=self.platform.manager.pipeline,
+                model=self.platform.manager.model,
+                optimizer=self.platform.manager.optimizer,
+            ),
+            "platform": self.platform.state_dict(),
+            "storage": {
+                "raw": [
+                    storage.peek_raw(t) for t in storage.raw_timestamps
+                ],
+                "features": [
+                    storage.peek_features(t)
+                    for t in storage.feature_timestamps
+                ],
+                "stats": storage.manifest()["stats"],
+            },
+            "prequential": self.prequential.state_dict(),
+            "cursor": self.cursor,
+            "active": self.active,
+            "new_rows": self.new_rows,
+            "last_trained_epoch": self.last_trained_epoch,
+            "trainings": self.trainings,
+            "chunk_errors": list(self.chunk_errors),
+        }
+
+    def restore_state(self, state: Dict[str, Any]) -> None:
+        """Rebuild from :meth:`capture_state` (byte-identical resume).
+
+        The stream iterator is regenerated by the constructor and
+        fast-forwarded to the saved cursor here; generators are
+        deterministic, so the skipped chunks are exactly the ones the
+        crashed run consumed.
+        """
+        bundle: DeploymentBundle = state["bundle"]
+        self.platform.install_artifacts(
+            bundle.pipeline, bundle.model, bundle.optimizer
+        )
+        storage = self.platform.data_manager.storage
+        storage.restore(
+            state["storage"]["raw"],
+            state["storage"]["features"],
+            state["storage"]["stats"],
+        )
+        self.platform.load_state_dict(state["platform"])
+        self.prequential.load_state_dict(state["prequential"])
+        self.cursor = int(state["cursor"])
+        self.active = bool(state["active"])
+        self.new_rows = int(state["new_rows"])
+        self.last_trained_epoch = int(state["last_trained_epoch"])
+        self.trainings = int(state["trainings"])
+        self.chunk_errors = [float(e) for e in state["chunk_errors"]]
+        for _ in range(self.cursor):
+            next(self._stream)
+
+    def __repr__(self) -> str:
+        return (
+            f"TenantRuntime({self.name!r}, cursor={self.cursor}, "
+            f"trainings={self.trainings})"
+        )

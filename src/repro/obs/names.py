@@ -15,7 +15,7 @@ first naming the owning subsystem (``engine``, ``cache``,
 ``scheduler``, ``platform``, ``serving``, ``registry``, ``rollout``,
 ``reliability``, ``drift``, ``sampler``, ``span``, ``perf``,
 ``profile``, ``monitor``, ``alert``, ``health``, ``traffic``,
-``batch``, ``slo``).
+``batch``, ``slo``, ``fleet``).
 
 Families whose tail is data-dependent (``registry.<event>``,
 ``rollout.<action>``, ``span.<span-name>``) are declared as prefixes
@@ -105,6 +105,20 @@ SLO_QUEUE_DELAY = "slo.queue_delay"
 SLO_SERVICE_TIME = "slo.service_time"
 SLO_THROUGHPUT = "slo.throughput"
 SLO_SHED_RATE = "slo.shed_rate"
+
+# -- fleet orchestration ------------------------------------------------
+FLEET_EPOCH = "fleet.epoch"
+FLEET_TRAINING = "fleet.training"
+FLEET_TRAININGS = "fleet.trainings"
+FLEET_TENANT_CHUNK = "fleet.tenant_chunk"
+FLEET_ACTIVE_TENANTS = "fleet.active_tenants"
+FLEET_BALANCE = "fleet.balance"
+FLEET_OVERDRAFT = "fleet.overdraft"
+FLEET_OVERDRAFTS = "fleet.overdrafts"
+FLEET_EVICTIONS = "fleet.evictions"
+FLEET_RESCUES = "fleet.rescues"
+FLEET_AGGREGATE_ERROR = "fleet.aggregate_error"
+FLEET_RECOVERED = "fleet.recovered"
 
 # -- performance observatory --------------------------------------------
 PERF_RECORD = "perf.record"

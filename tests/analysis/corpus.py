@@ -149,6 +149,11 @@ _add(
         telemetry.metrics.observe(names.BATCH_WAIT, 0.002)
         telemetry.tracer.point(names.SLO_LATENCY, cost=0.01)
         telemetry.metrics.gauge(names.SLO_SHED_RATE).set(0.0)
+        telemetry.tracer.point(names.FLEET_EPOCH, epoch=0)
+        telemetry.metrics.counter(names.FLEET_TRAININGS).inc()
+        telemetry.metrics.gauge(names.FLEET_BALANCE).set(0.25)
+        telemetry.metrics.counter(names.FLEET_RESCUES).inc()
+        telemetry.tracer.point(names.FLEET_OVERDRAFT, tenant="t0")
     """,
     noqa="""\
     def record(telemetry):

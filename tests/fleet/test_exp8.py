@@ -1,0 +1,94 @@
+"""Experiment 8 mechanics at smoke scale (the full 24-tenant result
+is pinned by the committed BENCH_exp8_fleet baseline and CI)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import ValidationError
+from repro.experiments.exp8_fleet import (
+    COMPARED_POLICIES,
+    bench_record,
+    format_comparison,
+    headline_claims,
+    run_fleet_experiment,
+)
+from repro.obs import Telemetry
+
+
+@pytest.fixture(scope="module")
+def smoke_result():
+    return run_fleet_experiment(
+        num_tenants=4, seed=5, chunks=6, rows=8
+    )
+
+
+class TestExperiment:
+    def test_rejects_degenerate_fleets(self):
+        with pytest.raises(ValidationError, match="2 tenants"):
+            run_fleet_experiment(num_tenants=1)
+
+    def test_runs_both_policies_at_equal_budget(self, smoke_result):
+        assert set(smoke_result.runs) == set(COMPARED_POLICIES)
+        assert smoke_result.equal_budget
+
+    def test_identity_verification_passes(self, smoke_result):
+        assert smoke_result.digests_identical
+        assert smoke_result.telemetry_identical
+
+    def test_telemetry_binds_to_first_fair_run_only(self):
+        telemetry = Telemetry()
+        run_fleet_experiment(
+            num_tenants=2,
+            seed=3,
+            chunks=4,
+            rows=8,
+            telemetry=telemetry,
+            verify_identity=False,
+        )
+        assert telemetry.events, "fair-share run was not instrumented"
+
+    def test_claims_are_consistent(self, smoke_result):
+        claims = headline_claims(smoke_result)
+        assert claims["fair_advantage"] == pytest.approx(
+            claims["round_robin_aggregate_error"]
+            - claims["fair_aggregate_error"]
+        )
+        assert (
+            claims["fair_trainings"]
+            == claims["round_robin_trainings"]
+        )
+
+    def test_bench_record_is_reproducible(self, smoke_result):
+        again = run_fleet_experiment(
+            num_tenants=4, seed=5, chunks=6, rows=8
+        )
+        volatile = ("created_unix", "git_sha", "env")
+        first = {
+            k: v
+            for k, v in bench_record(
+                smoke_result, 4, 5, 6
+            ).to_dict().items()
+            if k not in volatile
+        }
+        second = {
+            k: v
+            for k, v in bench_record(again, 4, 5, 6)
+            .to_dict()
+            .items()
+            if k not in volatile
+        }
+        assert first == second
+
+    def test_bench_record_pins_the_trajectory(self, smoke_result):
+        record = bench_record(smoke_result, 4, 5, 6)
+        epochs = int(record.metrics["epochs"].value)
+        for epoch in range(epochs):
+            assert f"fair_error_epoch_{epoch:02d}" in record.metrics
+
+    def test_format_comparison_lists_both_policies(
+        self, smoke_result
+    ):
+        table = format_comparison(smoke_result)
+        for policy in COMPARED_POLICIES:
+            assert policy in table

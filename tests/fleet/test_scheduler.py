@@ -1,0 +1,230 @@
+"""Scheduler invariants: exact budgets, fairness, no starvation,
+byte-identical replay."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import ValidationError
+from repro.fleet import (
+    FleetScheduler,
+    FleetSpec,
+    TenantSignals,
+    TenantSpec,
+)
+
+#: Weight vectors chosen to stress the stride scheduler: huge spread,
+#: near-ties, and a pathological heavy hitter.
+ADVERSARIAL_WEIGHTS = [
+    [1000.0, 0.001, 1.0, 1.0, 2.0],
+    [1.0, 1.0, 1.0 + 1e-12, 1.0],
+    [5.0, 0.1, 0.1, 0.1, 0.1, 0.1],
+]
+
+
+def _spec(
+    weights,
+    policy="fair_share",
+    train_slots=3,
+    materialize_bytes=1000,
+    starvation_epochs=4,
+    strategies=None,
+) -> FleetSpec:
+    strategies = strategies or ["continuous"] * len(weights)
+    tenants = tuple(
+        TenantSpec(
+            name=f"t{i}",
+            dataset="url",
+            seed=i,
+            weight=w,
+            strategy=s,
+        )
+        for i, (w, s) in enumerate(zip(weights, strategies))
+    )
+    return FleetSpec(
+        tenants=tenants,
+        train_slots=train_slots,
+        materialize_bytes=materialize_bytes,
+        policy=policy,
+        starvation_epochs=starvation_epochs,
+    )
+
+
+def _signals(spec, staleness, active=None):
+    active = active or [True] * spec.num_tenants
+    return [
+        TenantSignals(
+            tenant=i,
+            new_rows=10,
+            drift_score=0.0,
+            staleness_epochs=staleness[i],
+            weight=t.weight,
+            strategy=t.strategy,
+            active=active[i],
+        )
+        for i, t in enumerate(spec.tenants)
+    ]
+
+
+def _drive(spec, epochs):
+    """Run the scheduler with realistic staleness feedback; returns
+    the allocations and the largest slotless gap each tenant saw."""
+    scheduler = FleetScheduler(spec)
+    staleness = [0] * spec.num_tenants
+    allocations = []
+    max_gap = [0] * spec.num_tenants
+    for _ in range(epochs):
+        allocation = scheduler.allocate(_signals(spec, staleness))
+        allocations.append(allocation)
+        for i in range(spec.num_tenants):
+            if allocation.train_slots[i] > 0:
+                staleness[i] = 0
+            else:
+                staleness[i] += 1
+                max_gap[i] = max(max_gap[i], staleness[i])
+    return scheduler, allocations, max_gap
+
+
+class TestBudgetInvariants:
+    @pytest.mark.parametrize("weights", ADVERSARIAL_WEIGHTS)
+    @pytest.mark.parametrize("policy", ("fair_share", "round_robin"))
+    def test_allocations_sum_exactly_to_budget(self, weights, policy):
+        spec = _spec(weights, policy=policy, materialize_bytes=12345)
+        _, allocations, _ = _drive(spec, 20)
+        for allocation in allocations:
+            assert sum(allocation.train_slots) == spec.train_slots
+            assert (
+                sum(allocation.materialize_bytes)
+                == spec.materialize_bytes
+            )
+            assert len(allocation.order) == spec.train_slots
+
+    def test_exhausted_tenants_release_their_bytes(self):
+        spec = _spec([1.0, 1.0, 2.0])
+        scheduler = FleetScheduler(spec)
+        allocation = scheduler.allocate(
+            _signals(spec, [0, 0, 0], active=[True, False, True])
+        )
+        assert allocation.materialize_bytes[1] == 0
+        assert (
+            sum(allocation.materialize_bytes)
+            == spec.materialize_bytes
+        )
+
+
+class TestFairness:
+    @pytest.mark.parametrize("weights", ADVERSARIAL_WEIGHTS)
+    def test_no_starvation_under_adversarial_weights(self, weights):
+        spec = _spec(weights, train_slots=2)
+        _, _, max_gap = _drive(spec, 60)
+        # The guard rescues any eligible tenant at the limit, so no
+        # gap can ever exceed it.
+        assert max(max_gap) <= spec.starvation_epochs
+
+    def test_grants_track_weights_proportionally(self):
+        spec = _spec([3.0, 1.0], train_slots=4, starvation_epochs=50)
+        scheduler, _, _ = _drive(spec, 25)
+        granted = scheduler.granted()
+        assert sum(granted) == 100
+        assert granted[0] / granted[1] == pytest.approx(3.0, rel=0.1)
+
+    def test_balance_score_matches_share_spread(self):
+        spec = _spec([2.0, 1.0, 1.0], starvation_epochs=50)
+        scheduler, _, _ = _drive(spec, 10)
+        granted = scheduler.granted()
+        shares = [
+            g / t.weight
+            for g, t in zip(granted, spec.tenants)
+        ]
+        mean = sum(shares) / len(shares)
+        expected = (
+            sum((s - mean) ** 2 for s in shares) / len(shares)
+        ) ** 0.5
+        assert scheduler.balance_score() == pytest.approx(expected)
+
+    def test_rescue_preserves_totals_and_is_logged(self):
+        # One tenant with a tiny priority starves quickly at 1 slot.
+        spec = _spec(
+            [100.0, 0.001],
+            train_slots=1,
+            starvation_epochs=3,
+        )
+        _, allocations, max_gap = _drive(spec, 12)
+        rescued = [a for a in allocations if a.rescued]
+        assert rescued, "the starving tenant was never rescued"
+        for allocation in rescued:
+            assert sum(allocation.train_slots) == spec.train_slots
+        assert max(max_gap) <= spec.starvation_epochs
+
+
+class TestRoundRobin:
+    def test_skips_opted_out_tenants(self):
+        spec = _spec(
+            [1.0, 1.0, 1.0],
+            policy="round_robin",
+            strategies=["continuous", "online", "continuous"],
+        )
+        _, allocations, _ = _drive(spec, 10)
+        for allocation in allocations:
+            assert allocation.train_slots[1] == 0
+
+    def test_cycles_evenly(self):
+        spec = _spec(
+            [9.0, 1.0, 1.0], policy="round_robin", train_slots=1
+        )
+        scheduler, _, _ = _drive(spec, 9)
+        # Blind to weights: every eligible tenant gets the same count.
+        assert scheduler.granted() == [3, 3, 3]
+
+
+class TestDeterminism:
+    @pytest.mark.parametrize("policy", ("fair_share", "round_robin"))
+    def test_replay_is_byte_identical(self, policy):
+        spec = _spec([2.0, 1.0, 1.5, 0.5], policy=policy)
+        _, first, _ = _drive(spec, 30)
+        _, second, _ = _drive(spec, 30)
+        assert [a.to_dict() for a in first] == [
+            a.to_dict() for a in second
+        ]
+
+    def test_state_round_trip_resumes_identically(self):
+        spec = _spec([2.0, 1.0, 1.5], starvation_epochs=50)
+        reference = FleetScheduler(spec)
+        resumed = FleetScheduler(spec)
+        staleness = [0, 1, 2]
+        for _ in range(5):
+            reference.allocate(_signals(spec, staleness))
+            resumed.allocate(_signals(spec, staleness))
+        resumed_copy = FleetScheduler(spec)
+        resumed_copy.load_state_dict(resumed.state_dict())
+        for _ in range(5):
+            a = reference.allocate(_signals(spec, staleness))
+            b = resumed_copy.allocate(_signals(spec, staleness))
+            assert a.to_dict() == b.to_dict()
+        assert (
+            resumed_copy.balance_score()
+            == reference.balance_score()
+        )
+
+
+class TestValidation:
+    def test_signal_count_must_match(self):
+        spec = _spec([1.0, 1.0])
+        with pytest.raises(ValidationError, match="2 tenant signals"):
+            FleetScheduler(spec).allocate(
+                _signals(spec, [0, 0])[:1]
+            )
+
+    def test_signals_must_arrive_in_tenant_order(self):
+        spec = _spec([1.0, 1.0])
+        signals = _signals(spec, [0, 0])
+        with pytest.raises(ValidationError, match="tenant order"):
+            FleetScheduler(spec).allocate(list(reversed(signals)))
+
+    def test_all_inactive_is_an_error(self):
+        spec = _spec([1.0, 1.0])
+        signals = _signals(
+            spec, [0, 0], active=[False, False]
+        )
+        with pytest.raises(ValidationError, match="active"):
+            FleetScheduler(spec).allocate(signals)

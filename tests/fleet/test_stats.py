@@ -1,0 +1,97 @@
+"""Incremental accumulators agree with from-scratch recomputation."""
+
+from __future__ import annotations
+
+import math
+import random
+
+import pytest
+
+from repro.exceptions import ValidationError
+from repro.fleet import StdDevStatistics, SumStatistics
+from repro.fleet.stats import largest_remainder
+
+
+def _pstdev(values):
+    mean = sum(values) / len(values)
+    return math.sqrt(
+        sum((v - mean) ** 2 for v in values) / len(values)
+    )
+
+
+class TestSumStatistics:
+    def test_update_matches_recompute(self):
+        values = [1.0, 2.0, 3.5]
+        acc = SumStatistics(values)
+        values[1] = 9.0
+        acc.update(2.0, 9.0)
+        assert acc.value() == pytest.approx(sum(values))
+
+    def test_empty_update_rejected(self):
+        with pytest.raises(ValidationError):
+            SumStatistics().update(0.0, 1.0)
+
+
+class TestStdDevStatistics:
+    def test_randomized_replacements_match_recompute(self):
+        rng = random.Random(7)
+        values = [rng.uniform(0, 10) for _ in range(20)]
+        acc = StdDevStatistics(values)
+        for _ in range(200):
+            index = rng.randrange(len(values))
+            new = rng.uniform(0, 10)
+            acc.update(values[index], new)
+            values[index] = new
+        assert acc.value() == pytest.approx(_pstdev(values))
+        assert acc.mean() == pytest.approx(
+            sum(values) / len(values)
+        )
+
+    def test_insert_then_value(self):
+        acc = StdDevStatistics()
+        assert acc.value() == 0.0
+        for v in (2.0, 4.0, 6.0):
+            acc.insert(v)
+        assert acc.value() == pytest.approx(_pstdev([2.0, 4.0, 6.0]))
+
+    def test_identical_values_never_go_negative(self):
+        acc = StdDevStatistics([0.1] * 7)
+        for _ in range(50):
+            acc.update(0.1, 0.1)
+        # sqrt(max(variance, 0)) clamps the negative residue; a tiny
+        # positive one can survive the float subtraction.
+        assert acc.value() == pytest.approx(0.0, abs=1e-6)
+
+    def test_state_round_trip(self):
+        acc = StdDevStatistics([1.0, 5.0, 9.0])
+        clone = StdDevStatistics()
+        clone.load_state_dict(acc.state_dict())
+        assert clone.value() == acc.value()
+        assert clone.count == acc.count
+
+
+class TestLargestRemainder:
+    def test_sums_exactly(self):
+        for total in (0, 1, 7, 100, 262144):
+            shares = largest_remainder([2.0, 1.0, 1.5, 0.5], total)
+            assert sum(shares) == total
+
+    def test_proportional(self):
+        shares = largest_remainder([3.0, 1.0], 100)
+        assert shares == [75, 25]
+
+    def test_deterministic_tie_break_low_index_first(self):
+        assert largest_remainder([1.0, 1.0, 1.0], 2) == [1, 1, 0]
+
+    def test_adversarial_weights_still_sum(self):
+        weights = [1e6, 1e-6, 1.0, 1.0]
+        shares = largest_remainder(weights, 13)
+        assert sum(shares) == 13
+        assert all(s >= 0 for s in shares)
+
+    def test_validation(self):
+        with pytest.raises(ValidationError, match="total"):
+            largest_remainder([1.0], -1)
+        with pytest.raises(ValidationError, match="mass"):
+            largest_remainder([0.0, 0.0], 5)
+        assert largest_remainder([], 5) == []

@@ -1,0 +1,95 @@
+"""Data-centric triggers: pure urgency from per-tenant signals."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import ValidationError
+from repro.fleet import TenantSignals, TriggerPolicy
+
+
+def _signals(**overrides) -> TenantSignals:
+    base = dict(
+        tenant=0,
+        new_rows=0,
+        drift_score=0.0,
+        staleness_epochs=0,
+        weight=1.0,
+    )
+    base.update(overrides)
+    return TenantSignals(**base)
+
+
+class TestTenantSignals:
+    def test_wants_training(self):
+        assert _signals().wants_training
+        assert not _signals(strategy="online").wants_training
+        assert not _signals(active=False).wants_training
+
+    def test_validation(self):
+        with pytest.raises(ValidationError, match="tenant"):
+            _signals(tenant=-1)
+        with pytest.raises(ValidationError, match="strategy"):
+            _signals(strategy="eager")
+        with pytest.raises(ValidationError, match="weight"):
+            _signals(weight=0.0)
+
+
+class TestTriggerPolicy:
+    def test_opted_out_tenants_have_zero_urgency(self):
+        policy = TriggerPolicy()
+        loud = _signals(
+            strategy="online",
+            new_rows=10_000,
+            drift_score=5.0,
+            staleness_epochs=50,
+        )
+        assert policy.urgency(loud) == 0.0
+
+    def test_continuous_urgency_is_additive(self):
+        policy = TriggerPolicy(
+            volume_rows=100,
+            drift_gain=2.0,
+            staleness_epochs_norm=4,
+        )
+        sig = _signals(
+            new_rows=50, drift_score=0.5, staleness_epochs=2
+        )
+        assert policy.urgency(sig) == pytest.approx(
+            0.5 + 1.0 + 0.5
+        )
+
+    def test_negative_drift_scores_clamp_to_zero(self):
+        policy = TriggerPolicy(drift_gain=10.0)
+        sig = _signals(drift_score=-3.0)
+        assert policy.urgency(sig) == pytest.approx(0.0)
+
+    def test_periodic_spikes_on_cadence(self):
+        policy = TriggerPolicy(periodic_epochs=3, periodic_urgency=4.0)
+        fresh = _signals(strategy="periodic", staleness_epochs=2)
+        due = _signals(strategy="periodic", staleness_epochs=3)
+        assert policy.urgency(fresh) == 0.0
+        assert policy.urgency(due) == 4.0
+
+    def test_periodic_ignores_volume_and_drift(self):
+        policy = TriggerPolicy(periodic_epochs=5)
+        sig = _signals(
+            strategy="periodic",
+            new_rows=10_000,
+            drift_score=9.0,
+            staleness_epochs=1,
+        )
+        assert policy.urgency(sig) == 0.0
+
+    @pytest.mark.parametrize(
+        "kwargs, field",
+        [
+            ({"volume_rows": 0}, "volume_rows"),
+            ({"staleness_epochs_norm": 0}, "staleness_epochs_norm"),
+            ({"periodic_epochs": 0}, "periodic_epochs"),
+            ({"drift_gain": -1.0}, "drift_gain"),
+        ],
+    )
+    def test_validation(self, kwargs, field):
+        with pytest.raises(ValidationError, match=field):
+            TriggerPolicy(**kwargs)
