@@ -1,0 +1,102 @@
+"""Full-tree reprolint wall-time guard.
+
+`make lint`, the pre-commit `lint-diff` loop, and the CI
+lint-invariants job all run reprolint over the whole tree, so the
+linter's own speed is developer-facing latency. The whole-program
+pass (DESIGN.md §14) deliberately re-reasons over every module on
+every run — symbol tables, the subsystem import graph, and the call
+graph are rebuilt from scratch — which makes it the obvious place for
+an accidental quadratic blowup to hide. This benchmark pins it down:
+
+1. time one full run with the program pass on (what CI executes) and
+   assert it comes back clean — the acceptance invariant of the
+   shipped tree;
+2. time a per-file-only run (``program=False``) so the trajectory
+   separates "parsing + per-file rules got slower" from "the program
+   pass got slower".
+
+Counts (files scanned, findings) change legitimately as the repo
+grows, so they travel as params for forensics rather than exact-match
+metrics; only the wall times are gated, median-of-K against the
+committed ``BENCH_lint_speed.json`` trajectory.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from pathlib import Path
+
+from benchmarks.conftest import BASELINE_DIR, run_once
+from repro.analysis import default_config, run_lint
+
+REPO_ROOT = Path(__file__).parent.parent
+
+
+def _timed_lint(program: bool):
+    started = time.perf_counter()
+    result = run_lint(REPO_ROOT, config=default_config(), program=program)
+    return result, time.perf_counter() - started
+
+
+def test_lint_speed(benchmark, report, bench_record):
+    full, full_wall = run_once(benchmark, lambda: _timed_lint(True))
+    per_file, per_file_wall = _timed_lint(False)
+
+    report(
+        "lint_speed",
+        "\n".join(
+            [
+                "reprolint full-tree wall time",
+                f"files scanned: {full.files_scanned}",
+                f"full run (program pass on): {full_wall * 1e3:.1f} ms",
+                f"per-file only: {per_file_wall * 1e3:.1f} ms",
+                f"program pass share: "
+                f"{(full_wall - per_file_wall) * 1e3:.1f} ms",
+                f"findings: {len(full.findings)} "
+                f"({len(full.baselined)} baselined, "
+                f"{len(full.suppressed)} suppressed)",
+            ]
+        ),
+    )
+
+    assert full.program_ran
+    assert full.clean, [f.render() for f in full.findings]
+    assert per_file.clean
+
+    wall = {"lint_full_s": full_wall, "lint_per_file_s": per_file_wall}
+    params = {
+        "files_scanned": full.files_scanned,
+        "baselined": len(full.baselined),
+        "suppressed": len(full.suppressed),
+    }
+
+    if os.environ.get("REPRO_BENCH_CHECK"):
+        from repro.obs import (
+            BaselineStore,
+            MetricValue,
+            TolerancePolicy,
+            check_record,
+            make_record,
+        )
+        from repro.obs.perf import format_report
+
+        fresh = make_record(
+            name="lint_speed",
+            metrics={
+                key: MetricValue(float(value), "wall")
+                for key, value in wall.items()
+            },
+            params=params,
+        )
+        history = BaselineStore(BASELINE_DIR).load("lint_speed")
+        verdict = check_record(
+            fresh, history, TolerancePolicy(wall_budget=4.0)
+        )
+        report("lint_speed_gate", format_report(verdict))
+        assert verdict.ok, (
+            "reprolint wall time regressed against "
+            f"{BASELINE_DIR}/BENCH_lint_speed.json"
+        )
+    else:
+        bench_record("lint_speed", wall=wall, params=params)

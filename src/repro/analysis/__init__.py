@@ -37,7 +37,17 @@ from repro.analysis.engine import (
     LintResult,
     iter_source_files,
     lint_file,
+    lint_module,
     run_lint,
+    run_program_rules,
+)
+from repro.analysis.program import ProgramModel
+from repro.analysis.progrules import (
+    PROGRAM_RULES,
+    PROGRAM_RULES_BY_ID,
+    ProgramReporter,
+    ProgramRule,
+    program_rules_for,
 )
 from repro.analysis.report import format_json, format_rules, format_text
 from repro.analysis.rulepack import ALL_RULES, RULES_BY_ID, rules_for
@@ -52,8 +62,13 @@ __all__ = [
     "LintConfig",
     "LintResult",
     "PARSE_ERROR_RULE",
+    "PROGRAM_RULES",
+    "PROGRAM_RULES_BY_ID",
     "ParsedModule",
     "PathPolicy",
+    "ProgramModel",
+    "ProgramReporter",
+    "ProgramRule",
     "Reporter",
     "Rule",
     "RULES_BY_ID",
@@ -63,10 +78,13 @@ __all__ = [
     "format_text",
     "iter_source_files",
     "lint_file",
+    "lint_module",
     "load_baseline",
     "load_config",
+    "program_rules_for",
     "rules_for",
     "run_lint",
+    "run_program_rules",
     "walk_rules",
     "write_baseline",
 ]

@@ -26,7 +26,21 @@ from repro.analysis.base import ConfigError
 from repro.analysis.rulepack import RULES_BY_ID
 
 #: Rules that run on every linted file unless a policy disables them.
-GLOBAL_RULES = ("REP001", "REP003", "REP004", "REP005", "REP006")
+#: REP009/REP011/REP012/REP014 are whole-program rules (DESIGN.md
+#: §14): they run in the program pass and anchor findings at
+#: definition sites, but are scoped by the same per-path machinery.
+GLOBAL_RULES = (
+    "REP001",
+    "REP003",
+    "REP004",
+    "REP005",
+    "REP006",
+    "REP009",
+    "REP011",
+    "REP012",
+    "REP013",
+    "REP014",
+)
 
 
 @dataclass(frozen=True)
@@ -76,10 +90,13 @@ class LintConfig:
 
 
 def _require_known(rule_id: str) -> None:
-    if rule_id not in RULES_BY_ID:
+    from repro.analysis.progrules import PROGRAM_RULES_BY_ID
+
+    if rule_id not in RULES_BY_ID and rule_id not in PROGRAM_RULES_BY_ID:
+        known = sorted(set(RULES_BY_ID) | set(PROGRAM_RULES_BY_ID))
         raise ConfigError(
             f"unknown rule id {rule_id!r}; known rules are "
-            f"{', '.join(sorted(RULES_BY_ID))}"
+            f"{', '.join(known)}"
         )
 
 
@@ -104,6 +121,22 @@ def default_config() -> LintConfig:
             PathPolicy("src/repro/execution/*", enable=("REP008",)),
             # The one sanctioned RNG construction site.
             PathPolicy("src/repro/utils/rng.py", disable=("REP001",)),
+            # Deterministic iteration where replay/recovery byte-
+            # identity is on the line: the engine, the data plane,
+            # the ML kernels, and every subsystem that replays.
+            PathPolicy("src/repro/core/*", enable=("REP010",)),
+            PathPolicy("src/repro/execution/*", enable=("REP010",)),
+            PathPolicy("src/repro/ml/*", enable=("REP010",)),
+            PathPolicy("src/repro/data/*", enable=("REP010",)),
+            PathPolicy("src/repro/fleet/*", enable=("REP010",)),
+            PathPolicy("src/repro/reliability/*", enable=("REP010",)),
+            PathPolicy("src/repro/traffic/*", enable=("REP010",)),
+            # Sanctioned wall-clock readers: the dual-clock tracer
+            # and the bench timer. Disabling REP013 here both spares
+            # their own defs and marks them as sanctioned chain
+            # endpoints for everyone else (progrules.py).
+            PathPolicy("src/repro/obs/*", disable=("REP013",)),
+            PathPolicy("src/repro/utils/timer.py", disable=("REP013",)),
         ),
         exclude=("*__pycache__*",),
         baseline="reprolint-baseline.json",

@@ -705,7 +705,23 @@ def build_parser() -> argparse.ArgumentParser:
     lint.add_argument(
         "--list-rules",
         action="store_true",
-        help="print the rule table and exit",
+        help="print the rule table (per-file and whole-program "
+        "rules) and exit",
+    )
+    lint.add_argument(
+        "--program",
+        action=argparse.BooleanOptionalAction,
+        default=True,
+        help="run the whole-program pass (REP009-REP014); "
+        "--no-program restricts the run to the per-file rules",
+    )
+    lint.add_argument(
+        "--diff",
+        metavar="REF",
+        default=None,
+        help="lint only files changed vs the given git ref (plus "
+        "untracked files); the program model is still built from "
+        "the full tree",
     )
 
     exp6 = commands.add_parser(
@@ -1850,6 +1866,57 @@ def _command_exp8(args: argparse.Namespace) -> Optional[int]:
     return None if ok else 1
 
 
+def _changed_files(root, ref: str, config):
+    """Changed + untracked ``.py`` files vs ``ref``, lint-scoped.
+
+    Only files under the configured roots (and not excluded) are
+    returned, so ``--diff`` composes with the project policy. A git
+    failure (bad ref, not a repository) raises ``ConfigError`` — a
+    broken diff must never look like a clean run.
+    """
+    import subprocess
+
+    from repro.analysis import ConfigError
+
+    def _git(*argv: str) -> str:
+        try:
+            proc = subprocess.run(
+                ["git", *argv],
+                cwd=str(root),
+                capture_output=True,
+                text=True,
+                timeout=30,
+            )
+        except (OSError, subprocess.TimeoutExpired) as error:
+            raise ConfigError(f"cannot run git: {error}") from error
+        if proc.returncode != 0:
+            raise ConfigError(
+                f"git {' '.join(argv)} failed: "
+                f"{proc.stderr.strip() or proc.stdout.strip()}"
+            )
+        return proc.stdout
+
+    changed = set()
+    for line in _git("diff", "--name-only", ref, "--", ".").splitlines():
+        if line.strip():
+            changed.add(line.strip())
+    for line in _git(
+        "ls-files", "--others", "--exclude-standard"
+    ).splitlines():
+        if line.strip():
+            changed.add(line.strip())
+    in_roots = tuple(r.rstrip("/") + "/" for r in config.roots)
+    selected = []
+    for rel in sorted(changed):
+        if not rel.endswith(".py") or config.is_excluded(rel):
+            continue
+        if not (rel.startswith(in_roots) or rel in config.roots):
+            continue
+        if (root / rel).exists():  # deleted files can't be linted
+            selected.append(rel)
+    return selected
+
+
 def _command_lint(args: argparse.Namespace) -> int:
     from pathlib import Path
 
@@ -1884,14 +1951,28 @@ def _command_lint(args: argparse.Namespace) -> int:
             from dataclasses import replace
 
             config = replace(config, select=ids)
+        paths = args.paths or None
+        if args.diff is not None:
+            if args.paths:
+                raise ConfigError(
+                    "--diff and explicit paths are mutually exclusive"
+                )
+            paths = _changed_files(root, args.diff, config)
+            if not paths:
+                print(
+                    f"reprolint: no changed python files vs "
+                    f"{args.diff}; nothing to lint"
+                )
+                return 0
         baseline = None
         if args.baseline is not None:
             baseline = load_baseline(Path(args.baseline))
         result = run_lint(
             root,
             config=config,
-            paths=args.paths or None,
+            paths=paths,
             baseline=baseline,
+            program=args.program,
         )
     except ConfigError as error:
         print(f"reprolint: config error: {error}", file=sys.stderr)

@@ -56,7 +56,7 @@ MIN_TRIP_SECONDS = 10
 
 #: Feature columns the Taxi pipeline feeds the regression model
 #: (11 features, the paper's Taxi dimensionality).
-TAXI_FEATURE_COLUMNS = [
+TAXI_FEATURE_COLUMNS = (
     "distance_km",
     "bearing_deg",
     "hour_of_day",
@@ -68,7 +68,7 @@ TAXI_FEATURE_COLUMNS = [
     "dropoff_lon",
     "delta_lat",
     "delta_lon",
-]
+)
 
 
 class TaxiStreamGenerator:

@@ -12,22 +12,28 @@ can both persist "the average of past gradients" exactly as the paper
 describes.
 """
 
+from types import MappingProxyType
+
 from repro.ml.optim.adaptive import AdaDelta, AdaGrad, Adam, RMSProp
 from repro.ml.optim.base import Optimizer
 from repro.ml.optim.basic import ConstantLR, InverseScalingLR, Momentum
 
-_REGISTRY = {
-    cls.name: cls
-    for cls in (
-        ConstantLR,
-        InverseScalingLR,
-        Momentum,
-        AdaGrad,
-        RMSProp,
-        AdaDelta,
-        Adam,
-    )
-}
+# Read-only so worker shards importing this module can never drift
+# apart by mutating a shared registry (reprolint REP011).
+_REGISTRY = MappingProxyType(
+    {
+        cls.name: cls
+        for cls in (
+            ConstantLR,
+            InverseScalingLR,
+            Momentum,
+            AdaGrad,
+            RMSProp,
+            AdaDelta,
+            Adam,
+        )
+    }
+)
 
 
 def make_optimizer(name: str, **hyperparameters) -> Optimizer:

@@ -10,7 +10,7 @@ trajectory file, ``BENCH_<name>.json``, which the regression detector
 report`` renders as the bench history of the repository.
 
 Writes are atomic (the ``mkstemp`` + ``os.replace`` discipline of
-:func:`repro.persistence.atomic_write_bytes`): a benchmark process
+:func:`repro.utils.fileio.atomic_write_bytes`): a benchmark process
 killed mid-append can never leave a truncated trajectory behind.
 
 Metric kinds
@@ -40,7 +40,7 @@ from typing import Dict, List, Mapping, Optional, Union
 
 from repro.exceptions import ValidationError
 from repro.obs import names
-from repro.persistence import atomic_write_bytes
+from repro.utils.fileio import atomic_write_bytes
 
 PathLike = Union[str, Path]
 

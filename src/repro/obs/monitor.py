@@ -35,7 +35,8 @@ import json
 import math
 from collections import deque
 from pathlib import Path
-from typing import Dict, List, Optional, Sequence, Tuple, Union
+from types import MappingProxyType
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple, Union
 
 from repro.exceptions import ValidationError
 from repro.obs import names
@@ -51,12 +52,15 @@ from repro.obs.windows import SeriesWindows
 #: Event-name prefixes the monitor never consumes (its own output).
 _SKIP_PREFIXES = ("monitor.", "alert.", "health.")
 
-#: Default numeric attributes promoted to value signals.
-DEFAULT_VALUE_ATTRS: Dict[str, str] = {
-    names.PLATFORM_CHUNK: "error",
-    names.SERVING_LATENCY: "cost",
-    names.SLO_LATENCY: "cost",
-}
+#: Default numeric attributes promoted to value signals. Read-only:
+#: the monitor is importable from sharded subsystems (REP011).
+DEFAULT_VALUE_ATTRS: Mapping[str, str] = MappingProxyType(
+    {
+        names.PLATFORM_CHUNK: "error",
+        names.SERVING_LATENCY: "cost",
+        names.SLO_LATENCY: "cost",
+    }
+)
 
 
 class MonitorConfig:

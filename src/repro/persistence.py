@@ -29,7 +29,6 @@ import hashlib
 import io
 import os
 import pickle
-import tempfile
 from dataclasses import dataclass
 from pathlib import Path
 from typing import List, Sequence, TypeVar, Union
@@ -38,6 +37,11 @@ from repro.exceptions import ReproError
 from repro.ml.models.base import LinearSGDModel
 from repro.ml.optim.base import Optimizer
 from repro.pipeline.pipeline import Pipeline
+
+# Crash-safe write primitives live in repro.utils.fileio (the bottom
+# of the subsystem layering); re-exported here because every bundle
+# consumer historically imported them from this module.
+from repro.utils.fileio import atomic_write_bytes, sweep_stale_tmp
 
 #: Anything the filesystem accepts as a path.
 PathLike = Union[str, "os.PathLike[str]"]
@@ -90,53 +94,6 @@ class DeploymentBundle:
             )
 
 
-def atomic_write_bytes(path: PathLike, blob: bytes) -> Path:
-    """Write ``blob`` to ``path`` atomically (temp file + rename).
-
-    The bytes are staged in a temporary file in the destination
-    directory, flushed and fsynced, then moved over ``path`` with
-    ``os.replace`` — on POSIX an atomic rename. A crash at any point
-    leaves either the previous file or no file, never a truncation.
-    """
-    path = Path(path)
-    fd, tmp_name = tempfile.mkstemp(
-        dir=path.parent, prefix=path.name + ".", suffix=".tmp"
-    )
-    try:
-        with os.fdopen(fd, "wb") as handle:
-            handle.write(blob)
-            handle.flush()
-            os.fsync(handle.fileno())
-        os.replace(tmp_name, path)
-    except BaseException:
-        try:
-            os.unlink(tmp_name)
-        except OSError:
-            pass
-        raise
-    sweep_stale_tmp(path)
-    return path
-
-
-def sweep_stale_tmp(path: PathLike) -> List[Path]:
-    """Delete stale ``*.tmp`` staging files left behind for ``path``.
-
-    A writer killed between ``mkstemp`` and ``os.replace`` leaves its
-    staging file (``<name>.<random>.tmp``) in the destination
-    directory forever. Each successful :func:`atomic_write_bytes` to
-    the same destination sweeps them. Only staging files for *this*
-    destination name are touched, so concurrent writers to other paths
-    in the directory are never disturbed. Returns the removed paths.
-    """
-    path = Path(path)
-    removed: List[Path] = []
-    for stale in path.parent.glob(path.name + ".*.tmp"):
-        try:
-            stale.unlink()
-        except OSError:
-            continue
-        removed.append(stale)
-    return removed
 
 
 def save_bundle(

@@ -395,14 +395,15 @@ class CheckpointStore:
                 return dropped  # conservative: skip chunk GC
             referenced.update(payload.get("chunks", []))
         if self.chunks_directory.is_dir():
-            for orphan in self.chunks_directory.iterdir():
+            # sorted: deterministic unlink order (reprolint REP010).
+            for orphan in sorted(self.chunks_directory.iterdir()):
                 if (
                     orphan.name not in referenced
                     and not orphan.name.endswith(".tmp")
                 ):
                     orphan.unlink(missing_ok=True)
         # Stale refs sidecars whose checkpoint is gone.
-        for refs_path in self.directory.glob("ckpt-*.refs.json"):
+        for refs_path in sorted(self.directory.glob("ckpt-*.refs.json")):
             ckpt = refs_path.with_name(
                 refs_path.name.replace(".refs.json", ".ckpt")
             )

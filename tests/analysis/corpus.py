@@ -5,6 +5,12 @@ as strings so the deliberately-bad fixture code never reaches the
 general linters (ruff/pyflakes) that sweep ``tests/``. The test
 harness writes each snippet to a temp file and lints it with exactly
 one rule selected.
+
+Per-file rules (REP001–REP008) use single-source triples in
+``CORPUS``; the whole-program rules (REP009–REP014, DESIGN.md §14)
+need cross-file structure, so ``PROGRAM_CORPUS`` maps each variant to
+a *file tree* (repo-relative path -> source) that the harness writes
+under a temp root and lints whole.
 """
 
 from __future__ import annotations
@@ -15,11 +21,33 @@ from typing import Dict, Tuple
 #: (rule id, variant) -> source. Variants: flag / clean / noqa.
 CORPUS: Dict[Tuple[str, str], str] = {}
 
+#: (rule id, variant) -> {relpath: source}. Variants: flag / clean /
+#: noqa. Paths follow the ``src/repro/<subsystem>/...`` layout so the
+#: program model's module naming and subsystem mapping apply.
+PROGRAM_CORPUS: Dict[Tuple[str, str], Dict[str, str]] = {}
+
 
 def _add(rule: str, flag: str, clean: str, noqa: str) -> None:
     CORPUS[(rule, "flag")] = dedent(flag)
     CORPUS[(rule, "clean")] = dedent(clean)
     CORPUS[(rule, "noqa")] = dedent(noqa)
+
+
+def _add_program(
+    rule: str,
+    flag: Dict[str, str],
+    clean: Dict[str, str],
+    noqa: Dict[str, str],
+) -> None:
+    PROGRAM_CORPUS[(rule, "flag")] = {
+        path: dedent(source) for path, source in flag.items()
+    }
+    PROGRAM_CORPUS[(rule, "clean")] = {
+        path: dedent(source) for path, source in clean.items()
+    }
+    PROGRAM_CORPUS[(rule, "noqa")] = {
+        path: dedent(source) for path, source in noqa.items()
+    }
 
 
 _add(
@@ -233,5 +261,270 @@ _add(
     """,
 )
 
-#: Rule ids covered by the corpus (all shipped rules).
+# -- whole-program triples (REP009–REP014) ---------------------------
+
+_add_program(
+    "REP009",
+    # `self.rows` is mutable and the checkpoint pair never touches it:
+    # a recovered Cursor silently loses the buffered rows.
+    flag={
+        "src/repro/core/cursor.py": """\
+        class Cursor:
+            def __init__(self):
+                self.rows = []
+                self.position = 0
+
+            def state_dict(self):
+                return {"position": self.position}
+
+            def load_state_dict(self, state):
+                self.position = state["position"]
+        """,
+    },
+    # Coverage through a helper: state_dict calls self._snapshot(),
+    # which reads self.rows — the rule follows self.<method>() calls.
+    clean={
+        "src/repro/core/cursor.py": """\
+        class Cursor:
+            def __init__(self):
+                self.rows = []
+                self.position = 0
+
+            def _snapshot(self):
+                return {"rows": list(self.rows), "position": self.position}
+
+            def state_dict(self):
+                return self._snapshot()
+
+            def load_state_dict(self, state):
+                self.rows = list(state["rows"])
+                self.position = state["position"]
+        """,
+    },
+    noqa={
+        "src/repro/core/cursor.py": """\
+        class Cursor:
+            def __init__(self):
+                self.rows = []  # repro: noqa[REP009]
+                self.position = 0
+
+            def state_dict(self):
+                return {"position": self.position}
+
+            def load_state_dict(self, state):
+                self.position = state["position"]
+        """,
+    },
+)
+
+_add_program(
+    "REP010",
+    flag={
+        "src/repro/reliability/janitor.py": """\
+        def sweep(directory):
+            for stale in directory.glob("*.tmp"):
+                stale.unlink()
+        """,
+    },
+    clean={
+        "src/repro/reliability/janitor.py": """\
+        def sweep(directory):
+            for stale in sorted(directory.glob("*.tmp")):
+                stale.unlink()
+        """,
+    },
+    noqa={
+        "src/repro/reliability/janitor.py": """\
+        def sweep(directory):
+            for stale in directory.glob("*.tmp"):  # repro: noqa[REP010]
+                stale.unlink()
+        """,
+    },
+)
+
+_add_program(
+    "REP011",
+    # The mutable lives in repro.utils — outside the sharded
+    # subsystems — but an ml module imports it, so it lands in every
+    # worker shard's import closure and gets flagged there.
+    flag={
+        "src/repro/ml/model.py": """\
+        from repro.utils import pool
+
+        def warm():
+            return pool.POOL
+        """,
+        "src/repro/utils/pool.py": """\
+        POOL = []
+        """,
+    },
+    # Immutable binding is fine; so is a mutable in a module nothing
+    # shard-side imports (reachability, not mere existence, triggers).
+    clean={
+        "src/repro/ml/model.py": """\
+        from repro.utils import pool
+
+        def warm():
+            return pool.POOL
+        """,
+        "src/repro/utils/pool.py": """\
+        POOL = ("slot_a", "slot_b")
+        """,
+        "src/repro/viz/state.py": """\
+        PENDING = []
+        """,
+    },
+    noqa={
+        "src/repro/ml/model.py": """\
+        from repro.utils import pool
+
+        def warm():
+            return pool.POOL
+        """,
+        "src/repro/utils/pool.py": """\
+        POOL = []  # repro: noqa[REP011]
+        """,
+    },
+)
+
+_add_program(
+    "REP012",
+    # ml (layer 2) importing serving (layer 9) points *up* the table.
+    flag={
+        "src/repro/ml/trainer.py": """\
+        from repro.serving import registry
+
+        def train():
+            return registry.ROUTES
+        """,
+        "src/repro/serving/registry.py": """\
+        ROUTES = ()
+        """,
+    },
+    # The reverse direction points strictly down and is legal.
+    clean={
+        "src/repro/ml/trainer.py": """\
+        def train():
+            return ()
+        """,
+        "src/repro/serving/registry.py": """\
+        from repro.ml import trainer
+
+        def routes():
+            return trainer.train()
+        """,
+    },
+    noqa={
+        "src/repro/ml/trainer.py": """\
+        from repro.serving import registry  # repro: noqa[REP012]
+
+        def train():
+            return registry.ROUTES
+        """,
+        "src/repro/serving/registry.py": """\
+        ROUTES = ()
+        """,
+    },
+)
+
+_add_program(
+    "REP013",
+    # chunk_cost never touches time.* itself; the call graph connects
+    # it to the wall read two hops away in another module.
+    flag={
+        "src/repro/core/costs.py": """\
+        from repro.utils.clock import stamp
+
+        def chunk_cost(rows):
+            return stamp() * len(rows)
+        """,
+        "src/repro/utils/clock.py": """\
+        import time
+
+        def stamp():
+            return time.time()
+        """,
+    },
+    clean={
+        "src/repro/core/costs.py": """\
+        from repro.utils.clock import stamp
+
+        def chunk_cost(rows):
+            return stamp() * len(rows)
+        """,
+        "src/repro/utils/clock.py": """\
+        _TICKS = 0
+
+
+        def stamp():
+            global _TICKS
+            _TICKS += 1
+            return _TICKS
+        """,
+    },
+    noqa={
+        "src/repro/core/costs.py": """\
+        from repro.utils.clock import stamp
+
+        def chunk_cost(rows):  # repro: noqa[REP013]
+            return stamp() * len(rows)
+        """,
+        "src/repro/utils/clock.py": """\
+        import time
+
+        def stamp():
+            return time.time()
+        """,
+    },
+)
+
+_add_program(
+    "REP014",
+    # DEAD_NAME is declared in the vocabulary but nothing emits it.
+    flag={
+        "src/repro/obs/names.py": """\
+        CHUNKS_PROCESSED = "engine.chunks_processed"
+        DEAD_NAME = "engine.never_emitted"
+        """,
+        "src/repro/core/engine.py": """\
+        from repro.obs import names
+
+        def run(metrics):
+            metrics.counter(names.CHUNKS_PROCESSED).inc()
+        """,
+    },
+    # Live via constant reference AND via raw string value; the
+    # trailing-dot prefix constant is a wildcard family and exempt.
+    clean={
+        "src/repro/obs/names.py": """\
+        CHUNKS_PROCESSED = "engine.chunks_processed"
+        ROWS_SEEN = "engine.rows_seen"
+        ENGINE_PREFIX = "engine."
+        """,
+        "src/repro/core/engine.py": """\
+        from repro.obs import names
+
+        def run(metrics):
+            metrics.counter(names.CHUNKS_PROCESSED).inc()
+            metrics.gauge("engine.rows_seen").set(0)
+        """,
+    },
+    noqa={
+        "src/repro/obs/names.py": """\
+        CHUNKS_PROCESSED = "engine.chunks_processed"
+        DEAD_NAME = "engine.never_emitted"  # repro: noqa[REP014]
+        """,
+        "src/repro/core/engine.py": """\
+        from repro.obs import names
+
+        def run(metrics):
+            metrics.counter(names.CHUNKS_PROCESSED).inc()
+        """,
+    },
+)
+
+#: Rule ids covered by the per-file corpus.
 RULE_IDS = sorted({rule for rule, _ in CORPUS})
+
+#: Rule ids covered by the whole-program corpus.
+PROGRAM_RULE_IDS = sorted({rule for rule, _ in PROGRAM_CORPUS})

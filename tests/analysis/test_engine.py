@@ -169,6 +169,89 @@ def test_load_config_rejects_unknown_fields(tmp_path):
         load_config(target)
 
 
+WALLED_TREE = {
+    "src/repro/core/costs.py": (
+        "from repro.utils.clock import stamp\n"
+        "\n"
+        "def chunk_cost(rows):\n"
+        "    return stamp() * len(rows)\n"
+    ),
+    "src/repro/utils/clock.py": (
+        "import time\n"
+        "\n"
+        "def stamp():\n"
+        "    return time.time()\n"
+    ),
+}
+
+
+def test_rep013_policy_disable_sanctions_chain_endpoints(tmp_path):
+    _tree(tmp_path, WALLED_TREE)
+    config = LintConfig(
+        roots=("src",), select=("REP013",), per_path=(), baseline=None
+    )
+    assert not run_lint(tmp_path, config=config).clean
+    # Disabling REP013 on the clock module does more than spare its
+    # own defs: it marks the module as a sanctioned wall reader, so
+    # chains *through* it stop matching everywhere.
+    config = LintConfig(
+        roots=("src",),
+        select=("REP013",),
+        per_path=(PathPolicy("src/repro/utils/clock.py", disable=("REP013",)),),
+        baseline=None,
+    )
+    assert run_lint(tmp_path, config=config).clean
+
+
+def test_program_pass_can_be_disabled(tmp_path):
+    _tree(tmp_path, WALLED_TREE)
+    config = LintConfig(
+        roots=("src",), select=("REP013",), per_path=(), baseline=None
+    )
+    result = run_lint(tmp_path, config=config, program=False)
+    assert not result.program_ran
+    assert result.clean
+
+
+def test_path_narrowing_keeps_whole_tree_model(tmp_path):
+    # Linting only costs.py must still build the model from the full
+    # tree (the chain ends in clock.py) — and findings anchored in
+    # files outside the narrowed set are dropped from the output.
+    _tree(tmp_path, WALLED_TREE)
+    config = LintConfig(
+        roots=("src",), select=("REP013",), per_path=(), baseline=None
+    )
+    result = run_lint(
+        tmp_path, config=config, paths=["src/repro/core/costs.py"]
+    )
+    assert [f.path for f in result.findings] == ["src/repro/core/costs.py"]
+    result = run_lint(
+        tmp_path, config=config, paths=["src/repro/utils/clock.py"]
+    )
+    assert result.clean
+
+
+def test_baseline_applies_to_program_findings(tmp_path):
+    _tree(tmp_path, WALLED_TREE)
+    config = LintConfig(
+        roots=("src",), select=("REP013",), per_path=(), baseline=None
+    )
+    first = run_lint(tmp_path, config=config)
+    assert len(first.findings) == 1
+    write_baseline(
+        tmp_path / "baseline.json", first.findings, reason="legacy wall read"
+    )
+    config = LintConfig(
+        roots=("src",),
+        select=("REP013",),
+        per_path=(),
+        baseline="baseline.json",
+    )
+    second = run_lint(tmp_path, config=config)
+    assert second.clean
+    assert len(second.baselined) == 1
+
+
 def test_default_config_scopes_match_the_declared_policy():
     config = default_config()
     assert "REP002" in config.rules_for_path("src/repro/core/scheduler.py")

@@ -1,11 +1,22 @@
-"""Per-rule corpus tests: each rule flags, passes, and respects noqa."""
+"""Per-rule corpus tests: each rule flags, passes, and respects noqa.
+
+The per-file rules lint one written-out snippet; the whole-program
+rules (REP009–REP014) lint a small written-out *file tree* so the
+cross-file machinery — module naming, the import graph, the call
+graph — is what the fixture actually exercises.
+"""
 
 from __future__ import annotations
 
 import pytest
 
 from repro.analysis import LintConfig, run_lint
-from tests.analysis.corpus import CORPUS, RULE_IDS
+from tests.analysis.corpus import (
+    CORPUS,
+    PROGRAM_CORPUS,
+    PROGRAM_RULE_IDS,
+    RULE_IDS,
+)
 
 
 def _lint_snippet(tmp_path, rule_id, source):
@@ -17,10 +28,22 @@ def _lint_snippet(tmp_path, rule_id, source):
     return run_lint(tmp_path, config=config, paths=["snippet.py"])
 
 
+def _lint_tree(tmp_path, rule_id, files):
+    for relpath, source in files.items():
+        target = tmp_path / relpath
+        target.parent.mkdir(parents=True, exist_ok=True)
+        target.write_text(source, encoding="utf-8")
+    config = LintConfig(
+        roots=("src",), select=(rule_id,), per_path=(), baseline=None
+    )
+    return run_lint(tmp_path, config=config)
+
+
 def test_corpus_covers_every_shipped_rule():
-    from repro.analysis import RULES_BY_ID
+    from repro.analysis import PROGRAM_RULES_BY_ID, RULES_BY_ID
 
     assert RULE_IDS == sorted(RULES_BY_ID)
+    assert PROGRAM_RULE_IDS == sorted(PROGRAM_RULES_BY_ID)
 
 
 @pytest.mark.parametrize("rule_id", RULE_IDS)
@@ -46,6 +69,42 @@ def test_rule_respects_noqa_suppression(tmp_path, rule_id):
     # variant raises, rather than the rule going silent.
     assert len(result.suppressed) == len(flagged.findings)
     assert all(f.rule_id == rule_id for f in result.suppressed)
+
+
+@pytest.mark.parametrize("rule_id", PROGRAM_RULE_IDS)
+def test_program_rule_flags_the_bad_case(tmp_path, rule_id):
+    result = _lint_tree(tmp_path, rule_id, PROGRAM_CORPUS[(rule_id, "flag")])
+    assert result.program_ran
+    assert result.findings, f"{rule_id} missed its flagging fixture"
+    assert all(f.rule_id == rule_id for f in result.findings)
+    assert not result.suppressed
+
+
+@pytest.mark.parametrize("rule_id", PROGRAM_RULE_IDS)
+def test_program_rule_passes_the_clean_case(tmp_path, rule_id):
+    result = _lint_tree(tmp_path, rule_id, PROGRAM_CORPUS[(rule_id, "clean")])
+    assert result.program_ran
+    assert result.clean, [f.render() for f in result.findings]
+
+
+@pytest.mark.parametrize("rule_id", PROGRAM_RULE_IDS)
+def test_program_rule_respects_noqa_suppression(tmp_path, rule_id):
+    flagged = _lint_tree(tmp_path, rule_id, PROGRAM_CORPUS[(rule_id, "flag")])
+    result = _lint_tree(tmp_path, rule_id, PROGRAM_CORPUS[(rule_id, "noqa")])
+    assert result.clean, [f.render() for f in result.findings]
+    assert len(result.suppressed) == len(flagged.findings)
+    assert all(f.rule_id == rule_id for f in result.suppressed)
+
+
+def test_program_findings_anchor_at_definition_sites(tmp_path):
+    # REP013 reports at the offending function's `def` line, not at
+    # the wall read buried two modules away — the anchor is what noqa
+    # and the baseline fingerprint key on.
+    result = _lint_tree(tmp_path, "REP013", PROGRAM_CORPUS[("REP013", "flag")])
+    (finding,) = result.findings
+    assert finding.path == "src/repro/core/costs.py"
+    assert finding.snippet.startswith("def chunk_cost")
+    assert "time.time" in finding.message
 
 
 def test_noqa_for_a_different_rule_does_not_suppress(tmp_path):
