@@ -58,6 +58,7 @@ bench-record:
 		REPRO_BENCH_STORE=$(BENCH_STORE) pytest \
 		benchmarks/bench_serving_throughput.py \
 		benchmarks/bench_fleet_overhead.py \
+		benchmarks/bench_lineage_overhead.py \
 		benchmarks/bench_lint_speed.py \
 		--benchmark-only -q
 	PYTHONPATH=src python -m repro perf record \
@@ -71,6 +72,7 @@ bench-check:
 		REPRO_BENCH_STORE=$(BENCH_STORE) pytest \
 		benchmarks/bench_serving_throughput.py \
 		benchmarks/bench_fleet_overhead.py \
+		benchmarks/bench_lineage_overhead.py \
 		benchmarks/bench_lint_speed.py \
 		--benchmark-only -q
 

@@ -1,0 +1,174 @@
+"""Provenance-ledger overhead guard.
+
+An attached :class:`~repro.obs.lineage.LineageLedger` costs one entry
+append per chunk/edge/model event plus one pipeline fingerprint per
+proactive training burst. This benchmark makes the <5% budget
+executable, in the projection style of ``bench_monitor_overhead``:
+
+1. run a small continuous deployment with telemetry + ledger and take
+   its engine wall time as the work baseline (also proving the ledger
+   really records chunks, trainings, and models on a live stream);
+2. microbenchmark the two marginal costs — one ledger append (priced
+   with a live tracer bound, so the ``lineage.node`` point emission is
+   inside the timed region) and one full pipeline fingerprint (the
+   per-training digest work);
+3. project both onto the run's real entry/training counts and assert
+   the projection stays under 5% of the baseline.
+
+Baseline workflow: by default the run appends a record to the
+``BENCH_lineage_overhead.json`` trajectory; with ``REPRO_BENCH_CHECK``
+set (``make bench-check``) the fresh run is gated against the
+committed trajectory instead — exact-match on the deterministic graph
+counts, median-of-K with a generous budget on wall times.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+from benchmarks.conftest import BASELINE_DIR, BENCH_SCALE, run_once
+from repro.experiments.common import run_continuous, url_scenario
+from repro.obs import Telemetry
+from repro.pipeline import pipeline_fingerprint
+
+#: Maximum tolerated projected overhead of an attached ledger,
+#: relative to the instrumented run's engine wall time.
+MAX_OVERHEAD_FRACTION = 0.05
+
+_APPEND_ITERATIONS = 50_000
+_FINGERPRINT_ITERATIONS = 200
+
+
+def _append_seconds(iterations: int = _APPEND_ITERATIONS) -> float:
+    """Average wall cost of one ledger node append (tracer bound)."""
+    telemetry = Telemetry()
+    ledger = telemetry.attach_ledger()
+    record = ledger.record_chunk
+    started = time.perf_counter()
+    for index in range(iterations):
+        record(index, "0" * 64, rows=20)
+    return (time.perf_counter() - started) / iterations
+
+
+def _fingerprint_seconds(
+    scenario, iterations: int = _FINGERPRINT_ITERATIONS
+) -> float:
+    """Average wall cost of one full pipeline fingerprint."""
+    pipeline = scenario.make_pipeline()
+    started = time.perf_counter()
+    for _ in range(iterations):
+        pipeline_fingerprint(pipeline)
+    return (time.perf_counter() - started) / iterations
+
+
+def test_lineage_overhead(benchmark, report, bench_record):
+    scenario = url_scenario("test")
+
+    telemetry = Telemetry()
+    ledger = telemetry.attach_ledger()
+    result = run_once(
+        benchmark, lambda: run_continuous(scenario, telemetry=telemetry)
+    )
+    telemetry.close()
+    counts = ledger.counts()
+    entries = len(ledger)
+
+    per_append = _append_seconds()
+    per_fingerprint = _fingerprint_seconds(scenario)
+    projected = (
+        entries * per_append + counts["training"] * per_fingerprint
+    )
+    budget = MAX_OVERHEAD_FRACTION * result.wall_seconds
+
+    report(
+        "lineage_overhead",
+        "\n".join(
+            [
+                "provenance-ledger overhead projection",
+                f"engine wall time (instrumented run): "
+                f"{result.wall_seconds * 1e3:.2f} ms",
+                f"ledger entries: {entries} "
+                f"(chunks={counts['chunk']}, "
+                f"trainings={counts['training']}, "
+                f"edges={counts['edges']})",
+                f"append cost: {per_append * 1e9:.1f} ns/entry",
+                f"fingerprint cost: "
+                f"{per_fingerprint * 1e6:.1f} us/training",
+                f"projected overhead: {projected * 1e6:.1f} us "
+                f"({projected / result.wall_seconds:.4%} of wall)",
+                f"budget ({MAX_OVERHEAD_FRACTION:.0%}): "
+                f"{budget * 1e3:.2f} ms",
+                f"lineage digest: {ledger.digest()[:16]}...",
+            ]
+        ),
+    )
+
+    assert entries > 0
+    assert counts["chunk"] > 0
+    assert counts["training"] > 0
+    assert projected < budget
+
+    # No registry in this run, so no model nodes — the registry path
+    # is covered by the exp5 golden tests; this guard prices the hot
+    # per-chunk/per-training stream costs.
+    count = {
+        "entries": entries,
+        "chunks": counts["chunk"],
+        "trainings": counts["training"],
+        "edges": counts["edges"],
+    }
+    wall = {
+        "append_s": per_append,
+        "fingerprint_s": per_fingerprint,
+        "instrumented_wall_s": result.wall_seconds,
+    }
+    params = {
+        "scale": BENCH_SCALE,
+        "append_iterations": _APPEND_ITERATIONS,
+        "fingerprint_iterations": _FINGERPRINT_ITERATIONS,
+    }
+
+    if os.environ.get("REPRO_BENCH_CHECK"):
+        from repro.obs import (
+            BaselineStore,
+            MetricValue,
+            TolerancePolicy,
+            check_record,
+            make_record,
+        )
+        from repro.obs.perf import format_report
+
+        metrics = {
+            key: MetricValue(float(value), "count")
+            for key, value in count.items()
+        }
+        metrics.update(
+            {
+                key: MetricValue(float(value), "wall")
+                for key, value in wall.items()
+            }
+        )
+        fresh = make_record(
+            name="lineage_overhead",
+            metrics=metrics,
+            seed=scenario.seed,
+            params=params,
+        )
+        history = BaselineStore(BASELINE_DIR).load("lineage_overhead")
+        verdict = check_record(
+            fresh, history, TolerancePolicy(wall_budget=4.0)
+        )
+        report("lineage_overhead_gate", format_report(verdict))
+        assert verdict.ok, (
+            "lineage overhead regressed against "
+            f"{BASELINE_DIR}/BENCH_lineage_overhead.json"
+        )
+    else:
+        bench_record(
+            "lineage_overhead",
+            count=count,
+            wall=wall,
+            seed=scenario.seed,
+            params=params,
+        )

@@ -168,6 +168,16 @@ def build_parser() -> argparse.ArgumentParser:
             "(default: 0.01)",
         )
 
+    def add_lineage_option(sub: argparse.ArgumentParser) -> None:
+        sub.add_argument(
+            "--lineage",
+            metavar="PATH",
+            default=None,
+            help="attach the provenance ledger to the instrumented "
+            "runs and write the digest-stamped lineage graph as "
+            "lineage.json to PATH (see 'repro obs lineage')",
+        )
+
     exp1 = commands.add_parser(
         "exp1", help="Figure 4: online vs periodical vs continuous"
     )
@@ -181,6 +191,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     add_profile_option(exp1)
     add_monitor_option(exp1)
+    add_lineage_option(exp1)
 
     table3 = commands.add_parser(
         "table3", help="Table 3: hyperparameter grid"
@@ -227,21 +238,45 @@ def build_parser() -> argparse.ArgumentParser:
 
     obs = commands.add_parser(
         "obs",
-        help="summarize, tail, or health-monitor a telemetry trace",
+        help="summarize, tail, health-monitor, or lineage-query a "
+        "telemetry trace",
     )
     obs.add_argument(
         "action",
-        choices=("summary", "tail", "health", "alerts"),
+        choices=("summary", "tail", "health", "alerts", "lineage"),
         help="summary = per-span percentile table + counters; "
         "tail = the last events, one line each; health = the "
         "incident timeline (from a health.json or by replaying a "
         "JSONL trace through the monitor); alerts = the rule table "
-        "with firing counts",
+        "with firing counts; lineage = provenance queries over a "
+        "lineage.json (sub-actions show/blame/trace)",
     )
     obs.add_argument(
         "trace",
-        help="path to a .jsonl trace file (or, for health/alerts, a "
-        "health.json timeline)",
+        help="path to a .jsonl trace file (for health/alerts, a "
+        "health.json timeline; for lineage, the sub-action "
+        "show|blame|trace)",
+    )
+    obs.add_argument(
+        "path",
+        nargs="?",
+        default=None,
+        help="lineage only: path to a lineage.json written by "
+        "--lineage",
+    )
+    obs.add_argument(
+        "--version",
+        default=None,
+        dest="lineage_version",
+        help="lineage blame: model version to explain (full node id "
+        "'model:<registry>:vNNNN' or any unique suffix, e.g. v0003)",
+    )
+    obs.add_argument(
+        "--chunk",
+        default=None,
+        dest="lineage_chunk",
+        help="lineage trace: chunk to follow downstream (full node "
+        "id 'chunk:<timestamp>' or any unique suffix)",
     )
     obs.add_argument(
         "--limit", type=int, default=20,
@@ -277,6 +312,7 @@ def build_parser() -> argparse.ArgumentParser:
     add_scenario_options(exp5)
     add_profile_option(exp5)
     add_monitor_option(exp5)
+    add_lineage_option(exp5)
 
     exp7 = commands.add_parser(
         "exp7",
@@ -510,6 +546,7 @@ def build_parser() -> argparse.ArgumentParser:
     add_scenario_options(run)
     _add_reliability_options(run)
     add_monitor_option(run)
+    add_lineage_option(run)
     run.add_argument(
         "--kill-at",
         type=int,
@@ -535,6 +572,7 @@ def build_parser() -> argparse.ArgumentParser:
     add_scenario_options(recover)
     _add_reliability_options(recover)
     add_monitor_option(recover)
+    add_lineage_option(recover)
 
     fleet = commands.add_parser(
         "fleet",
@@ -612,6 +650,7 @@ def build_parser() -> argparse.ArgumentParser:
         "(the CI fleet-recovery smoke; no cleanup runs)",
     )
     add_monitor_option(fleet)
+    add_lineage_option(fleet)
 
     exp8 = commands.add_parser(
         "exp8",
@@ -807,7 +846,7 @@ def _scenario(args: argparse.Namespace) -> Scenario:
 
 def _telemetry_from_flags(args: argparse.Namespace, rules=None):
     """Build one telemetry bundle for ``--trace``, ``--profile``,
-    and/or ``--monitor``.
+    ``--monitor``, and/or ``--lineage``.
 
     ``rules`` overrides the monitor's default rule set (``repro exp7``
     swaps in the traffic/SLO rules). Returns ``None`` when none of
@@ -817,7 +856,13 @@ def _telemetry_from_flags(args: argparse.Namespace, rules=None):
     trace = getattr(args, "trace", None)
     profile = getattr(args, "profile", None)
     monitor = getattr(args, "monitor", None)
-    if trace is None and profile is None and monitor is None:
+    lineage = getattr(args, "lineage", None)
+    if (
+        trace is None
+        and profile is None
+        and monitor is None
+        and lineage is None
+    ):
         return None
     from repro.obs import Telemetry
 
@@ -827,6 +872,10 @@ def _telemetry_from_flags(args: argparse.Namespace, rules=None):
         telemetry = Telemetry(sink=JsonlSink(trace))
     else:
         telemetry = Telemetry()
+    if lineage is not None:
+        # Attached first so the monitor (below) can stamp lineage
+        # evidence into its incidents.
+        telemetry.attach_ledger()
     if monitor is not None:
         from repro.obs import MonitorConfig
 
@@ -850,6 +899,11 @@ def _finish_telemetry(args: argparse.Namespace, telemetry) -> None:
         from repro.obs import names
 
         telemetry.tracer.point(names.HEALTH_EXPORTED, path=monitor_path)
+    lineage_path = getattr(args, "lineage", None)
+    if lineage_path is not None and telemetry.ledger is not None:
+        # Written while the sink chain is still open so the
+        # lineage.exported point lands in the trace.
+        telemetry.ledger.write(lineage_path)
     telemetry.flush_metrics()
     telemetry.close()
     if monitor_path is not None and telemetry.monitor is not None:
@@ -858,6 +912,11 @@ def _finish_telemetry(args: argparse.Namespace, telemetry) -> None:
         payload = telemetry.monitor.write_health(monitor_path)
         print(f"\nhealth timeline written to {monitor_path}")
         print(format_timeline(payload))
+    if lineage_path is not None and telemetry.ledger is not None:
+        from repro.obs import format_lineage
+
+        print(f"\nlineage graph written to {lineage_path}")
+        print(format_lineage(telemetry.ledger))
     trace = getattr(args, "trace", None)
     if trace is not None:
         from repro.obs import format_summary
@@ -925,6 +984,9 @@ def _command_obs(args: argparse.Namespace) -> None:
     from repro.obs import format_summary, format_tail, load_jsonl
     from repro.obs.summary import summarize_events
 
+    if args.action == "lineage":
+        _obs_lineage(args)
+        return
     if args.action in ("health", "alerts"):
         _obs_health(args)
         return
@@ -933,6 +995,45 @@ def _command_obs(args: argparse.Namespace) -> None:
         print(format_summary(summarize_events(events)))
     else:
         print(format_tail(events, limit=args.limit))
+
+
+def _obs_lineage(args: argparse.Namespace) -> None:
+    """``repro obs lineage {show,blame,trace}`` over a lineage.json.
+
+    ``show`` prints the node/edge census and live versions; ``blame
+    --version vN`` lists the training chunks (with sampling weights)
+    behind a model version; ``trace --chunk C`` walks forward from a
+    chunk to every downstream training, model, and incident.
+    """
+    from repro.obs import (
+        format_blame,
+        format_lineage,
+        format_trace,
+        load_lineage,
+    )
+
+    sub = args.trace
+    if sub not in ("show", "blame", "trace"):
+        raise SystemExit(
+            f"unknown lineage sub-action {sub!r} "
+            "(expected show, blame, or trace)"
+        )
+    if args.path is None:
+        raise SystemExit(
+            "obs lineage requires a lineage.json path "
+            "(written by --lineage on run/exp1/exp5/recover)"
+        )
+    ledger = load_lineage(args.path)
+    if sub == "show":
+        print(format_lineage(ledger))
+    elif sub == "blame":
+        if args.lineage_version is None:
+            raise SystemExit("obs lineage blame requires --version")
+        print(format_blame(ledger.blame(args.lineage_version)))
+    else:
+        if args.lineage_chunk is None:
+            raise SystemExit("obs lineage trace requires --chunk")
+        print(format_trace(ledger.trace(args.lineage_chunk)))
 
 
 def _load_health_payload(args: argparse.Namespace):

@@ -362,6 +362,12 @@ class Deployment(ABC):
                 and self.telemetry.monitor is not None
                 else None
             ),
+            "lineage": (
+                self.telemetry.ledger.state_dict()
+                if self.telemetry.enabled
+                and self.telemetry.ledger is not None
+                else None
+            ),
             "deployment": self._checkpoint_state(),
         }
         checkpoint = PlatformCheckpoint(
@@ -396,6 +402,12 @@ class Deployment(ABC):
             and self.telemetry.monitor is not None
         ):
             self.telemetry.monitor.load_state_dict(state["monitor"])
+        if (
+            state.get("lineage") is not None
+            and self.telemetry.enabled
+            and self.telemetry.ledger is not None
+        ):
+            self.telemetry.ledger.load_state_dict(state["lineage"])
         storage = self._chunk_store()
         if storage is not None and checkpoint.manifest is not None:
             self.reliability.store.restore_storage(

@@ -39,6 +39,7 @@ from repro.ml.optim.base import Optimizer
 from repro.ml.sgd import TrainingResult
 from repro.obs.telemetry import NULL_TELEMETRY, Telemetry
 from repro.persistence import DeploymentBundle
+from repro.pipeline.fingerprint import pipeline_fingerprint
 from repro.pipeline.pipeline import Pipeline
 from repro.reliability.checkpoint import (
     CheckpointConfig,
@@ -122,6 +123,7 @@ class ContinuousDeploymentPlatform:
         ] = None,
         fault_plan: Union[FaultPlan, FaultInjector, None] = None,
         retry: Union[RetryPolicy, Retrier, None] = None,
+        lineage_scope: Optional[str] = None,
     ) -> None:
         self.config = config if config is not None else ContinuousConfig()
         self.telemetry = (
@@ -185,6 +187,12 @@ class ContinuousDeploymentPlatform:
         self.registry = registry
         self.registered_versions: List["VersionInfo"] = []
         self._chunk_index = -1
+        #: Namespace for this platform's lineage nodes (a fleet sets
+        #: the tenant name so chunk timestamps cannot collide).
+        self.lineage_scope = lineage_scope
+        #: Node id of the most recent training event the attached
+        #: ledger recorded (``None`` without a ledger).
+        self.last_training_event: Optional[str] = None
 
     # ------------------------------------------------------------------
     @property
@@ -210,6 +218,19 @@ class ContinuousDeploymentPlatform:
         store: bool = False,
     ) -> TrainingResult:
         """Pre-deployment training (delegates to the pipeline manager)."""
+        ledger = self.telemetry.ledger
+        if ledger is not None and store:
+            # Stored initial chunks participate in sampling later, so
+            # they need lineage nodes; ingest assigns timestamps
+            # sequentially from next_timestamp.
+            base = self.data_manager.next_timestamp
+            for offset, table in enumerate(tables):
+                ledger.record_chunk(
+                    base + offset,
+                    table.digest(),
+                    table.num_rows,
+                    scope=self.lineage_scope,
+                )
         return self.manager.initial_fit(
             tables,
             batch_size=batch_size,
@@ -242,11 +263,19 @@ class ContinuousDeploymentPlatform:
             chunk=self._chunk_index,
             rows=table.num_rows,
         ):
-            __, features = self.manager.process_training_chunk(
+            raw, features = self.manager.process_training_chunk(
                 table,
                 online_statistics=self.config.online_statistics,
                 store=True,
             )
+            ledger = self.telemetry.ledger
+            if ledger is not None:
+                ledger.record_chunk(
+                    raw.timestamp,
+                    table.digest(),
+                    table.num_rows,
+                    scope=self.lineage_scope,
+                )
             if self.config.online_update and features.num_rows:
                 self.manager.online_step(
                     features, self.config.online_batch_rows
@@ -319,9 +348,51 @@ class ContinuousDeploymentPlatform:
                 self.telemetry.metrics.observe(
                     names.PROACTIVE_DURATION, duration
                 )
+            if self.telemetry.ledger is not None:
+                self._record_training_lineage(samples, full_outcome)
             if self.registry is not None:
                 self._register_candidate(full_outcome)
             return full_outcome
+
+    def _record_training_lineage(
+        self, samples, outcome: ProactiveOutcome
+    ) -> None:
+        """Record this SGD burst in the attached provenance ledger.
+
+        Each sampled chunk's weight is its fraction of the burst's
+        training rows — the number blame queries aggregate. The
+        pipeline's component fingerprints are recorded first
+        (content-addressed, so unchanged components dedup to one
+        node).
+        """
+        ledger = self.telemetry.ledger
+        components = [
+            ledger.record_component(fingerprint)
+            for fingerprint in pipeline_fingerprint(
+                self.manager.pipeline
+            )
+        ]
+        total_rows = sum(
+            sample.chunk.num_rows for sample in samples
+        )
+        chunks = []
+        for sample in samples:
+            node = ledger.chunk_id(
+                sample.timestamp, self.lineage_scope
+            )
+            weight = (
+                sample.chunk.num_rows / total_rows
+                if total_rows
+                else 0.0
+            )
+            chunks.append((node, weight))
+        self.last_training_event = ledger.record_training(
+            chunks,
+            components,
+            rows=outcome.rows,
+            objective=outcome.objective,
+            scope=self.lineage_scope,
+        )
 
     def _register_candidate(self, outcome: ProactiveOutcome) -> None:
         """Snapshot the freshly-trained state as a registry candidate."""
@@ -335,6 +406,7 @@ class ContinuousDeploymentPlatform:
                 "objective": outcome.objective,
                 "rows_trained": outcome.rows,
             },
+            lineage_event=self.last_training_event,
         )
         self.registered_versions.append(info)
         self.telemetry.tracer.point(
@@ -410,6 +482,8 @@ class ContinuousDeploymentPlatform:
         state = self.state_dict()
         if self.telemetry.enabled:
             state["metrics"] = self.telemetry.metrics.state_dict()
+        if self.telemetry.ledger is not None:
+            state["lineage"] = self.telemetry.ledger.state_dict()
         checkpoint = PlatformCheckpoint(
             cursor=self.chunks_observed,
             approach="platform",
@@ -465,6 +539,12 @@ class ContinuousDeploymentPlatform:
         metrics_state = saved.state.get("metrics")
         if metrics_state is not None and platform.telemetry.enabled:
             platform.telemetry.metrics.load_state_dict(metrics_state)
+        lineage_state = saved.state.get("lineage")
+        if (
+            lineage_state is not None
+            and platform.telemetry.ledger is not None
+        ):
+            platform.telemetry.ledger.load_state_dict(lineage_state)
         platform.load_state_dict(saved.state)
         platform.telemetry.tracer.point(
             names.RELIABILITY_RECOVERED,

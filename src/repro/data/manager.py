@@ -147,6 +147,16 @@ class DataManager:
         """Number of chunks available for sampling (*n* in the paper)."""
         return len(self._sampleable_timestamps())
 
+    @property
+    def next_timestamp(self) -> int:
+        """The timestamp the next :meth:`ingest` call will assign.
+
+        Timestamps are assigned sequentially from this value — the
+        contract the provenance ledger relies on when pre-registering
+        the chunks of a multi-table initial fit.
+        """
+        return self._next_timestamp
+
     # ------------------------------------------------------------------
     # Sampling with dynamic materialization
     # ------------------------------------------------------------------

@@ -13,6 +13,7 @@ with strict schema checking (:class:`repro.exceptions.SchemaError`).
 
 from __future__ import annotations
 
+import hashlib
 from typing import Dict, Iterable, Iterator, List, Mapping, Sequence
 
 import numpy as np
@@ -237,6 +238,41 @@ class Table:
     def nbytes(self) -> int:
         """Approximate memory footprint of the column payloads."""
         return int(sum(v.nbytes for v in self._columns.values()))
+
+    def digest(self) -> str:
+        """SHA-256 content digest of the table.
+
+        Covers column names (in order), dtypes, and cell contents, so
+        two tables with identical data always hash identically — the
+        chunk-node identity the provenance ledger records. Numeric
+        columns hash their raw bytes; object columns (sparse
+        ``{index: value}`` dicts, raw text records) hash a canonical
+        per-cell rendering.
+        """
+        body = hashlib.sha256()
+        for name, array in self._columns.items():
+            body.update(name.encode("utf-8"))
+            body.update(b"\x00")
+            if array.dtype == object:
+                for cell in array:
+                    body.update(_object_cell_bytes(cell))
+                    body.update(b"\x1e")
+            else:
+                body.update(array.dtype.str.encode("ascii"))
+                body.update(np.ascontiguousarray(array).tobytes())
+            body.update(b"\x00")
+        return body.hexdigest()
+
+
+def _object_cell_bytes(cell: object) -> bytes:
+    """Canonical byte rendering of one object-column cell."""
+    if isinstance(cell, dict):
+        return ";".join(
+            f"{key}:{cell[key]!r}" for key in sorted(cell, key=str)
+        ).encode("utf-8")
+    if isinstance(cell, str):
+        return cell.encode("utf-8")
+    return repr(cell).encode("utf-8")
 
 
 def _object_column_values(array: np.ndarray) -> int:

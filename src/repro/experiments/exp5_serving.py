@@ -59,6 +59,9 @@ class CandidateSnapshot:
     corrupted: bool
     objective: float
     training_cost: float
+    #: Lineage node id of the proactive training burst that produced
+    #: this snapshot (``None`` when no ledger instruments the trainer).
+    lineage_event: Optional[str] = None
 
 
 @dataclass
@@ -86,6 +89,7 @@ def produce_candidates(
     candidate_every: Optional[int] = None,
     corrupt_every: int = 3,
     corruption_scale: float = 4.0,
+    telemetry: Optional[Telemetry] = None,
 ):
     """Run the trainer side once; return (initial artifacts, candidates).
 
@@ -95,6 +99,9 @@ def produce_candidates(
     ``corrupt_every``-th snapshot gets its model weights overwhelmed
     with seeded Gaussian noise. Both serving policies replay this
     exact sequence, so the comparison isolates the adoption policy.
+    When ``telemetry`` carries a lineage ledger, each snapshot records
+    the node id of the training burst that produced it, so the serving
+    registries can link their model versions back to training chunks.
     """
     if candidate_every is None:
         candidate_every = max(scenario.num_chunks // 8, 3)
@@ -108,6 +115,7 @@ def produce_candidates(
         optimizer,
         config=scenario.continuous_config,
         seed=scenario.seed,
+        telemetry=telemetry,
     )
     platform.initial_fit(
         scenario.make_initial_data(),
@@ -150,6 +158,7 @@ def produce_candidates(
                     else 0.0
                 ),
                 training_cost=cost_now - cost_before,
+                lineage_event=platform.last_training_event,
             )
         )
         cost_before = cost_now
@@ -222,6 +231,7 @@ def run_policy(
             chunks_observed=chunk_index + 1,
             training_cost=candidate.training_cost,
             metrics={"objective": candidate.objective},
+            lineage_event=candidate.lineage_event,
         )
         if policy == "blind":
             registry.promote(info.version, reason="blind promotion")
@@ -257,6 +267,7 @@ def run_serving_experiment(
         scenario,
         candidate_every=candidate_every,
         corrupt_every=corrupt_every,
+        telemetry=telemetry,
     )
     results: Dict[str, ServingPoint] = {}
 

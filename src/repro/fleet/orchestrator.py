@@ -353,6 +353,8 @@ class FleetOrchestrator:
         }
         if self.telemetry.enabled:
             state["metrics"] = self.telemetry.metrics.state_dict()
+        if self.telemetry.ledger is not None:
+            state["lineage"] = self.telemetry.ledger.state_dict()
         checkpoint = PlatformCheckpoint(
             cursor=self.epoch,
             approach="fleet",
@@ -414,6 +416,12 @@ class FleetOrchestrator:
             orchestrator.telemetry.metrics.load_state_dict(
                 metrics_state
             )
+        lineage_state = saved.state.get("lineage")
+        if (
+            lineage_state is not None
+            and orchestrator.telemetry.ledger is not None
+        ):
+            orchestrator.telemetry.ledger.load_state_dict(lineage_state)
         orchestrator.clock.advance(float(saved.state["clock"]))
         orchestrator.telemetry.tracer.point(
             names.FLEET_RECOVERED,

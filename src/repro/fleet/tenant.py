@@ -155,6 +155,7 @@ class TenantRuntime:
             seed=spec.seed,
             telemetry=self.telemetry,
             registry=self.registry,
+            lineage_scope=spec.name,
         )
         self.prequential = PrequentialTracker(kind=tracker_kind)
         self._stream: Iterator[Table] = iter(generator.stream())

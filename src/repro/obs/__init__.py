@@ -51,6 +51,15 @@ from repro.obs.incident import (
     format_timeline,
     health_digest,
 )
+from repro.obs.lineage import (
+    LINEAGE_SCHEMA,
+    LineageLedger,
+    format_blame,
+    format_lineage,
+    format_trace,
+    lineage_digest,
+    load_lineage,
+)
 from repro.obs.metrics import (
     Counter,
     Gauge,
@@ -185,4 +194,12 @@ __all__ = [
     "format_timeline",
     "health_digest",
     "replay_trace",
+    # provenance ledger
+    "LINEAGE_SCHEMA",
+    "LineageLedger",
+    "format_blame",
+    "format_lineage",
+    "format_trace",
+    "lineage_digest",
+    "load_lineage",
 ]

@@ -49,8 +49,13 @@ from repro.obs.rules import AlertRule, RuleState
 from repro.obs.sink import EventSink
 from repro.obs.windows import SeriesWindows
 
-#: Event-name prefixes the monitor never consumes (its own output).
-_SKIP_PREFIXES = ("monitor.", "alert.", "health.")
+#: Event-name prefixes the monitor never consumes (its own output,
+#: plus the provenance ledger's growth points).
+_SKIP_PREFIXES = ("monitor.", "alert.", "health.", "lineage.")
+
+#: Signals whose incidents carry provenance evidence when a lineage
+#: ledger is bound (see :meth:`HealthMonitor._lineage_evidence`).
+_LINEAGE_SIGNAL_PREFIXES = ("serving.", "slo.")
 
 #: Default numeric attributes promoted to value signals. Read-only:
 #: the monitor is importable from sharded subsystems (REP011).
@@ -292,12 +297,23 @@ class HealthMonitor(EventSink):
         self._closed = False
         self._tracer = None
         self._metrics = None
+        self._ledger = None
 
     # ------------------------------------------------------------------
-    def bind(self, tracer=None, metrics=None) -> None:
-        """Give the monitor instruments to announce transitions on."""
-        self._tracer = tracer
-        self._metrics = metrics
+    def bind(self, tracer=None, metrics=None, ledger=None) -> None:
+        """Give the monitor instruments to announce transitions on.
+
+        ``ledger`` (a :class:`~repro.obs.lineage.LineageLedger`) lets
+        serving incidents carry provenance evidence: the live model
+        version and the ledger digest at fire time. Only provided
+        instruments are rebound.
+        """
+        if tracer is not None:
+            self._tracer = tracer
+        if metrics is not None:
+            self._metrics = metrics
+        if ledger is not None:
+            self._ledger = ledger
 
     @property
     def watched_signals(self) -> Tuple[str, ...]:
@@ -449,6 +465,9 @@ class HealthMonitor(EventSink):
             ):
                 self.incidents.fire(incident, t_end)
                 incident.evidence = list(self._recent[rule.signal])
+                lineage = self._lineage_evidence(rule)
+                if lineage is not None:
+                    incident.evidence.append(lineage)
                 self._announce(names.ALERT_FIRING, incident, t_end)
                 if self._metrics is not None:
                     self._metrics.counter(names.ALERTS_FIRED).inc()
@@ -467,6 +486,30 @@ class HealthMonitor(EventSink):
                         self._metrics.counter(
                             names.ALERTS_RESOLVED
                         ).inc()
+
+    def _lineage_evidence(self, rule) -> Optional[Dict[str, object]]:
+        """Provenance snapshot appended to serving-incident evidence.
+
+        When a ``serving.*``/``slo.*`` rule fires with a ledger bound,
+        the incident is recorded as a lineage node implicating the
+        live model version, and the evidence gains the version plus
+        the ledger digest at fire time — enough to ``blame`` the
+        model's training chunks afterwards.
+        """
+        if self._ledger is None or not rule.signal.startswith(
+            _LINEAGE_SIGNAL_PREFIXES
+        ):
+            return None
+        live = self._ledger.live_version()
+        node = self._ledger.record_incident(
+            rule.name, rule.signal, model=live
+        )
+        return {
+            "kind": "lineage",
+            "node": node,
+            "live_version": live,
+            "lineage_digest": self._ledger.digest(),
+        }
 
     def _announce(self, event_name: str, incident, t_end: float) -> None:
         if self._tracer is None:

@@ -15,7 +15,7 @@ first naming the owning subsystem (``engine``, ``cache``,
 ``scheduler``, ``platform``, ``serving``, ``registry``, ``rollout``,
 ``reliability``, ``drift``, ``sampler``, ``span``, ``perf``,
 ``profile``, ``monitor``, ``alert``, ``health``, ``traffic``,
-``batch``, ``slo``, ``fleet``).
+``batch``, ``slo``, ``fleet``, ``lineage``).
 
 Families whose tail is data-dependent (``registry.<event>``,
 ``rollout.<action>``, ``span.<span-name>``) are declared as prefixes
@@ -138,6 +138,12 @@ RELIABILITY_FAULTS_INJECTED = "reliability.faults_injected"
 RELIABILITY_RETRY = "reliability.retry"
 RELIABILITY_RETRIES = "reliability.retries"
 RELIABILITY_RETRIES_EXHAUSTED = "reliability.retries_exhausted"
+
+# -- provenance ledger --------------------------------------------------
+LINEAGE_NODE = "lineage.node"
+LINEAGE_NODES = "lineage.nodes"
+LINEAGE_EDGES = "lineage.edges"
+LINEAGE_EXPORTED = "lineage.exported"
 
 # -- health monitor -----------------------------------------------------
 MONITOR_EVENTS = "monitor.events"

@@ -58,6 +58,8 @@ class Telemetry:
         )
         #: Attached :class:`~repro.obs.monitor.HealthMonitor`, if any.
         self.monitor = None
+        #: Attached :class:`~repro.obs.lineage.LineageLedger`, if any.
+        self.ledger = None
 
     # ------------------------------------------------------------------
     def bind_clock(self, clock: Callable[[], float]) -> None:
@@ -88,11 +90,40 @@ class Telemetry:
         if monitor is None:
             monitor = HealthMonitor(rules=rules, config=config)
         monitor.bind(tracer=self.tracer, metrics=self.metrics)
+        if self.ledger is not None:
+            monitor.bind(ledger=self.ledger)
         chain = MultiSink([self.sink, monitor])
         self.sink = chain
         self.tracer.sink = chain
         self.monitor = monitor
         return monitor
+
+    def attach_ledger(self, ledger=None):
+        """Attach a :class:`~repro.obs.lineage.LineageLedger`.
+
+        The ledger is not a sink — platform components record into it
+        directly — but it binds this bundle's tracer (for the virtual
+        clock and ``lineage.node`` points) and metrics. Returns the
+        ledger.
+        """
+        from repro.exceptions import ValidationError
+        from repro.obs.lineage import LineageLedger
+
+        if not self.enabled:
+            raise ValidationError(
+                "cannot attach a ledger to disabled telemetry"
+            )
+        if self.ledger is not None:
+            raise ValidationError(
+                "this telemetry bundle already has a ledger attached"
+            )
+        if ledger is None:
+            ledger = LineageLedger()
+        ledger.bind(tracer=self.tracer, metrics=self.metrics)
+        if self.monitor is not None:
+            self.monitor.bind(ledger=ledger)
+        self.ledger = ledger
+        return ledger
 
     @property
     def events(self) -> List[Dict[str, object]]:

@@ -13,6 +13,10 @@ from repro.pipeline.component import (
     PipelineComponent,
     StatelessComponent,
 )
+from repro.pipeline.fingerprint import (
+    component_fingerprint,
+    pipeline_fingerprint,
+)
 from repro.pipeline.pipeline import Pipeline
 from repro.pipeline.statistics import (
     CategoryTable,
@@ -28,4 +32,6 @@ __all__ = [
     "RunningMoments",
     "RunningMinMax",
     "CategoryTable",
+    "component_fingerprint",
+    "pipeline_fingerprint",
 ]

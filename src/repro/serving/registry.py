@@ -103,16 +103,26 @@ class ModelRegistry:
         is loaded, so reopening a registry resumes its state.
     telemetry:
         Optional observability bundle; transitions become
-        ``registry.*`` trace points and counters.
+        ``registry.*`` trace points and counters, and — when the
+        bundle carries a :class:`~repro.obs.lineage.LineageLedger` —
+        every version becomes a lineage ``model`` node whose
+        lifecycle transitions the ledger records.
+    name:
+        Namespace of this registry's lineage nodes
+        (``model:<name>:<version>``); defaults to the root directory
+        name, which keeps versions of different registries (e.g. one
+        per rollout policy) distinct in a shared ledger.
     """
 
     def __init__(
         self,
         root: PathLike,
         telemetry: Optional[Telemetry] = None,
+        name: Optional[str] = None,
     ) -> None:
         self.root = Path(root)
         self.root.mkdir(parents=True, exist_ok=True)
+        self.name = name if name is not None else self.root.name
         self.telemetry = (
             telemetry if telemetry is not None else NULL_TELEMETRY
         )
@@ -200,11 +210,15 @@ class ModelRegistry:
         chunks_observed: int = 0,
         training_cost: float = 0.0,
         metrics: Optional[Dict[str, float]] = None,
+        lineage_event: Optional[str] = None,
     ) -> VersionInfo:
         """Snapshot a pipeline+model+optimizer as a new candidate.
 
         ``parent`` defaults to the current live version — the normal
-        lineage of a proactive-training output.
+        lineage of a proactive-training output. ``lineage_event`` is
+        the provenance-ledger training node that produced these
+        artifacts (when a ledger is attached); the new version's
+        ``model`` node is linked to it with a ``produced`` edge.
         """
         version = f"v{self._next_id:04d}"
         self._next_id += 1
@@ -227,6 +241,15 @@ class ModelRegistry:
             seq=len(self._versions),
         )
         self._versions[version] = info
+        ledger = self.telemetry.ledger
+        if ledger is not None:
+            ledger.record_model(
+                self.name,
+                version,
+                checksum=info.checksum,
+                parent=parent,
+                training=lineage_event,
+            )
         self._record("register", version=version, parent=parent)
         self._save_manifest()
         return info
@@ -380,6 +403,18 @@ class ModelRegistry:
     def _record(self, event: str, **attrs: object) -> None:
         entry: Dict[str, object] = {"event": event, **attrs}
         self._transitions.append(entry)
+        ledger = self.telemetry.ledger
+        if (
+            ledger is not None
+            and event != "register"
+            and "version" in attrs
+        ):
+            # register is recorded as a model node at registration
+            # time; lifecycle transitions (promote/rollback/reject)
+            # become ledger events and update the live-version map.
+            ledger.record_transition(
+                self.name, str(attrs["version"]), event
+            )
         if self.telemetry.enabled:
             self.telemetry.tracer.point(names.REGISTRY_PREFIX + event, **attrs)
             self.telemetry.metrics.counter(names.REGISTRY_PREFIX + event).inc()

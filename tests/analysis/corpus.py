@@ -182,6 +182,10 @@ _add(
         telemetry.metrics.gauge(names.FLEET_BALANCE).set(0.25)
         telemetry.metrics.counter(names.FLEET_RESCUES).inc()
         telemetry.tracer.point(names.FLEET_OVERDRAFT, tenant="t0")
+        telemetry.tracer.point(names.LINEAGE_NODE, kind="chunk")
+        telemetry.metrics.counter(names.LINEAGE_NODES).inc()
+        telemetry.metrics.counter(names.LINEAGE_EDGES).inc()
+        telemetry.tracer.point(names.LINEAGE_EXPORTED, path="l.json")
     """,
     noqa="""\
     def record(telemetry):

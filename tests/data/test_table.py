@@ -179,3 +179,48 @@ class TestNumValues:
     def test_num_values_cached(self):
         table = Table({"a": [1.0, 2.0]})
         assert table.num_values == table.num_values
+
+
+class TestDigest:
+    def test_identical_content_identical_digest(self):
+        assert (
+            Table({"a": [1.0, 2.0]}).digest()
+            == Table({"a": [1.0, 2.0]}).digest()
+        )
+
+    def test_value_change_changes_digest(self):
+        assert (
+            Table({"a": [1.0, 2.0]}).digest()
+            != Table({"a": [1.0, 2.5]}).digest()
+        )
+
+    def test_column_name_participates(self):
+        assert (
+            Table({"a": [1.0]}).digest() != Table({"b": [1.0]}).digest()
+        )
+
+    def test_dtype_participates(self):
+        ints = Table({"a": np.array([1, 2], dtype=np.int32)})
+        longs = Table({"a": np.array([1, 2], dtype=np.int64)})
+        assert ints.digest() != longs.digest()
+
+    def test_object_columns_supported(self):
+        rows = np.empty(2, dtype=object)
+        rows[0] = {0: 1.0, 2: 3.0}
+        rows[1] = {5: 1.0}
+        same = np.empty(2, dtype=object)
+        same[0] = {2: 3.0, 0: 1.0}  # key order must not matter
+        same[1] = {5: 1.0}
+        assert (
+            Table({"f": rows}).digest() == Table({"f": same}).digest()
+        )
+
+    def test_string_cells_supported(self):
+        lines = np.array(["1 0:1.0", "-1 4:2.0"], dtype=object)
+        table = Table({"line": lines})
+        assert table.digest() == Table({"line": lines.copy()}).digest()
+
+    def test_digest_is_hex_sha256(self):
+        digest = Table({"a": [1.0]}).digest()
+        assert len(digest) == 64
+        int(digest, 16)

@@ -488,3 +488,79 @@ class TestPerfCommands:
         assert f"profile written to {profile}" in out
         assert "self cost by subsystem:" in out
         assert profile.exists()
+
+
+class TestLineageCli:
+    def test_lineage_flag_parsed(self):
+        for command in ("exp1", "exp5", "run", "recover"):
+            args = build_parser().parse_args(
+                [command, "--lineage", "lineage.json"]
+            )
+            assert args.lineage == "lineage.json"
+            assert build_parser().parse_args([command]).lineage is None
+
+    def test_obs_lineage_options(self):
+        args = build_parser().parse_args(
+            ["obs", "lineage", "blame", "lineage.json",
+             "--version", "v0002"]
+        )
+        assert args.action == "lineage"
+        assert args.trace == "blame"
+        assert args.path == "lineage.json"
+        assert args.lineage_version == "v0002"
+        args = build_parser().parse_args(
+            ["obs", "lineage", "trace", "lineage.json",
+             "--chunk", "chunk:3"]
+        )
+        assert args.lineage_chunk == "chunk:3"
+
+    def test_exp5_export_then_query(self, capsys, tmp_path):
+        lineage = tmp_path / "lineage.json"
+        assert main(
+            ["exp5", "--scale", "test", "--lineage", str(lineage)]
+        ) == 0
+        out = capsys.readouterr().out
+        assert f"lineage graph written to {lineage}" in out
+        assert "provenance ledger" in out
+        assert lineage.exists()
+
+        assert main(["obs", "lineage", "show", str(lineage)]) == 0
+        assert "live[gated]" in capsys.readouterr().out
+
+        assert main(
+            ["obs", "lineage", "blame", str(lineage),
+             "--version", "model:blind:v0002"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "blame model:blind:v0002" in out
+        assert "chunk:" in out
+
+        assert main(
+            ["obs", "lineage", "trace", str(lineage),
+             "--chunk", "chunk:0"]
+        ) == 0
+        assert "models:" in capsys.readouterr().out
+
+    def test_obs_lineage_requires_path_and_options(self, tmp_path):
+        with pytest.raises(SystemExit, match="path"):
+            main(["obs", "lineage", "show"])
+        ledger_file = tmp_path / "lineage.json"
+        from repro.obs import LineageLedger
+
+        LineageLedger().write(ledger_file)
+        with pytest.raises(SystemExit, match="--version"):
+            main(["obs", "lineage", "blame", str(ledger_file)])
+        with pytest.raises(SystemExit, match="--chunk"):
+            main(["obs", "lineage", "trace", str(ledger_file)])
+        with pytest.raises(SystemExit, match="sub-action"):
+            main(["obs", "lineage", "bogus", str(ledger_file)])
+
+    def test_run_with_lineage_and_checkpoints(self, capsys, tmp_path):
+        lineage = tmp_path / "lineage.json"
+        assert main(
+            ["run", "--approach", "continuous", "--scale", "test",
+             "--checkpoint-dir", str(tmp_path / "ckpt"),
+             "--cadence", "3", "--lineage", str(lineage)]
+        ) == 0
+        assert lineage.exists()
+        assert "provenance ledger" in capsys.readouterr().out

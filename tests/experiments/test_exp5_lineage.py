@@ -1,0 +1,130 @@
+"""Golden blame-query tests on experiment 5.
+
+The operational scenario the ledger exists for: every third candidate
+the trainer emits is corrupted; blame on the corrupted version must
+name exactly the training chunks (with sampling weights) that fed it,
+and trace from any of those chunks must reach the corrupted version.
+"""
+
+import pytest
+
+from repro.experiments.common import url_scenario
+from repro.experiments.exp5_serving import (
+    POLICIES,
+    default_gate_config,
+    produce_candidates,
+    run_policy,
+)
+from repro.obs import Telemetry
+
+pytestmark = pytest.mark.filterwarnings(
+    "ignore::repro.exceptions.ConvergenceWarning"
+)
+
+CORRUPT_EVERY = 3
+
+
+@pytest.fixture(scope="module")
+def exp5_run(tmp_path_factory):
+    telemetry = Telemetry()
+    ledger = telemetry.attach_ledger()
+    scenario = url_scenario("test")
+    workdir = tmp_path_factory.mktemp("exp5-lineage")
+    initial, candidates = produce_candidates(
+        scenario, corrupt_every=CORRUPT_EVERY, telemetry=telemetry
+    )
+    results = {
+        policy: run_policy(
+            scenario,
+            policy,
+            initial,
+            candidates,
+            workdir,
+            gate_config=default_gate_config(scenario),
+            telemetry=telemetry,
+        )
+        for policy in POLICIES
+    }
+    return ledger, results, candidates
+
+
+def blind_version(index):
+    """Registry version of candidate ``index`` in the blind registry
+    (v0001 is the initial model; candidates land at v0002+)."""
+    return f"v{index + 2:04d}"
+
+
+class TestBlameGolden:
+    def test_corrupted_candidates_exist(self, exp5_run):
+        __, __, candidates = exp5_run
+        corrupted = [c for c in candidates if c.corrupted]
+        assert corrupted, "scenario must produce corrupted candidates"
+
+    def test_blame_names_training_chunks_of_corrupted_candidate(
+        self, exp5_run
+    ):
+        ledger, __, candidates = exp5_run
+        for index, candidate in enumerate(candidates):
+            if not candidate.corrupted:
+                continue
+            version = f"model:blind:{blind_version(index)}"
+            report = ledger.blame(version)
+            assert report["version"] == version
+            # The snapshot's own training burst is in the derivation.
+            assert candidate.lineage_event in report["trainings"]
+            # Chunks fed by that burst appear with positive weight.
+            fed = {
+                edge["src"]: edge["attrs"]["weight"]
+                for edge in ledger._in_edges(
+                    candidate.lineage_event, "fed"
+                )
+            }
+            assert fed, "corrupted candidate must have training chunks"
+            reported = {
+                row["chunk"]: row["weight"]
+                for row in report["chunks"]
+            }
+            for chunk, weight in fed.items():
+                assert chunk in reported
+                assert reported[chunk] >= weight - 1e-12
+
+    def test_per_training_weights_sum_to_one(self, exp5_run):
+        ledger, __, candidates = exp5_run
+        for node in ledger.nodes("training"):
+            weights = [
+                edge["attrs"]["weight"]
+                for edge in ledger._in_edges(node["id"], "fed")
+            ]
+            assert sum(weights) == pytest.approx(1.0)
+
+    def test_trace_reaches_corrupted_version(self, exp5_run):
+        ledger, __, candidates = exp5_run
+        index, candidate = next(
+            (i, c) for i, c in enumerate(candidates) if c.corrupted
+        )
+        fed = ledger._in_edges(candidate.lineage_event, "fed")
+        chunk = fed[0]["src"]
+        report = ledger.trace(chunk)
+        assert f"model:blind:{blind_version(index)}" in report["models"]
+
+    def test_all_policies_share_training_provenance(self, exp5_run):
+        ledger, results, candidates = exp5_run
+        # The same candidate registered under blind and gated links to
+        # the same training node: one trainer, three registries.
+        index = next(
+            i for i, c in enumerate(candidates)
+            if c.lineage_event is not None
+        )
+        version = blind_version(index)
+        blind = ledger.blame(f"model:blind:{version}")
+        gated = ledger.blame(f"model:gated:{version}")
+        assert blind["trainings"] == gated["trainings"]
+
+    def test_registry_lifecycle_recorded(self, exp5_run):
+        ledger, results, __ = exp5_run
+        assert ledger.live_version("frozen") == "model:frozen:v0001"
+        blind_promotes = results["blind"].transitions.get("promote", 0)
+        # blind promotes every candidate: live = last registered.
+        assert ledger.live_version("blind") == (
+            f"model:blind:v{blind_promotes + 1:04d}"
+        )

@@ -1,0 +1,390 @@
+"""Unit and integration tests for the provenance ledger."""
+
+import json
+
+import pytest
+
+from repro.exceptions import ValidationError
+from repro.obs import (
+    LineageLedger,
+    Telemetry,
+    lineage_digest,
+    load_lineage,
+)
+from repro.obs.lineage import format_blame, format_lineage, format_trace
+from repro.obs.monitor import HealthMonitor, MonitorConfig
+from repro.obs.rules import AlertRule
+
+pytestmark = pytest.mark.filterwarnings(
+    "ignore::repro.exceptions.ConvergenceWarning"
+)
+
+
+def small_graph():
+    """Two chunks feed one training; its model derives into a child."""
+    ledger = LineageLedger()
+    ledger.record_chunk(0, "d0", rows=8)
+    ledger.record_chunk(1, "d1", rows=8)
+    ledger.record_component({"name": "scaler", "digest": "c" * 64})
+    training = ledger.record_training(
+        chunks=[("chunk:0", 0.75), ("chunk:1", 0.25)],
+        components=["comp:" + "c" * 12],
+        rows=16,
+        objective=0.5,
+    )
+    ledger.record_model(
+        "main", "v0001", checksum="k1", training=training
+    )
+    ledger.record_transition("main", "v0001", "promote")
+    return ledger, training
+
+
+class TestRecording:
+    def test_counts_and_len(self):
+        ledger, _ = small_graph()
+        counts = ledger.counts()
+        assert counts["chunk"] == 2
+        assert counts["component"] == 1
+        assert counts["training"] == 1
+        assert counts["model"] == 1
+        assert counts["edges"] == 4  # 2 fed + 1 used + 1 produced
+
+    def test_chunk_idempotent(self):
+        ledger = LineageLedger()
+        first = ledger.record_chunk(3, "dd", rows=4)
+        second = ledger.record_chunk(3, "dd", rows=4)
+        assert first == second
+        assert ledger.counts()["chunk"] == 1
+
+    def test_component_content_addressed(self):
+        ledger = LineageLedger()
+        fp = {"name": "scaler", "digest": "a" * 64}
+        assert ledger.record_component(fp) == ledger.record_component(fp)
+        assert ledger.counts()["component"] == 1
+
+    def test_scoped_chunk_ids(self):
+        assert LineageLedger.chunk_id(4) == "chunk:4"
+        assert LineageLedger.chunk_id(4, "t01") == "chunk:t01:4"
+
+    def test_transition_updates_live_map(self):
+        ledger, _ = small_graph()
+        assert ledger.live_version("main") == "model:main:v0001"
+        assert ledger.live_version() == "model:main:v0001"
+        ledger.record_model("main", "v0002", checksum="k2", parent="v0001")
+        ledger.record_transition("main", "v0002", "promote")
+        assert ledger.live_version("main") == "model:main:v0002"
+        ledger.record_transition("main", "v0001", "rollback")
+        assert ledger.live_version("main") == "model:main:v0001"
+
+    def test_incident_implicates_model(self):
+        ledger, _ = small_graph()
+        node = ledger.record_incident(
+            "latency", "serving.latency", model="model:main:v0001"
+        )
+        assert node == "incident:0"
+        report = ledger.trace("chunk:0")
+        assert report["incidents"] == ["incident:0"]
+
+
+class TestResolve:
+    def test_full_id_and_suffix(self):
+        ledger, _ = small_graph()
+        assert ledger.resolve("model:main:v0001") == "model:main:v0001"
+        assert ledger.resolve("v0001") == "model:main:v0001"
+        assert ledger.resolve("1") == "chunk:1"
+
+    def test_bare_counter_suffix_is_ambiguous(self):
+        # "0" matches both chunk:0 and train:0 — resolve refuses to
+        # guess.
+        ledger, _ = small_graph()
+        with pytest.raises(ValidationError, match="ambiguous"):
+            ledger.resolve("0")
+
+    def test_missing_reference_raises(self):
+        ledger, _ = small_graph()
+        with pytest.raises(ValidationError, match="no lineage node"):
+            ledger.resolve("v9999")
+
+    def test_ambiguous_reference_lists_candidates(self):
+        ledger, _ = small_graph()
+        ledger.record_model("other", "v0001", checksum="k9")
+        with pytest.raises(ValidationError, match="ambiguous"):
+            ledger.resolve("v0001")
+
+
+class TestQueries:
+    def test_blame_weights(self):
+        ledger, _ = small_graph()
+        report = ledger.blame("v0001")
+        assert report["version"] == "model:main:v0001"
+        assert [c["chunk"] for c in report["chunks"]] == [
+            "chunk:0",
+            "chunk:1",
+        ]
+        assert report["chunks"][0]["weight"] == pytest.approx(0.75)
+        assert report["chunks"][0]["digest"] == "d0"
+
+    def test_blame_aggregates_over_derivation_chain(self):
+        ledger, _ = small_graph()
+        second = ledger.record_training(
+            chunks=[("chunk:1", 1.0)],
+            components=[],
+            rows=8,
+            objective=0.4,
+        )
+        ledger.record_model(
+            "main", "v0002", checksum="k2",
+            parent="v0001", training=second,
+        )
+        report = ledger.blame("v0002")
+        assert report["derivation"] == [
+            "model:main:v0002",
+            "model:main:v0001",
+        ]
+        assert report["trainings"] == ["train:0", "train:1"]
+        weights = {c["chunk"]: c["weight"] for c in report["chunks"]}
+        assert weights["chunk:1"] == pytest.approx(1.25)
+        assert weights["chunk:0"] == pytest.approx(0.75)
+
+    def test_blame_rejects_non_model(self):
+        ledger, _ = small_graph()
+        with pytest.raises(ValidationError, match="model version"):
+            ledger.blame("chunk:0")
+
+    def test_trace_walks_downstream(self):
+        ledger, _ = small_graph()
+        report = ledger.trace("chunk:0")
+        assert report["trainings"] == ["train:0"]
+        assert report["models"] == ["model:main:v0001"]
+        assert report["incidents"] == []
+
+    def test_trace_rejects_non_chunk(self):
+        ledger, _ = small_graph()
+        with pytest.raises(ValidationError, match="chunk"):
+            ledger.trace("train:0")
+
+
+class TestDigestAndState:
+    def test_identical_builds_identical_digest(self):
+        first, _ = small_graph()
+        second, _ = small_graph()
+        assert first.digest() == second.digest()
+
+    def test_append_changes_digest(self):
+        ledger, _ = small_graph()
+        before = ledger.digest()
+        ledger.record_chunk(2, "d2", rows=8)
+        assert ledger.digest() != before
+
+    def test_state_roundtrip_preserves_queries(self):
+        ledger, _ = small_graph()
+        restored = LineageLedger()
+        restored.load_state_dict(ledger.state_dict())
+        assert restored.digest() == ledger.digest()
+        assert restored.blame("v0001") == ledger.blame("v0001")
+        assert restored.trace("chunk:0") == ledger.trace("chunk:0")
+        assert restored.live_version("main") == "model:main:v0001"
+        # Counters continue from the restored positions.
+        assert restored.record_training([], [], rows=0, objective=0.0) == (
+            "train:1"
+        )
+        assert restored.record_incident("r", "s") == "incident:0"
+
+    def test_state_schema_mismatch_rejected(self):
+        with pytest.raises(ValidationError, match="schema"):
+            LineageLedger().load_state_dict({"schema": 99, "entries": []})
+
+    def test_digest_helper_matches_method(self):
+        ledger, _ = small_graph()
+        assert lineage_digest(ledger.entries) == ledger.digest()
+
+
+class TestExport:
+    def test_write_load_roundtrip(self, tmp_path):
+        ledger, _ = small_graph()
+        path = tmp_path / "lineage.json"
+        payload = ledger.write(path)
+        assert payload["digest"] == ledger.digest()
+        restored = load_lineage(path)
+        assert restored.digest() == ledger.digest()
+        assert restored.blame("v0001") == ledger.blame("v0001")
+
+    def test_write_is_byte_stable(self, tmp_path):
+        ledger, _ = small_graph()
+        ledger.write(tmp_path / "a.json")
+        ledger.write(tmp_path / "b.json")
+        assert (tmp_path / "a.json").read_bytes() == (
+            tmp_path / "b.json"
+        ).read_bytes()
+
+    def test_tampered_export_rejected(self, tmp_path):
+        ledger, _ = small_graph()
+        path = tmp_path / "lineage.json"
+        ledger.write(path)
+        payload = json.loads(path.read_text(encoding="utf-8"))
+        payload["entries"][0]["attrs"]["digest"] = "evil"
+        path.write_text(json.dumps(payload), encoding="utf-8")
+        with pytest.raises(ValidationError, match="digest mismatch"):
+            load_lineage(path)
+
+    def test_schema_mismatch_rejected(self, tmp_path):
+        path = tmp_path / "lineage.json"
+        path.write_text(json.dumps({"schema": 99}), encoding="utf-8")
+        with pytest.raises(ValidationError, match="schema"):
+            load_lineage(path)
+
+
+class TestFormatting:
+    def test_format_lineage_mentions_live_and_digest(self):
+        ledger, _ = small_graph()
+        text = format_lineage(ledger)
+        assert "live[main] = model:main:v0001" in text
+        assert ledger.digest()[:16] in text
+
+    def test_format_blame_limits_rows(self):
+        ledger, _ = small_graph()
+        text = format_blame(ledger.blame("v0001"), limit=1)
+        assert "chunk:0" in text
+        assert "... 1 more" in text
+
+    def test_format_trace(self):
+        ledger, _ = small_graph()
+        text = format_trace(ledger.trace("chunk:1"))
+        assert "train:0" in text
+        assert "model:main:v0001" in text
+
+
+class TestTelemetryIntegration:
+    def test_attach_ledger_emits_growth_telemetry(self):
+        telemetry = Telemetry()
+        ledger = telemetry.attach_ledger()
+        ledger.record_chunk(0, "d0", rows=4)
+        snapshot = telemetry.metrics.snapshot()
+        assert snapshot["counters"]["lineage.nodes"] == 1
+        points = [
+            e for e in telemetry.events if e["name"] == "lineage.node"
+        ]
+        assert points and points[0]["attrs"]["kind"] == "chunk"
+
+    def test_double_attach_rejected(self):
+        telemetry = Telemetry()
+        telemetry.attach_ledger()
+        with pytest.raises(ValidationError, match="already"):
+            telemetry.attach_ledger()
+
+    def test_disabled_bundle_rejected(self):
+        from repro.obs import NULL_TELEMETRY
+
+        with pytest.raises(ValidationError, match="disabled"):
+            NULL_TELEMETRY.attach_ledger()
+
+    def test_write_emits_exported_point(self, tmp_path):
+        telemetry = Telemetry()
+        ledger = telemetry.attach_ledger()
+        ledger.record_chunk(0, "d0", rows=4)
+        ledger.write(tmp_path / "lineage.json")
+        exported = [
+            e for e in telemetry.events if e["name"] == "lineage.exported"
+        ]
+        assert len(exported) == 1
+        assert exported[0]["attrs"]["entries"] == 1
+
+
+class TestMonitorEvidence:
+    def serving_rule(self):
+        return AlertRule(
+            name="latency",
+            signal="serving.latency",
+            kind="threshold",
+            stat="count",
+            op=">=",
+            value=1.0,
+        )
+
+    def fire(self, monitor):
+        monitor.emit(
+            {
+                "seq": 0,
+                "kind": "point",
+                "name": "serving.latency",
+                "t": 0.5,
+                "dur": 0.0,
+                "wall_s": 0.0,
+                "attrs": {},
+            }
+        )
+        monitor.flush()
+
+    def test_incident_evidence_carries_lineage(self):
+        ledger, _ = small_graph()
+        monitor = HealthMonitor(
+            rules=[self.serving_rule()], config=MonitorConfig(window=1.0)
+        )
+        monitor.bind(ledger=ledger)
+        self.fire(monitor)
+        (incident,) = monitor.incidents.incidents
+        evidence = incident.evidence[-1]
+        assert evidence["kind"] == "lineage"
+        assert evidence["live_version"] == "model:main:v0001"
+        assert evidence["node"] == "incident:0"
+        assert evidence["lineage_digest"] == ledger.digest()
+        # The ledger gained an incident implicating the live model.
+        report = ledger.trace("chunk:0")
+        assert report["incidents"] == ["incident:0"]
+
+    def test_non_serving_rule_untouched(self):
+        ledger, _ = small_graph()
+        rule = AlertRule(
+            name="drift",
+            signal="platform.chunk",
+            kind="threshold",
+            stat="count",
+            op=">=",
+            value=1.0,
+        )
+        monitor = HealthMonitor(
+            rules=[rule], config=MonitorConfig(window=1.0)
+        )
+        monitor.bind(ledger=ledger)
+        monitor.emit(
+            {
+                "seq": 0,
+                "kind": "point",
+                "name": "platform.chunk",
+                "t": 0.5,
+                "dur": 0.0,
+                "wall_s": 0.0,
+                "attrs": {},
+            }
+        )
+        monitor.flush()
+        (incident,) = monitor.incidents.incidents
+        assert all(
+            e.get("kind") != "lineage" for e in incident.evidence
+        )
+        assert ledger.counts()["incident"] == 0
+
+    def test_without_ledger_no_evidence(self):
+        monitor = HealthMonitor(
+            rules=[self.serving_rule()], config=MonitorConfig(window=1.0)
+        )
+        self.fire(monitor)
+        (incident,) = monitor.incidents.incidents
+        assert all(
+            e.get("kind") != "lineage" for e in incident.evidence
+        )
+
+    def test_attach_order_cross_binds(self):
+        for ledger_first in (True, False):
+            telemetry = Telemetry()
+            if ledger_first:
+                ledger = telemetry.attach_ledger()
+                monitor = telemetry.attach_monitor(
+                    rules=[self.serving_rule()]
+                )
+            else:
+                monitor = telemetry.attach_monitor(
+                    rules=[self.serving_rule()]
+                )
+                ledger = telemetry.attach_ledger()
+            assert monitor._ledger is ledger
